@@ -1,0 +1,13 @@
+"""Ablation bench — TS vs TT elimination orders."""
+
+from repro.experiments import ablation_elimination
+
+from .conftest import run_experiment_benchmark
+
+
+def test_ablation_elimination(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, ablation_elimination, quick)
+    assert result.extra["r_equivalence_max_diff"] < 1e-8
+    for row in result.rows:
+        _n, ts_tasks, _ts_ms, tt_tasks, _tt_ms, _ratio = row
+        assert tt_tasks > ts_tasks

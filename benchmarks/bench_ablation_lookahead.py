@@ -1,0 +1,13 @@
+"""Ablation bench — per-iteration runtime vs asynchronous lookahead."""
+
+from repro.experiments import ablation_lookahead
+
+from .conftest import run_experiment_benchmark
+
+
+def test_ablation_lookahead(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, ablation_lookahead, quick)
+    for row in result.rows:
+        _n, _t_iter, _t_look, _t_ideal, iter_over_look, iter_over_ideal = row
+        assert iter_over_look >= 0.95   # lookahead never loses
+        assert iter_over_ideal >= iter_over_look - 1e-9

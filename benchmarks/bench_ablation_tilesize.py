@@ -1,0 +1,15 @@
+"""Ablation bench — tile-size sweep around the paper's b = 16."""
+
+from repro.experiments import ablation_tilesize
+
+from .conftest import run_experiment_benchmark
+
+
+def test_ablation_tilesize(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, ablation_tilesize, quick)
+    for row in result.rows:
+        times = row[1:-1]
+        assert all(t > 0 for t in times)
+        # The optimum is interior-ish: the extremes are not both best.
+        best = row[-1]
+        assert best in (8, 12, 16, 20, 24, 32, 48)

@@ -1,0 +1,16 @@
+"""Extension bench — column vs CA-QR row-block distribution."""
+
+from repro.experiments import caqr_comparison
+
+from .conftest import run_experiment_benchmark
+
+
+def test_caqr_comparison(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, caqr_comparison, quick)
+    # On the degraded network the column scheme's relative position must
+    # worsen (its per-panel broadcast pays the slow wire every panel).
+    by_link = {}
+    for link, n, *_rest, col_over_row, _ in result.rows:
+        by_link.setdefault(link, {})[n] = col_over_row
+    for n in by_link["PCIe"]:
+        assert by_link["slow net"][n] >= by_link["PCIe"][n] * 0.9

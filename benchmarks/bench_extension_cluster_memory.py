@@ -1,0 +1,38 @@
+"""Extension benches — multi-node clusters and out-of-core memory."""
+
+from repro.experiments import ablation_guide_optimality, ablation_scheduler, cluster_scaling, memory_out_of_core
+
+from .conftest import run_experiment_benchmark
+
+
+def test_cluster_scaling(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, cluster_scaling, quick)
+    # Column-scheme time must not depend on node count when the
+    # optimizer declines remote devices.
+    cols = {}
+    for net, n, nodes, _p, _remote, t_col, _t_row in result.rows:
+        cols.setdefault((net, n), []).append(t_col)
+    for (net, n), times in cols.items():
+        assert max(times) / min(times) < 1.05, (net, n, times)
+
+
+def test_memory_out_of_core(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, memory_out_of_core, quick)
+    fits = [row[1] for row in result.rows]
+    passes = [row[4] for row in result.rows]
+    assert fits[0] == "yes"
+    assert fits[-1] == "NO"
+    assert passes[-1] > 1
+    assert passes == sorted(passes)
+
+
+def test_scheduler_policies(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, ablation_scheduler, quick)
+    for row in result.rows:
+        assert row[-1] < 1.25  # policies stay close with a panel engine
+
+
+def test_guide_optimality(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, ablation_guide_optimality, quick)
+    for row in result.rows:
+        assert row[-1] < 1.15  # pipeline within 15% of best-found

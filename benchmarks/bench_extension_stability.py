@@ -1,0 +1,16 @@
+"""Extension bench — QR variant stability vs conditioning."""
+
+import math
+
+from repro.experiments import stability
+
+from .conftest import run_experiment_benchmark
+
+
+def test_stability_of_qr_variants(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, stability, quick)
+    for row in result.rows:
+        _cond, hh, cq, _cq2, mgs = row
+        assert hh < 1e-12          # Householder flat at machine precision
+        assert cq > hh or math.isinf(cq)
+        assert mgs >= hh

@@ -1,0 +1,15 @@
+"""Regenerates paper Fig. 10 — tile-distribution strategy comparison."""
+
+from repro.experiments import fig10
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig10_distribution(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, fig10, quick)
+    for row in result.rows:
+        _n, t_guide, t_cores, t_even, even_ratio, cores_ratio = row
+        # Paper shape: guide array wins against the even distribution by
+        # a clear margin, and never loses meaningfully to cores-based.
+        assert even_ratio > 1.10
+        assert cores_ratio > 0.95

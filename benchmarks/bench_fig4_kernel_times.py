@@ -1,0 +1,58 @@
+"""Regenerates paper Fig. 4 — per-step kernel time per device vs tile size.
+
+Also micro-benchmarks the *real* NumPy tile kernels with
+pytest-benchmark, giving honest host-side numbers next to the device
+models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4
+from repro.kernels import geqrt, tsmqr, tsqrt, unmqr
+
+from .conftest import run_experiment_benchmark
+
+B = 16
+
+
+@pytest.fixture(scope="module")
+def tiles():
+    rng = np.random.default_rng(42)
+    a = rng.standard_normal((B, B))
+    r1 = np.triu(rng.standard_normal((B, B)))
+    a2 = rng.standard_normal((B, B))
+    c = rng.standard_normal((B, B))
+    return {"a": a, "r1": r1, "a2": a2, "c": c,
+            "geqrt": geqrt(a), "tsqrt": tsqrt(r1, a2)}
+
+
+def test_fig4_model_table(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, fig4, quick)
+    # Fig. 4 shape: T above the updates everywhere.
+    for row in result.rows:
+        _dev, _b, t, _e, ut, _ue, *_ = row
+        assert t > ut
+
+
+def test_kernel_geqrt(benchmark, tiles):
+    """Triangulation (T) on one 16x16 tile — real NumPy kernel."""
+    benchmark(geqrt, tiles["a"])
+
+
+def test_kernel_unmqr(benchmark, tiles):
+    """Update-for-triangulation (UT) on one tile."""
+    c = tiles["c"].copy()
+    benchmark(unmqr, tiles["geqrt"], c)
+
+
+def test_kernel_tsqrt(benchmark, tiles):
+    """Elimination (E) of one tile pair."""
+    benchmark(tsqrt, tiles["r1"], tiles["a2"])
+
+
+def test_kernel_tsmqr(benchmark, tiles):
+    """Update-for-elimination (UE) of one tile pair."""
+    c1 = tiles["c"].copy()
+    c2 = tiles["c"].copy()
+    benchmark(tsmqr, tiles["tsqrt"], c1, c2)

@@ -1,0 +1,14 @@
+"""Regenerates paper Fig. 5 — calculation vs communication proportion."""
+
+from repro.experiments import fig5
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig5_comm_proportion(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, fig5, quick)
+    shares = {row[0]: row[2] for row in result.rows}
+    smallest, largest = min(shares), max(shares)
+    # Paper shape: small matrices comm-heavy, large ones comm-light.
+    assert shares[smallest] > 20.0
+    assert shares[largest] < max(15.0, shares[smallest] / 2)

@@ -1,0 +1,18 @@
+"""Regenerates paper Fig. 6 — time vs matrix size for 1/2/3 GPUs."""
+
+from repro.experiments import fig6
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig6_num_devices(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, fig6, quick)
+    # Paper shape: the winner progresses 1G -> 2G -> 3G with size.
+    winners = [row[-1] for row in result.rows]
+    assert winners[0] == "1G"
+    assert winners[-1] == "3G"
+    assert "2G" in winners
+    # Winners never regress (1 -> 2 -> 3).
+    order = {"1G": 1, "2G": 2, "3G": 3}
+    ranks = [order[w] for w in winners]
+    assert ranks == sorted(ranks)

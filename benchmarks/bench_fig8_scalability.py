@@ -1,0 +1,15 @@
+"""Regenerates paper Fig. 8 — scalability over device subsets."""
+
+from repro.experiments import fig8
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig8_scalability(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, fig8, quick)
+    assert result.extra["monotone"], "adding devices must reduce time"
+    # Full-system speedup over CPU-only should be an order of magnitude.
+    for row in result.rows:
+        cpu_only = float(row[1])
+        full = float(row[-1])
+        assert cpu_only / full > 8.0

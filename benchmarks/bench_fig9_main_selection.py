@@ -1,0 +1,16 @@
+"""Regenerates paper Fig. 9 — main-computing-device selection."""
+
+from repro.experiments import fig9
+
+from .conftest import run_experiment_benchmark
+
+
+def test_fig9_main_selection(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, fig9, quick)
+    assert result.extra["selected_main"] == "gtx580-0"
+    for row in result.rows:
+        _n, t580, t680, _tnone, tcpu, ratio680, _ratio_none = row
+        # Paper shape: GTX580 < GTX680 << CPU as main.
+        assert t580 < t680 < tcpu
+        assert tcpu / t580 > 3.0
+        assert 1.0 < ratio680 < 1.5

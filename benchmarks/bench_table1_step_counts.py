@@ -1,0 +1,15 @@
+"""Regenerates paper Table I — tiles operated per step."""
+
+from repro.experiments import table1
+
+from .conftest import run_experiment_benchmark
+
+
+def test_table1_step_counts(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, table1, quick)
+    # Paper shape: per panel, T and E tile counts are equal and the
+    # update pools scale as M(N-1).
+    for row in result.rows:
+        _panel, t, e, ut, ue, *_ = row
+        assert t == e
+        assert ut == ue

@@ -1,0 +1,15 @@
+"""Regenerates paper Table III — predicted vs actual device-count choice."""
+
+from repro.experiments import table3
+
+from .conftest import run_experiment_benchmark
+
+
+def test_table3_device_count(benchmark, quick):
+    result = run_experiment_benchmark(benchmark, table3, quick)
+    # Paper's claim: the Alg. 3 predictor picks the actually-fastest
+    # configuration at every size.
+    assert result.extra["agreements"] == result.extra["total"]
+    winners = [row[-2] for row in result.rows]
+    assert winners[0] == "1G"
+    assert winners[-1] == "3G"

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The paper's future work, running: multi-node clusters and huge matrices.
+
+Sec. VIII proposes extending the optimization to "a multi node
+environment" and handling "a lack of memory problem ... for very large
+matrix sizes".  Both extensions exist in this library; this example
+walks a capacity-planning session:
+
+1. will a 48000^2 QR fit the paper's single node? (no — check why)
+2. what would an out-of-core schedule cost?
+3. does adding a second identical node help? (Alg. 3 decides)
+4. what kind of distribution *would* use the second node?
+
+Run:  python examples/cluster_and_memory_planning.py
+"""
+
+from repro import Optimizer, paper_testbed
+from repro.cluster import ClusterSpec, NodeSpec, cluster_topology
+from repro.core.memory import check_memory, out_of_core_estimate
+from repro.sim.iteration import simulate_iteration_level
+from repro.sim.rowblock import simulate_rowblock_level
+
+N = 48000
+GRID = N // 16
+
+# --- 1. single node: memory feasibility -----------------------------------
+system = paper_testbed()
+opt = Optimizer(system)
+plan = opt.plan(matrix_size=N)
+report = check_memory(plan, GRID, GRID)
+print(f"{N}x{N} single-precision tiled QR on the paper's node:")
+for dev, used in report.per_device_bytes.items():
+    cap = report.capacities[dev]
+    cap_s = f"{cap / 2**30:.1f} GiB" if cap else "unbounded"
+    flag = "" if cap is None or used <= cap else "   <-- EXCEEDS MEMORY"
+    print(f"  {dev:10s} needs {used / 2**30:5.2f} GiB of {cap_s}{flag}")
+print(f"fits in core: {report.feasible}")
+
+# --- 2. out-of-core schedule -------------------------------------------------
+t_in_core = simulate_iteration_level(plan, GRID, GRID, system, opt.topology).makespan
+ooc = out_of_core_estimate(plan, GRID, GRID, t_in_core, opt.topology)
+print(f"\nout-of-core: {ooc.passes} column super-panels, "
+      f"{ooc.extra_bytes / 2**30:.1f} GiB of factors re-streamed, "
+      f"{ooc.overhead * 100:.2f}% slower than the (hypothetical) in-core run "
+      f"({ooc.makespan:.0f} s)")
+
+# --- 3. add a node: does the optimizer even want it? -----------------------
+cluster = ClusterSpec(
+    name="two-nodes",
+    nodes=(NodeSpec("node0", system.devices), NodeSpec("node1", system.devices)),
+)
+csys = cluster.flatten()
+ctop = cluster_topology(cluster)
+copt = Optimizer(csys, ctop)
+cplan = copt.plan(matrix_size=N)
+remote = [
+    d for d in cplan.participants
+    if cluster.node_of(d) != cluster.node_of(cplan.main_device)
+]
+print(f"\ntwo-node cluster: Alg. 3 enlists {cplan.num_devices} devices, "
+      f"{len(remote)} of them remote")
+if remote:
+    print("  -> at this size the n^3 update work finally amortizes the "
+          "network-priced\n     per-panel broadcasts (Eq. 11), so remote "
+          "devices pay off; at the paper's\n     evaluation sizes "
+          "(<= 16000) the optimizer keeps everything on one node.")
+else:
+    print("  -> the column scheme's per-panel factor broadcast never "
+          "amortizes over the\n     network at this size, so the optimizer "
+          "correctly keeps the work on one node.")
+
+# --- 4. what would use the second node: CA-QR row blocks -------------------
+M_DEMO = 9600  # row-block sim at full 48000 takes a while; the shape is the same
+g = M_DEMO // 16
+t_col = simulate_iteration_level(
+    copt.plan(matrix_size=M_DEMO), g, g, csys, ctop
+).makespan
+t_row = simulate_rowblock_level(
+    csys, list(csys.device_ids), g, g, 16, ctop, layout="cyclic"
+).makespan
+print(f"\nat {M_DEMO}^2 on the two-node cluster:")
+print(f"  column distribution (paper): {t_col:8.1f} s")
+print(f"  CA-QR row blocks, all nodes: {t_row:8.1f} s")
+winner = "row blocks" if t_row < t_col else "the column scheme"
+print(f"{winner} win(s) at this size: row-block trees pay a logarithmic "
+      f"R-merge per panel\ninstead of a broadcast but add pairwise trailing "
+      f"exchanges — the balance tips with\nmatrix size and network quality "
+      f"(see `python -m repro experiment caqr-comparison`).")

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Extending the paper: plan tiled QR for systems that never existed.
+
+The paper's conclusion proposes extending the optimization "into other
+computing devices, or a multi node environment".  Because every policy
+here consumes only device models and link speeds, we can ask what the
+optimizer would do on hypothetical machines:
+
+* a box with many slow GPUs vs one with few fast GPUs,
+* an accelerator-augmented node (a Xeon-Phi-like device: mid per-tile
+  speed, huge parallelism),
+* a degraded interconnect (cheap PCIe switch).
+
+Run:  python examples/custom_system_simulation.py
+"""
+
+from repro import Optimizer, TiledQR
+from repro.analysis import format_table
+from repro.comm.topology import pcie_star
+from repro.dag.tasks import Step
+from repro.devices import DeviceKind, DeviceSpec, KernelTimingModel, make_system
+from repro.devices.calibration import paper_cpu_i7_3820, paper_gtx580
+
+N = 3200
+
+
+def phi_like(device_id: str) -> DeviceSpec:
+    """A Xeon-Phi-style accelerator: 61 slow-ish cores, wide updates."""
+    return DeviceSpec(
+        device_id=device_id,
+        name="Phi-like accelerator",
+        kind=DeviceKind.ACCELERATOR,
+        cores=61,
+        slots=61,
+        timing=KernelTimingModel(
+            overheads_s={Step.T: 15e-6, Step.E: 15e-6, Step.UT: 2e-6, Step.UE: 2e-6},
+            rates_flops={Step.T: 0.05e9, Step.E: 0.09e9, Step.UT: 0.9e9, Step.UE: 1.0e9},
+        ),
+    )
+
+
+def summarize(name, system, bandwidth=6e9, latency=50e-6):
+    topology = pcie_star(system.devices, bandwidth=bandwidth, latency=latency)
+    opt = Optimizer(system, topology)
+    qr = TiledQR(system, topology)
+    plan = opt.plan(matrix_size=N)
+    run = qr.simulate(N, plan=plan, fidelity="iteration")
+    return [
+        name,
+        plan.main_device,
+        plan.num_devices,
+        " ".join(f"{r}" for r in plan.notes["ratio"]),
+        run.report.makespan,
+        run.report.comm_fraction * 100,
+    ]
+
+
+rows = []
+
+# The paper's testbed as the reference point.
+from repro import paper_testbed
+rows.append(summarize("paper testbed", paper_testbed()))
+
+# Many slow GPUs: four GTX580-class devices at 60% speed.
+slow = [paper_cpu_i7_3820("cpu-0")]
+for i in range(4):
+    base = paper_gtx580(f"slowgpu-{i}")
+    slow.append(
+        DeviceSpec(
+            device_id=base.device_id, name="Slow GPU", kind=base.kind,
+            cores=base.cores, slots=base.slots,
+            timing=KernelTimingModel(
+                overheads_s=dict(base.timing.overheads_s),
+                rates_flops={s: r * 0.6 for s, r in base.timing.rates_flops.items()},
+            ),
+        )
+    )
+rows.append(summarize("4x slow GPUs", make_system("slow-gpus", slow)))
+
+# Accelerator-augmented node (the paper's future-work direction).
+rows.append(
+    summarize(
+        "CPU + GTX580 + Phi-like",
+        make_system(
+            "phi-node",
+            [paper_cpu_i7_3820("cpu-0"), paper_gtx580("gtx580-0"), phi_like("phi-0")],
+        ),
+    )
+)
+
+# The paper testbed behind a terrible interconnect.
+rows.append(
+    summarize("testbed, 10x worse PCIe", paper_testbed(), bandwidth=6e8, latency=500e-6)
+)
+
+print(format_table(
+    ["system", "main device", "p", "ratio", "makespan (s)", "comm %"],
+    rows,
+    title=f"optimizer decisions for a {N}x{N} tiled QR on hypothetical systems",
+))
+print(
+    "\nNote how the optimizer reacts: slow links push the device count down,\n"
+    "wide accelerators absorb update columns, and the main device follows\n"
+    "the panel-chain/update-throughput trade-off, not raw speed."
+)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Data analysis with tiled QR: polynomial least-squares fitting.
+
+The paper motivates QR decomposition as "the basis for solving some
+systems of linear equations, so it is widely used in data analysis of
+various domains" (Sec. I).  This example fits a degree-7 polynomial to
+noisy samples by solving the tall least-squares problem
+
+    min_x || V x - y ||_2
+
+via the tiled QR of the Vandermonde matrix V: with V = QR,
+x = R1^-1 (Q^T y)[:n] — no normal equations, no loss of conditioning.
+
+Run:  python examples/least_squares_regression.py
+"""
+
+import numpy as np
+
+from repro import tiled_qr
+from repro.runtime.factorization import back_substitution
+
+rng = np.random.default_rng(7)
+
+# --- synthesize noisy samples of a known polynomial -----------------------
+DEGREE = 7
+M = 480                      # samples (tall system: 480 x 8)
+true_coeffs = rng.standard_normal(DEGREE + 1)
+t = np.linspace(-1.0, 1.0, M)
+y_clean = np.polyval(true_coeffs, t)
+y = y_clean + 0.05 * rng.standard_normal(M)
+
+# --- build the Vandermonde matrix and factorize it tile-wise ----------------
+v = np.vander(t, DEGREE + 1)                   # 480 x 8
+f = tiled_qr(v, tile_size=16)
+
+# --- least squares through the implicit Q ----------------------------------
+qty = f.apply_qt(y)                            # Q^T y, length 480
+r1 = f.r_dense()[: DEGREE + 1, : DEGREE + 1]   # leading triangle
+x = back_substitution(r1, qty[: DEGREE + 1, None])[:, 0]
+
+# --- report ------------------------------------------------------------------
+x_ref, *_ = np.linalg.lstsq(v, y, rcond=None)
+residual = np.linalg.norm(v @ x - y)
+print(f"fit of a degree-{DEGREE} polynomial to {M} noisy samples")
+print(f"residual ||Vx - y||            = {residual:.4f}")
+print(f"match vs numpy.linalg.lstsq    = {np.linalg.norm(x - x_ref):.3e}")
+print(f"coefficient error vs ground truth = "
+      f"{np.linalg.norm(x - true_coeffs) / np.linalg.norm(true_coeffs):.3e}")
+print("\n coeff      fitted      true")
+for i, (xi, ci) in enumerate(zip(x, true_coeffs)):
+    print(f"  t^{DEGREE - i}   {xi:9.4f} {ci:9.4f}")

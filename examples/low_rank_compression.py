@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Data analysis example: low-rank compression with randomized QR.
+
+The intro motivates QR for "data analysis of various domains"; a
+workhorse modern use is randomized low-rank approximation, whose inner
+orthonormalization step is exactly this library's tiled QR.  We build a
+synthetic "sensor field" image (smooth structure + noise = rapidly
+decaying spectrum), compress it with the randomized range finder at
+several target ranks, and report storage vs error.
+
+Run:  python examples/low_rank_compression.py
+"""
+
+import numpy as np
+
+from repro.linalg import low_rank_approx
+
+rng = np.random.default_rng(5)
+
+# --- a synthetic 2-D field with low-rank structure --------------------------
+H, W = 240, 320
+y = np.linspace(0, 4 * np.pi, H)[:, None]
+x = np.linspace(0, 3 * np.pi, W)[None, :]
+field = (
+    np.outer(np.sin(y[:, 0]), np.cos(x[0]))
+    + 0.5 * np.outer(np.cos(2 * y[:, 0]), np.sin(3 * x[0]))
+    + 0.25 * np.outer(y[:, 0] / y.max(), x[0] / x.max())
+    + 0.02 * rng.standard_normal((H, W))
+)
+
+full_storage = field.size
+norm = np.linalg.norm(field)
+
+print(f"field: {H}x{W} ({full_storage} values), "
+      f"effective spectrum decays fast (3 structured modes + noise)\n")
+print(f"{'rank k':>7} {'storage':>9} {'ratio':>7} {'rel. error':>11}")
+for k in (1, 2, 3, 5, 10, 20):
+    q, b = low_rank_approx(field, k=k, oversample=0, power_iters=2, seed=1)
+    stored = q.size + b.size
+    err = np.linalg.norm(field - q @ b) / norm
+    print(f"{k:>7} {stored:>9} {full_storage / stored:>6.1f}x {err:>11.2e}")
+
+print("""
+by rank 3 the structured part is captured (error drops to the noise
+floor ~3e-2); beyond that extra rank only memorizes noise.  The
+orthonormal factor q comes from this library's tiled Householder QR —
+the same kernels the ICPP'13 paper schedules across CPU and GPUs.""")
+
+# --- sanity: the basis is really orthonormal -------------------------------
+q, _ = low_rank_approx(field, k=3, oversample=0, seed=1)
+print(f"basis orthonormality ||Q^T Q - I|| = "
+      f"{np.linalg.norm(q.T @ q - np.eye(q.shape[1])):.2e}")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Streaming data analysis: sliding-window regression via QR updating.
+
+The intro motivates QR for "data analysis of various domains"; live data
+keeps arriving.  Refactorizing on every new sample costs O(m n^2) —
+Givens-rotation updates of the R factor cost O(n^2) per sample and give
+the numerically-stable equivalent of recursive least squares.
+
+The scenario: a sensor whose calibration drifts abruptly; a
+sliding-window fit forgets the old regime, a growing-window fit is
+dragged by it.
+
+Run:  python examples/online_regression.py
+"""
+
+import numpy as np
+
+from repro.linalg import StreamingLeastSquares
+
+rng = np.random.default_rng(42)
+
+FEATURES = 4
+WINDOW = 64
+DRIFT_AT = 300
+STEPS = 600
+
+beta_before = np.array([2.0, -1.0, 0.5, 3.0])
+beta_after = np.array([-1.0, 2.5, 1.5, -0.5])
+
+
+def sample(step: int) -> tuple[np.ndarray, float]:
+    beta = beta_before if step < DRIFT_AT else beta_after
+    x = rng.standard_normal(FEATURES)
+    y = float(x @ beta) + 0.05 * rng.standard_normal()
+    return x, y
+
+
+sliding = StreamingLeastSquares(FEATURES, window=WINDOW)
+growing = StreamingLeastSquares(FEATURES)
+
+print(f"{'step':>6} {'sliding err':>12} {'growing err':>12}")
+for step in range(STEPS):
+    x, y = sample(step)
+    sliding.add(x, y)
+    growing.add(x, y)
+    if step >= FEATURES and step % 100 == 99:
+        truth = beta_before if step < DRIFT_AT else beta_after
+        es = np.linalg.norm(sliding.coefficients() - truth)
+        eg = np.linalg.norm(growing.coefficients() - truth)
+        print(f"{step + 1:>6} {es:>12.4f} {eg:>12.4f}")
+
+print(f"""
+after the drift at step {DRIFT_AT}, the sliding window ({WINDOW} samples)
+re-converges to the new coefficients once the old regime ages out, while
+the growing window stays biased by everything it ever saw.
+
+final sliding-window coefficients: {np.round(sliding.coefficients(), 3)}
+ground truth after drift:          {beta_after}
+window population: {sliding.num_observations} samples (constant);
+each update cost O(n^2) Givens work instead of an O(m n^2) refit.""")
+
+print("\nvalidation: streaming state equals a cold batch fit on the same "
+      "window (see tests/test_givens_streaming.py for the exact check).")

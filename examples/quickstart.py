@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: tiled QR decomposition in three lines.
+
+Factorizes a random matrix with the from-scratch Householder tile
+kernels, validates A = QR, and solves a linear system with the factors
+(the use case the paper's Eqs. 1-3 motivate).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import tiled_qr
+
+# --- factorize -----------------------------------------------------------
+rng = np.random.default_rng(2013)
+n = 256
+a = rng.standard_normal((n, n))
+
+f = tiled_qr(a, tile_size=16)          # the paper's tile size
+
+# --- inspect the factors ---------------------------------------------------
+q = f.q_dense()
+r = f.r_dense()
+print(f"A is {a.shape}, split into a {f.r.grid_shape} grid of "
+      f"{f.tile_size}x{f.tile_size} tiles")
+print(f"reconstruction  ||A - QR|| / ||A||  = "
+      f"{np.linalg.norm(a - q @ r) / np.linalg.norm(a):.3e}")
+print(f"orthogonality   ||Q^T Q - I||       = "
+      f"{np.linalg.norm(q.T @ q - np.eye(n)):.3e}")
+print(f"R strictly-lower max |entry|        = "
+      f"{np.abs(np.tril(r, -1)).max():.3e}")
+
+# --- solve A x = b without ever forming Q (Eqs. 2-3) ----------------------
+x_true = rng.standard_normal(n)
+b = a @ x_true
+x = f.solve(b)
+print(f"solve error     ||x - x_true||/||x|| = "
+      f"{np.linalg.norm(x - x_true) / np.linalg.norm(x_true):.3e}")
+
+# --- implicit operators ----------------------------------------------------
+# Q is stored as a log of block reflectors; applying it is O(n^2 b), not O(n^3).
+y = f.apply_qt(b)      # Q^T b
+z = f.apply_q(y)       # Q (Q^T b) == b
+print(f"implicit Q roundtrip error          = "
+      f"{np.linalg.norm(z - b) / np.linalg.norm(b):.3e}")

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment for this reproduction has no network access and
+no ``wheel`` package, so PEP 660 editable installs (``pip install -e .``)
+cannot build. ``python setup.py develop`` installs an egg-link instead,
+which needs nothing beyond setuptools. Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""repro — Tiled QR decomposition on a CPU+GPU heterogeneous system.
+
+A full reproduction of Kim & Park, "Tiled QR Decomposition and Its
+Optimization on CPU and GPU Computing System" (ICPP 2013):
+
+* from-scratch NumPy Householder tile kernels (GEQRT / UNMQR / TSQRT /
+  TSMQR and the TT variants) — :mod:`repro.kernels`;
+* the tiled-matrix layout and the task DAG of Fig. 3 —
+  :mod:`repro.tiles`, :mod:`repro.dag`;
+* calibrated performance models of the paper's testbed (Table II) and
+  its PCIe interconnect — :mod:`repro.devices`, :mod:`repro.comm`;
+* the paper's three scheduling policies (main-device selection,
+  device-count optimization, distribution guide array) —
+  :mod:`repro.core`;
+* two execution paths: real numeric runtimes (:mod:`repro.runtime`) and
+  simulated heterogeneous execution (:mod:`repro.sim`);
+* baselines, analysis utilities, and one experiment driver per paper
+  table/figure — :mod:`repro.baselines`, :mod:`repro.analysis`,
+  :mod:`repro.experiments`.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import tiled_qr
+>>> a = np.random.default_rng(0).standard_normal((128, 128))
+>>> f = tiled_qr(a, tile_size=16)
+>>> bool(np.allclose(f.apply_q(f.r_dense()), a))
+True
+
+Planning for the paper's heterogeneous testbed:
+
+>>> from repro import TiledQR, paper_testbed
+>>> qr = TiledQR(paper_testbed())
+>>> run = qr.simulate(matrix_size=3200)
+>>> run.plan.main_device
+'gtx580-0'
+"""
+
+from . import linalg, workloads
+from .config import DEFAULT_TILE_SIZE
+from .core.executor import TiledQR, TiledQRRun
+from .core.optimizer import Optimizer
+from .core.plan import DistributionPlan
+from .devices.registry import SystemSpec, paper_testbed, synthetic_system
+from .runtime.serial import SerialRuntime, tiled_qr
+from .runtime.threaded import ThreadedRuntime
+from .runtime.factorization import TiledQRFactorization
+from .tiles.layout import TiledMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_TILE_SIZE",
+    "TiledQR",
+    "TiledQRRun",
+    "Optimizer",
+    "DistributionPlan",
+    "SystemSpec",
+    "paper_testbed",
+    "synthetic_system",
+    "SerialRuntime",
+    "ThreadedRuntime",
+    "TiledQRFactorization",
+    "TiledMatrix",
+    "tiled_qr",
+    "linalg",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Analysis helpers: performance metrics and plain-text reporting."""
+
+from .metrics import (
+    speedup,
+    parallel_efficiency,
+    achieved_gflops,
+    weak_scaling_efficiency,
+    amdahl_bound,
+)
+from .reporting import format_table, format_series, ascii_chart
+from .roofline import (
+    arithmetic_intensity,
+    kernel_bytes,
+    roofline,
+    ridge_tile_size,
+    RooflinePoint,
+)
+from .energy import EnergyReport, energy_report, device_power
+
+__all__ = [
+    "speedup",
+    "parallel_efficiency",
+    "achieved_gflops",
+    "weak_scaling_efficiency",
+    "amdahl_bound",
+    "format_table",
+    "format_series",
+    "ascii_chart",
+    "arithmetic_intensity",
+    "kernel_bytes",
+    "roofline",
+    "ridge_tile_size",
+    "RooflinePoint",
+    "EnergyReport",
+    "energy_report",
+    "device_power",
+]

@@ -1,0 +1,94 @@
+"""Energy-to-solution modelling.
+
+The paper optimizes wall-clock time; 2013-era GeForce boards draw
+195-244 W, so the *energy*-optimal configuration can differ from the
+time-optimal one: an extra GPU that shaves 10% off the makespan while
+burning 195 W for the whole run may cost more joules than it saves.
+Device power draws attach here (not on ``DeviceSpec`` — they are an
+analysis concern, not a scheduling input) and a
+:class:`~repro.sim.trace.SimulationReport` converts to joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.registry import SystemSpec
+from ..sim.trace import SimulationReport
+
+#: Manufacturer TDP (board power, watts) for the modelled devices, plus
+#: an idle fraction: a powered-but-idle device still draws a share.
+DEFAULT_TDP_W = {
+    "GeForce GTX 580": 244.0,
+    "GeForce GTX 680": 195.0,
+    "Intel Core i7-3820": 130.0,
+    "Tesla-K20-class GPU": 225.0,
+    "Xeon-Phi-class coprocessor": 300.0,
+}
+
+#: Fraction of TDP drawn while idle but powered (2012-era boards).
+DEFAULT_IDLE_FRACTION = 0.35
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Joules spent by one simulated run.
+
+    Attributes
+    ----------
+    active_joules:
+        Energy of busy device time at full TDP.
+    idle_joules:
+        Energy of powered-but-idle time (participants only).
+    """
+
+    active_joules: float
+    idle_joules: float
+    makespan: float
+
+    @property
+    def total_joules(self) -> float:
+        return self.active_joules + self.idle_joules
+
+    @property
+    def average_watts(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.total_joules / self.makespan
+
+
+def device_power(system: SystemSpec, device_id: str, tdp_w: dict | None = None) -> float:
+    """TDP lookup by device *name* with a 150 W fallback for unknowns."""
+    table = tdp_w if tdp_w is not None else DEFAULT_TDP_W
+    return float(table.get(system.device(device_id).name, 150.0))
+
+
+def energy_report(
+    report: SimulationReport,
+    system: SystemSpec,
+    tdp_w: dict | None = None,
+    idle_fraction: float = DEFAULT_IDLE_FRACTION,
+) -> EnergyReport:
+    """Convert a simulation report into energy.
+
+    Every device that appears in ``report.compute_busy`` is considered
+    powered for the whole makespan.  TDP is *board* power, so a device's
+    active draw scales with its slot utilization (busy slot-seconds over
+    ``slots * makespan``); the remaining capacity idles at
+    ``idle_fraction`` of TDP.
+    """
+    if not 0.0 <= idle_fraction <= 1.0:
+        raise ValueError(f"idle fraction must be in [0, 1], got {idle_fraction}")
+    active = 0.0
+    idle = 0.0
+    for dev, busy in report.compute_busy.items():
+        p = device_power(system, dev, tdp_w)
+        slots = system.device(dev).slots
+        if report.makespan <= 0:
+            continue
+        util = min(1.0, busy / (slots * report.makespan))
+        active += util * report.makespan * p
+        idle += (1.0 - util) * report.makespan * p * idle_fraction
+    return EnergyReport(
+        active_joules=active, idle_joules=idle, makespan=report.makespan
+    )

@@ -1,0 +1,54 @@
+"""Performance metrics used when reporting experiment results."""
+
+from __future__ import annotations
+
+from ..kernels.flops import flops_tiled_qr
+
+
+def speedup(baseline_seconds: float, improved_seconds: float) -> float:
+    """Classic ``t_base / t_new``; > 1 means the new variant is faster."""
+    if improved_seconds <= 0:
+        raise ValueError("improved time must be positive")
+    return baseline_seconds / improved_seconds
+
+
+def parallel_efficiency(t_serial: float, t_parallel: float, workers: int) -> float:
+    """``speedup / workers`` in [0, 1] for well-behaved scaling."""
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    return speedup(t_serial, t_parallel) / workers
+
+
+def achieved_gflops(n: int, tile_size: int, seconds: float, elimination: str = "TS") -> float:
+    """Sustained GFLOP/s of a tiled QR of an ``n x n`` matrix."""
+    if seconds <= 0:
+        raise ValueError("time must be positive")
+    grid = -(-n // tile_size)
+    return flops_tiled_qr(grid, grid, tile_size, elimination) / seconds / 1e9
+
+
+def weak_scaling_efficiency(
+    t_small: float, n_small: int, t_large: float, n_large: int, workers_ratio: float
+) -> float:
+    """Efficiency when problem size grows with machine size.
+
+    Uses the cubic work model of QR: perfect weak scaling keeps
+    ``t * workers / n^3`` constant.
+    """
+    if min(t_small, t_large, n_small, n_large, workers_ratio) <= 0:
+        raise ValueError("all inputs must be positive")
+    work_ratio = (n_large / n_small) ** 3
+    return (t_small * work_ratio) / (t_large * workers_ratio)
+
+
+def amdahl_bound(serial_fraction: float, workers: float) -> float:
+    """Amdahl's-law speedup bound for a given serial fraction.
+
+    The tiled-QR panel chain is the serial fraction here; this bound is
+    what the paper's main-device design is pushing against.
+    """
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial fraction must be in [0, 1]")
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / workers)

@@ -1,0 +1,100 @@
+"""Plain-text tables and charts for experiment output.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep that output consistent and
+readable in a terminal (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Render an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values; floats are formatted with ``float_fmt``, everything
+        else with ``str``.
+    title:
+        Optional heading printed above the table.
+    """
+    def fmt(v) -> str:
+        if isinstance(v, bool):
+            return str(v)
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence[float], unit: str = "") -> str:
+    """One labelled x/y series as a compact two-line block."""
+    xs_s = " ".join(str(x) for x in xs)
+    ys_s = " ".join(f"{y:.4g}" for y in ys)
+    suffix = f" [{unit}]" if unit else ""
+    return f"{name}{suffix}:\n  x: {xs_s}\n  y: {ys_s}"
+
+
+def ascii_chart(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    logy: bool = False,
+) -> str:
+    """Rough ASCII scatter of several series (figures in a terminal).
+
+    Parameters
+    ----------
+    series:
+        ``label -> (xs, ys)``.
+    logy:
+        Plot ``log10(y)`` (the paper's Fig. 8 is log-log-ish).
+    """
+    import math
+
+    pts = []
+    for label, (xs, ys) in series.items():
+        mark = label[0].upper()
+        for x, y in zip(xs, ys):
+            yy = math.log10(y) if logy and y > 0 else y
+            pts.append((float(x), float(yy), mark))
+    if not pts:
+        return "(empty chart)"
+    xmin = min(p[0] for p in pts)
+    xmax = max(p[0] for p in pts)
+    ymin = min(p[1] for p in pts)
+    ymax = max(p[1] for p in pts)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, mark in pts:
+        col = int((x - xmin) / xspan * (width - 1))
+        row = height - 1 - int((y - ymin) / yspan * (height - 1))
+        grid[row][col] = mark
+    legend = "  ".join(f"{label[0].upper()}={label}" for label in series)
+    body = "\n".join("|" + "".join(r) for r in grid)
+    axis = "+" + "-" * width
+    return f"{body}\n{axis}\n{legend}" + ("  (log y)" if logy else "")

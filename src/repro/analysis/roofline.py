@@ -1,0 +1,112 @@
+"""Arithmetic intensity and roofline positioning of the tile kernels.
+
+Explains *why* the paper's Fig. 4 curves look the way they do: at small
+tile sizes every kernel is overhead/bandwidth bound (flat GPU curves),
+and intensity grows linearly with ``b`` until the cubic flops dominate.
+Given a device's sustained rate and an assumed memory bandwidth, the
+ridge point tells which tile sizes can possibly run compute-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dag.tasks import Step
+from ..devices.model import DeviceSpec
+from ..kernels.flops import flops_geqrt, flops_tsmqr, flops_tsqrt, flops_unmqr
+
+
+def kernel_bytes(step: Step, b: int, element_size: int = 8) -> float:
+    """Bytes a kernel touches (reads + writes), tiled working set.
+
+    GEQRT: the tile in/out plus V/Tf out (~3 tiles).
+    UNMQR: C in/out plus V/Tf in (~4 tiles).
+    TSQRT: two tiles in/out plus V2/Tf out (~6 tiles).
+    TSMQR: two tiles in/out plus V2/Tf in (~6 tiles).
+    """
+    tile = b * b * element_size
+    factor = {Step.T: 3, Step.UT: 4, Step.E: 6, Step.UE: 6}[step]
+    return float(factor * tile)
+
+
+_STEP_FLOPS = {
+    Step.T: flops_geqrt,
+    Step.E: flops_tsqrt,
+    Step.UT: flops_unmqr,
+    Step.UE: flops_tsmqr,
+}
+
+
+def arithmetic_intensity(step: Step, b: int, element_size: int = 8) -> float:
+    """Flops per byte for one tile kernel — grows linearly in ``b``."""
+    if b < 1:
+        raise ValueError(f"tile size must be >= 1, got {b}")
+    return _STEP_FLOPS[step](b) / kernel_bytes(step, b, element_size)
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position against a device roofline.
+
+    Attributes
+    ----------
+    intensity:
+        Flops/byte of the kernel at this tile size.
+    attainable_flops:
+        ``min(peak, bandwidth * intensity)`` — the roofline ceiling.
+    compute_bound:
+        True when the kernel sits right of the ridge.
+    """
+
+    step: Step
+    tile_size: int
+    intensity: float
+    attainable_flops: float
+    compute_bound: bool
+
+
+def roofline(
+    device: DeviceSpec,
+    step: Step,
+    tile_size: int,
+    mem_bandwidth: float,
+    element_size: int = 8,
+) -> RooflinePoint:
+    """Place one kernel on a device's roofline.
+
+    Parameters
+    ----------
+    device:
+        Supplies the sustained per-slot rate for ``step`` (the "peak").
+    mem_bandwidth:
+        Assumed device memory bandwidth in bytes/s.
+    """
+    if mem_bandwidth <= 0:
+        raise ValueError("memory bandwidth must be positive")
+    peak = device.timing.rates_flops[step]
+    ai = arithmetic_intensity(step, tile_size, element_size)
+    attainable = min(peak, mem_bandwidth * ai)
+    return RooflinePoint(
+        step=step,
+        tile_size=tile_size,
+        intensity=ai,
+        attainable_flops=attainable,
+        compute_bound=attainable >= peak,
+    )
+
+
+def ridge_tile_size(
+    device: DeviceSpec,
+    step: Step,
+    mem_bandwidth: float,
+    element_size: int = 8,
+    max_b: int = 4096,
+) -> int | None:
+    """Smallest tile size at which ``step`` turns compute-bound, or
+    ``None`` if it never does below ``max_b``."""
+    b = 1
+    while b <= max_b:
+        if roofline(device, step, b, mem_bandwidth, element_size).compute_bound:
+            return b
+        b *= 2
+    return None

@@ -1,0 +1,23 @@
+"""Baseline strategies the paper compares against.
+
+* :mod:`repro.baselines.distributions` — Fig. 10's alternatives to the
+  guide array: even distribution and cores-proportional distribution.
+* :mod:`repro.baselines.main_selection` — Fig. 9's alternatives to
+  Alg. 2: a forced main device and the "no specific main" mode.
+* :mod:`repro.baselines.sequential` — single-device dense Householder QR
+  (Algorithm 1), the non-tiled reference.
+"""
+
+from .distributions import even_plan, cores_based_plan, round_robin_plan
+from .main_selection import forced_main_plan, no_main_plan
+from .sequential import sequential_qr, sequential_time_estimate
+
+__all__ = [
+    "even_plan",
+    "cores_based_plan",
+    "round_robin_plan",
+    "forced_main_plan",
+    "no_main_plan",
+    "sequential_qr",
+    "sequential_time_estimate",
+]

@@ -1,0 +1,105 @@
+"""Cholesky-based and Gram-Schmidt QR variants.
+
+The paper's background (Sec. I) mentions "several types of QR
+decomposition, such as the Householder or Cholesky methods" and picks
+Householder for its stability and parallel fit.  These from-scratch
+alternatives exist to make that trade-off measurable: CholeskyQR is
+BLAS-3-fast but loses orthogonality as cond(A)^2; CholeskyQR2 repairs it
+for moderately conditioned inputs; modified Gram-Schmidt degrades
+linearly in cond(A).  See ``repro.experiments.stability``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+
+
+def cholesky_factor(g: np.ndarray) -> np.ndarray:
+    """Upper-triangular Cholesky factor ``R`` with ``G = R^T R``.
+
+    From-scratch right-looking algorithm (no LAPACK ``potrf``); raises
+    :class:`numpy.linalg.LinAlgError` when ``G`` is not (numerically)
+    positive definite — which is exactly how CholeskyQR fails on
+    ill-conditioned inputs.
+    """
+    g = np.asarray(g, dtype=np.float64)
+    if g.ndim != 2 or g.shape[0] != g.shape[1]:
+        raise KernelError(f"Cholesky needs a square matrix, got {g.shape}")
+    n = g.shape[0]
+    r = np.triu(g).astype(np.float64, copy=True)
+    for k in range(n):
+        d = r[k, k]
+        if d <= 0.0 or not np.isfinite(d):
+            raise np.linalg.LinAlgError(
+                f"matrix not positive definite at pivot {k} (value {d:.3e})"
+            )
+        d = np.sqrt(d)
+        r[k, k] = d
+        if k + 1 < n:
+            r[k, k + 1 :] /= d
+            # Trailing update: G' = G - r_k^T r_k on the upper triangle.
+            r[k + 1 :, k + 1 :] -= np.outer(r[k, k + 1 :], r[k, k + 1 :])
+    return np.triu(r)
+
+
+def cholesky_qr(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """CholeskyQR: ``R = chol(A^T A)``, ``Q = A R^{-1}``.
+
+    One GEMM + one small Cholesky + one triangular solve — the fastest
+    QR on parallel hardware, but ``||Q^T Q - I||`` grows like
+    ``cond(A)^2 * eps``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] < a.shape[1]:
+        raise KernelError(f"cholesky_qr needs a tall matrix, got {a.shape}")
+    r = cholesky_factor(a.T @ a)
+    # Q = A R^-1 via a from-scratch forward sweep on R^T x^T = A^T.
+    q = _solve_upper_from_right(a, r)
+    return q, r
+
+
+def cholesky_qr2(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """CholeskyQR2: run CholeskyQR twice and merge the R factors.
+
+    The second pass orthonormalizes the first pass's Q, recovering
+    Householder-level orthogonality whenever the first pass does not
+    outright fail (cond(A) below ~1e8 in double precision).
+    """
+    q1, r1 = cholesky_qr(a)
+    q2, r2 = cholesky_qr(q1)
+    return q2, r2 @ r1
+
+
+def _solve_upper_from_right(a: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """Compute ``A @ R^{-1}`` column block by column block."""
+    n = r.shape[0]
+    q = np.array(a, dtype=np.float64, copy=True)
+    for j in range(n):
+        q[:, j] -= q[:, :j] @ r[:j, j]
+        q[:, j] /= r[j, j]
+    return q
+
+
+def modified_gram_schmidt(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Modified Gram-Schmidt QR (column-by-column re-orthogonalization).
+
+    Loses orthogonality like ``cond(A) * eps`` — between Householder
+    (cond-independent) and CholeskyQR (cond^2).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] < a.shape[1]:
+        raise KernelError(f"modified_gram_schmidt needs a tall matrix, got {a.shape}")
+    m, n = a.shape
+    q = a.copy()
+    r = np.zeros((n, n))
+    for k in range(n):
+        r[k, k] = np.linalg.norm(q[:, k])
+        if r[k, k] == 0.0:
+            raise np.linalg.LinAlgError(f"rank deficiency at column {k}")
+        q[:, k] /= r[k, k]
+        if k + 1 < n:
+            r[k, k + 1 :] = q[:, k] @ q[:, k + 1 :]
+            q[:, k + 1 :] -= np.outer(q[:, k], r[k, k + 1 :])
+    return q, r

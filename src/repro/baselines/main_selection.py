@@ -1,0 +1,87 @@
+"""Alternative main-device policies (paper Fig. 9).
+
+The paper compares Alg. 2's choice (GTX580) against forcing the GTX680,
+forcing the CPU, and a "no specific main computing device" mode where
+every GPU triangulates/eliminates its own columns.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_TILE_SIZE
+from ..core.distribution import guide_for_participants
+from ..core.device_count import order_by_update_speed
+from ..core.plan import DistributionPlan
+from ..devices.registry import SystemSpec
+from ..errors import PlanError
+
+
+def forced_main_plan(
+    system: SystemSpec,
+    main_device: str,
+    grid_rows: int,
+    grid_cols: int,
+    tile_size: int = DEFAULT_TILE_SIZE,
+    participants: list[str] | None = None,
+    main_updates: str = "residual",
+) -> DistributionPlan:
+    """A full-participation plan with an explicitly chosen main device."""
+    if main_device not in system.device_ids:
+        raise PlanError(f"unknown device {main_device!r}")
+    if participants is None:
+        ordered = order_by_update_speed(system, main_device, tile_size)
+    else:
+        ordered = list(participants)
+        if main_device not in ordered:
+            raise PlanError("main device must participate")
+    _ratio, guide = guide_for_participants(
+        system, ordered, main_device, grid_rows, grid_cols, tile_size,
+        main_updates=main_updates,
+    )
+    return DistributionPlan(
+        system=system,
+        main_device=main_device,
+        participants=tuple(ordered),
+        guide_array=tuple(guide),
+        tile_size=tile_size,
+        notes={"policy": f"forced-main:{main_device}"},
+    )
+
+
+def no_main_plan(
+    system: SystemSpec,
+    grid_rows: int,
+    grid_cols: int,
+    tile_size: int = DEFAULT_TILE_SIZE,
+    gpus_only_panels: bool = True,
+) -> DistributionPlan:
+    """The Fig. 9 "None" baseline: panels follow column ownership.
+
+    Every device triangulates and eliminates the panels of columns it
+    owns, so the panel chain migrates around the machine and each
+    device's updates compete with its own panel work.  Following the
+    paper ("all GPUs process their own triangulation and elimination"),
+    panel-capable columns go to GPUs only by default — a CPU panel chain
+    would dominate everything it owns.
+    """
+    gpus = [d.device_id for d in system.gpus()]
+    if not gpus:
+        gpus_only_panels = False
+    owners = gpus if gpus_only_panels else list(system.device_ids)
+    if not owners:
+        raise PlanError("system has no devices to own columns")
+    lead = owners[0]
+    _ratio, guide = guide_for_participants(
+        system, owners, lead, grid_rows, grid_cols, tile_size,
+        main_updates="always",  # nobody is special in this mode
+    )
+    return DistributionPlan(
+        system=system,
+        main_device=lead,  # owner of column 0; panels follow columns
+        participants=tuple(dict.fromkeys([*owners, *system.device_ids]))
+        if not gpus_only_panels
+        else tuple(owners),
+        guide_array=tuple(guide),
+        tile_size=tile_size,
+        panel_follows_column=True,
+        notes={"policy": "no-main"},
+    )

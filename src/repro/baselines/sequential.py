@@ -1,0 +1,30 @@
+"""Sequential dense Householder QR — the non-tiled reference.
+
+Used in tests as a numerical oracle (same algorithm family, no tiling)
+and in reports as the single-slot time reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dag.tasks import Step
+from ..devices.model import DeviceSpec
+from ..kernels.flops import flops_dense_qr
+from ..kernels.householder import householder_qr
+
+
+def sequential_qr(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Dense Householder QR (paper Algorithm 1): ``A = Q R``."""
+    return householder_qr(np.asarray(a, dtype=np.float64))
+
+
+def sequential_time_estimate(device: DeviceSpec, n: int, tile_size: int) -> float:
+    """Modelled time for one slot of ``device`` to factor ``n x n``
+    running the dense algorithm at its update-kernel rate.
+
+    A coarse lower-bound reference: dense QR flops divided by the
+    device's UE-rate (its best sustained GEMM-like rate).
+    """
+    rate = device.timing.rates_flops[Step.UE]
+    return flops_dense_qr(n) / rate

@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro`` / ``tiledqr``.
+
+Subcommands:
+
+* ``experiment <id>`` — regenerate any paper table/figure
+  (``table1 fig3 fig4 fig5 fig6 fig8 fig9 fig10 table3`` plus the
+  ablations).
+* ``plan <n>`` — print the optimized distribution plan for an n x n
+  matrix on the paper testbed.
+* ``factorize <n>`` — run a real numeric tiled QR and report the
+  residual plus the simulated heterogeneous-system time.
+* ``list`` — list available experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_list(_args) -> int:
+    from .experiments import ALL_EXPERIMENTS
+
+    print("available experiments:")
+    for name, mod in ALL_EXPERIMENTS.items():
+        doc = (mod.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:22s} {doc}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .experiments import ALL_EXPERIMENTS
+
+    if args.id == "all":
+        names = list(ALL_EXPERIMENTS)
+    elif args.id in ALL_EXPERIMENTS:
+        names = [args.id]
+    else:
+        print(f"unknown experiment {args.id!r}; try 'list'", file=sys.stderr)
+        return 2
+    collected = []
+    for name in names:
+        result = ALL_EXPERIMENTS[name].run(quick=args.quick)
+        print(result.to_text())
+        print()
+        collected.append(
+            {
+                "name": result.name,
+                "title": result.title,
+                "headers": result.headers,
+                "rows": [[_jsonable(v) for v in row] for row in result.rows],
+                "paper_expectation": result.paper_expectation,
+                "observations": result.observations,
+            }
+        )
+    if args.out:
+        path = Path(args.out)
+        path.write_text(json.dumps(collected, indent=1))
+        print(f"results written to {path}")
+    return 0
+
+
+def _jsonable(v):
+    import numpy as np
+
+    if isinstance(v, (np.integer,)):
+        return int(v)
+    if isinstance(v, (np.floating,)):
+        return float(v)
+    return v if isinstance(v, (int, float, str, bool, type(None))) else str(v)
+
+
+def _cmd_plan(args) -> int:
+    from .core.optimizer import Optimizer
+    from .devices.registry import paper_testbed
+
+    system = paper_testbed()
+    opt = Optimizer(system)
+    plan = opt.plan(matrix_size=args.n, tile_size=args.tile_size)
+    print(system.describe(args.tile_size))
+    print()
+    print(plan.describe())
+    print(f"Alg. 3 prediction (p*, per-p Top+Tcomm):")
+    for row in plan.notes["predicted"]:
+        marker = " <-- selected" if row.num_devices == plan.num_devices else ""
+        print(
+            f"  p={row.num_devices}: Top={row.t_op*1e3:.3f} ms "
+            f"Tcomm={row.t_comm*1e3:.3f} ms total={row.total*1e3:.3f} ms{marker}"
+        )
+    return 0
+
+
+def _cmd_factorize(args) -> int:
+    from .core.executor import TiledQR
+    from .devices.registry import paper_testbed
+    from .utils import frobenius_relative_error
+
+    if args.n > 2048:
+        print("numeric factorization is NumPy-bound; use n <= 2048", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    a = rng.standard_normal((args.n, args.n))
+    qr = TiledQR(paper_testbed())
+    run = qr.factorize(a, tile_size=args.tile_size)
+    fact = run.factorization
+    err = frobenius_relative_error(fact.apply_q(fact.r_dense()), a)
+    print(run.plan.describe())
+    print(f"numeric: ||A - QR||/||A|| = {err:.3e}")
+    print(f"simulated heterogeneous makespan: {run.report.makespan*1e3:.3f} ms")
+    print(f"simulated communication share: {run.report.comm_fraction*100:.1f}%")
+    return 0
+
+
+def _cmd_gantt(args) -> int:
+    from .comm.topology import pcie_star
+    from .core.optimizer import Optimizer
+    from .dag import build_dag
+    from .devices.registry import paper_testbed
+    from .sim.engine import DiscreteEventSimulator
+    from .sim.gantt import ascii_gantt, to_chrome_trace
+
+    if args.n > 1600:
+        print("gantt uses the task-level simulator; use n <= 1600", file=sys.stderr)
+        return 2
+    system = paper_testbed()
+    topology = pcie_star(system.devices)
+    opt = Optimizer(system, topology)
+    plan = opt.plan(matrix_size=args.n, tile_size=args.tile_size)
+    grid = -(-args.n // plan.tile_size)
+    dag = build_dag(grid, grid)
+    trace = DiscreteEventSimulator(system, topology).run(dag, plan)
+    print(plan.describe())
+    print()
+    print(ascii_gantt(trace, width=args.width))
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(to_chrome_trace(trace))
+        print(f"\nChrome trace written to {args.out}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .experiments.report import generate_report
+
+    out = generate_report(args.out, quick=not args.full, only=args.only)
+    print(f"report written to {out}")
+    return 0
+
+
+def _cmd_selfcheck(_args) -> int:
+    from .selfcheck import run_selfcheck
+
+    print("repro self-check:")
+    ok = run_selfcheck(verbose=True)
+    print("all checks passed" if ok else "SELF-CHECK FAILED", flush=True)
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tiledqr",
+        description="Tiled QR on a modelled CPU+GPU system (ICPP'13 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiments")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_exp = sub.add_parser("experiment", help="run a paper experiment")
+    p_exp.add_argument("id", help="experiment id (or 'all')")
+    p_exp.add_argument("--quick", action="store_true", help="reduced sweeps")
+    p_exp.add_argument("--out", help="write results JSON to this path")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_plan = sub.add_parser("plan", help="show the optimized plan for n x n")
+    p_plan.add_argument("n", type=int)
+    p_plan.add_argument("--tile-size", type=int, default=16)
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_fact = sub.add_parser("factorize", help="numeric tiled QR of a random matrix")
+    p_fact.add_argument("n", type=int)
+    p_fact.add_argument("--tile-size", type=int, default=16)
+    p_fact.add_argument("--seed", type=int, default=0)
+    p_fact.set_defaults(func=_cmd_factorize)
+
+    p_gantt = sub.add_parser("gantt", help="ASCII Gantt of a simulated run")
+    p_gantt.add_argument("n", type=int)
+    p_gantt.add_argument("--tile-size", type=int, default=16)
+    p_gantt.add_argument("--width", type=int, default=100)
+    p_gantt.add_argument("--out", help="also write a Chrome trace JSON here")
+    p_gantt.set_defaults(func=_cmd_gantt)
+
+    p_check = sub.add_parser("selfcheck", help="quick install sanity battery")
+    p_check.set_defaults(func=_cmd_selfcheck)
+
+    p_rep = sub.add_parser("report", help="regenerate the full evaluation as markdown")
+    p_rep.add_argument("--out", default="results/report.md")
+    p_rep.add_argument("--full", action="store_true", help="paper-scale sweeps")
+    p_rep.add_argument("--only", nargs="*", help="experiment ids to include")
+    p_rep.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""Multi-node extension (paper Sec. VIII future work).
+
+The paper's policies consume only device kernel-time models and link
+speeds, so extending them to "a multi node environment" is a topology
+exercise: a cluster is nodes of devices joined by a network link, and
+the flattened system feeds the unchanged Optimizer — Alg. 3's
+``Tcomm`` then decides for itself whether remote devices pay off.
+"""
+
+from .spec import NodeSpec, ClusterSpec
+from .topology import cluster_topology
+
+__all__ = ["NodeSpec", "ClusterSpec", "cluster_topology"]

@@ -1,0 +1,73 @@
+"""Cluster specifications: nodes of devices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.model import DeviceSpec
+from ..devices.registry import SystemSpec
+from ..errors import DeviceError
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One machine: a named collection of devices sharing a PCIe root.
+
+    Device ids are namespaced as ``<node>/<device>`` when the cluster is
+    flattened, so identical nodes can coexist.
+    """
+
+    name: str
+    devices: tuple[DeviceSpec, ...]
+
+    def __post_init__(self):
+        if not self.devices:
+            raise DeviceError(f"node {self.name!r} needs at least one device")
+        if "/" in self.name:
+            raise DeviceError(f"node name {self.name!r} may not contain '/'")
+
+    def namespaced_devices(self) -> list[DeviceSpec]:
+        return [d.rename(f"{self.name}/{d.device_id}") for d in self.devices]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A set of nodes joined by a network.
+
+    Attributes
+    ----------
+    name:
+        Cluster label.
+    nodes:
+        The member nodes; names must be unique.
+    """
+
+    name: str
+    nodes: tuple[NodeSpec, ...]
+
+    def __post_init__(self):
+        if not self.nodes:
+            raise DeviceError("cluster needs at least one node")
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise DeviceError(f"duplicate node names in cluster: {names}")
+
+    def flatten(self) -> SystemSpec:
+        """All devices as one SystemSpec with node-prefixed ids."""
+        devices: list[DeviceSpec] = []
+        for node in self.nodes:
+            devices.extend(node.namespaced_devices())
+        return SystemSpec(name=self.name, devices=tuple(devices))
+
+    def node_of(self, device_id: str) -> str:
+        """Node name owning a namespaced device id."""
+        if "/" not in device_id:
+            raise DeviceError(f"device id {device_id!r} is not node-namespaced")
+        node = device_id.split("/", 1)[0]
+        if node not in [n.name for n in self.nodes]:
+            raise DeviceError(f"unknown node {node!r} in cluster {self.name!r}")
+        return node
+
+    @property
+    def total_cores(self) -> int:
+        return sum(sum(d.cores for d in n.devices) for n in self.nodes)

@@ -1,0 +1,57 @@
+"""Hierarchical cluster topology: PCIe inside nodes, a network between.
+
+Intra-node pairs follow the paper's Fig. 1 star (see
+:func:`repro.comm.topology.pcie_star`); inter-node pairs pay the
+network, staged through both hosts (device -> host -> NIC -> host ->
+device), which adds the PCIe hop latencies on top of the wire.
+"""
+
+from __future__ import annotations
+
+from ..comm.link import Link
+from ..comm.topology import (
+    DEFAULT_PCIE_BANDWIDTH,
+    DEFAULT_PCIE_LATENCY,
+    Topology,
+    pcie_star,
+)
+from ..devices.model import DeviceKind
+from .spec import ClusterSpec
+
+#: 2012-era cluster interconnect defaults (QDR InfiniBand-ish).
+DEFAULT_NETWORK_BANDWIDTH = 3.0e9  # bytes/s
+DEFAULT_NETWORK_LATENCY = 120.0e-6  # seconds per message, end to end
+
+
+def cluster_topology(
+    cluster: ClusterSpec,
+    pcie_bandwidth: float = DEFAULT_PCIE_BANDWIDTH,
+    pcie_latency: float = DEFAULT_PCIE_LATENCY,
+    network_bandwidth: float = DEFAULT_NETWORK_BANDWIDTH,
+    network_latency: float = DEFAULT_NETWORK_LATENCY,
+) -> Topology:
+    """Build the full pairwise topology for a cluster."""
+    links = {}
+    node_devs = {n.name: n.namespaced_devices() for n in cluster.nodes}
+
+    # Intra-node: reuse the paper's PCIe star per node.
+    for devs in node_devs.values():
+        links.update(pcie_star(devs, pcie_bandwidth, pcie_latency).links)
+
+    # Inter-node: wire + the PCIe hops on both ends for non-CPU devices.
+    eff_bw = min(network_bandwidth, pcie_bandwidth)
+    for src_node, src_devs in node_devs.items():
+        for dst_node, dst_devs in node_devs.items():
+            if src_node == dst_node:
+                continue
+            for a in src_devs:
+                for b in dst_devs:
+                    hops = 1
+                    hops += a.kind is not DeviceKind.CPU
+                    hops += b.kind is not DeviceKind.CPU
+                    links[(a.device_id, b.device_id)] = Link(
+                        bandwidth_bytes_per_s=eff_bw,
+                        latency_s=network_latency
+                        + (hops - 1) * pcie_latency,
+                    )
+    return Topology(links=links)

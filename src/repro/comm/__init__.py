@@ -1,0 +1,6 @@
+"""Communication model: PCIe links and the host-centric topology."""
+
+from .link import Link
+from .topology import Topology, pcie_star
+
+__all__ = ["Link", "Topology", "pcie_star"]

@@ -1,0 +1,49 @@
+"""Point-to-point link model: latency + bandwidth.
+
+The paper's Eq. 11 uses a scalar ``speed(x, y)``; real PCIe transfers of
+the small per-tile payloads involved here are latency dominated, so the
+model is affine: ``t(bytes) = latency + bytes / bandwidth``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TopologyError
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link between two devices.
+
+    Attributes
+    ----------
+    bandwidth_bytes_per_s:
+        Sustained transfer bandwidth.
+    latency_s:
+        Fixed per-message cost (driver call, DMA setup, sync).
+    """
+
+    bandwidth_bytes_per_s: float
+    latency_s: float = 0.0
+
+    def __post_init__(self):
+        if self.bandwidth_bytes_per_s <= 0:
+            raise TopologyError("link bandwidth must be positive")
+        if self.latency_s < 0:
+            raise TopologyError("link latency must be non-negative")
+
+    def transfer_time(self, num_bytes: float, messages: int = 1) -> float:
+        """Seconds to move ``num_bytes`` in ``messages`` transfers."""
+        if num_bytes < 0:
+            raise TopologyError(f"negative byte count {num_bytes}")
+        if messages < 1:
+            raise TopologyError(f"need at least one message, got {messages}")
+        return messages * self.latency_s + num_bytes / self.bandwidth_bytes_per_s
+
+    def effective_speed(self, num_bytes: float) -> float:
+        """Achieved bytes/s for one message of ``num_bytes`` — the
+        paper's ``speed(x, y)`` for a given payload."""
+        if num_bytes <= 0:
+            raise TopologyError("effective speed needs a positive payload")
+        return num_bytes / self.transfer_time(num_bytes)

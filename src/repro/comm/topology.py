@@ -1,0 +1,97 @@
+"""System interconnect topology.
+
+The paper's node (Fig. 1) is a host-centric star: every GPU hangs off
+PCI express; CPUs share main memory (infinite-speed "link" to
+themselves and each other), and GPU-to-GPU traffic is staged through
+host memory (two hops — the paper's manager thread "migrates dependent
+data among the devices", Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import math
+
+from ..errors import TopologyError
+from ..devices.model import DeviceKind, DeviceSpec
+from .link import Link
+
+#: Defaults for a 2012-era PCIe 2.0 x16 node with pinned-memory copies.
+DEFAULT_PCIE_BANDWIDTH = 6.0e9  # bytes/s
+DEFAULT_PCIE_LATENCY = 50.0e-6  # seconds per message
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Pairwise link lookup over a set of device ids.
+
+    Attributes
+    ----------
+    links:
+        ``(src, dst) -> Link``.  Missing same-device pairs are treated as
+        infinite-speed local moves (the paper's ``speed(x, y) = inf`` if
+        ``x == y``).
+    """
+
+    links: dict[tuple[str, str], Link] = field(default_factory=dict)
+
+    def link(self, src: str, dst: str) -> Link | None:
+        """The link for ``src -> dst``; ``None`` means a free local move."""
+        if src == dst:
+            return None
+        try:
+            return self.links[(src, dst)]
+        except KeyError:
+            raise TopologyError(f"no link from {src!r} to {dst!r}") from None
+
+    def transfer_time(self, src: str, dst: str, num_bytes: float, messages: int = 1) -> float:
+        """Seconds to move ``num_bytes``; zero for a same-device move."""
+        lk = self.link(src, dst)
+        if lk is None:
+            return 0.0
+        return lk.transfer_time(num_bytes, messages)
+
+    def speed(self, src: str, dst: str, payload_bytes: float | None = None) -> float:
+        """The paper's ``speed(x, y)``: bytes/s, ``inf`` when ``x == y``.
+
+        For an affine link the achieved speed depends on the payload;
+        pass ``payload_bytes`` for the latency-inclusive value or omit it
+        for the raw bandwidth.
+        """
+        lk = self.link(src, dst)
+        if lk is None:
+            return math.inf
+        if payload_bytes is None:
+            return lk.bandwidth_bytes_per_s
+        return lk.effective_speed(payload_bytes)
+
+
+def pcie_star(
+    devices: list[DeviceSpec] | tuple[DeviceSpec, ...],
+    bandwidth: float = DEFAULT_PCIE_BANDWIDTH,
+    latency: float = DEFAULT_PCIE_LATENCY,
+) -> Topology:
+    """Build the paper's Fig. 1 host-centric star for the given devices.
+
+    * CPU <-> CPU: shared main memory, modelled as a negligible-latency,
+      very-high-bandwidth link.
+    * CPU <-> GPU: one PCIe hop.
+    * GPU <-> GPU: staged through the host — double latency, half
+      effective bandwidth.
+    """
+    links: dict[tuple[str, str], Link] = {}
+    host_link = Link(bandwidth_bytes_per_s=50.0e9, latency_s=1.0e-6)
+    pcie = Link(bandwidth_bytes_per_s=bandwidth, latency_s=latency)
+    via_host = Link(bandwidth_bytes_per_s=bandwidth / 2.0, latency_s=2.0 * latency)
+    for a in devices:
+        for b in devices:
+            if a.device_id == b.device_id:
+                continue
+            if a.kind is DeviceKind.CPU and b.kind is DeviceKind.CPU:
+                lk = host_link
+            elif a.kind is DeviceKind.CPU or b.kind is DeviceKind.CPU:
+                lk = pcie
+            else:
+                lk = via_host
+            links[(a.device_id, b.device_id)] = lk
+    return Topology(links=links)

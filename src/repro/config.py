@@ -1,0 +1,70 @@
+"""Global configuration defaults for the tiled QR reproduction.
+
+The paper fixes a handful of constants for its evaluation; they are
+collected here so experiments, tests and benchmarks agree on them.
+
+Attributes
+----------
+DEFAULT_TILE_SIZE
+    The paper uses 16x16 tiles ("we use 16 by 16 because the number of
+    cores of the CPU and GPUs are the power of 2", Sec. V).
+DEFAULT_DTYPE
+    The paper generates "random floating point numbers"; single precision
+    on 2013 GeForce hardware.  We default to float64 for the numeric
+    kernels (tests are tighter) but the *cost models* use
+    ``ELEMENT_SIZE_BYTES = 4`` to match the paper's transfer volumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import ConfigError
+
+#: Tile edge length used throughout the paper's evaluation.
+DEFAULT_TILE_SIZE: int = 16
+
+#: dtype used by the numeric kernels unless the caller overrides it.
+DEFAULT_DTYPE = np.float64
+
+#: size(element) in Eq. 11 — the paper transfers single-precision floats.
+ELEMENT_SIZE_BYTES: int = 4
+
+#: Default RNG seed so experiments are reproducible end to end.
+DEFAULT_SEED: int = 20130742  # ICPP 2013, paper page 744
+
+#: Relative Frobenius-norm tolerance for float64 reconstruction tests.
+RECONSTRUCTION_RTOL_F64: float = 1e-10
+
+#: Relative tolerance used when the kernels run in float32.
+RECONSTRUCTION_RTOL_F32: float = 1e-4
+
+
+def validate_tile_size(tile_size: int) -> int:
+    """Validate a tile edge length and return it.
+
+    Parameters
+    ----------
+    tile_size:
+        Requested tile edge length (tiles are square).
+
+    Raises
+    ------
+    ConfigError
+        If ``tile_size`` is not a positive integer.
+    """
+    if not isinstance(tile_size, (int, np.integer)) or isinstance(tile_size, bool):
+        raise ConfigError(f"tile size must be an int, got {tile_size!r}")
+    if tile_size < 1:
+        raise ConfigError(f"tile size must be >= 1, got {tile_size}")
+    return int(tile_size)
+
+
+def reconstruction_rtol(dtype) -> float:
+    """Return the reconstruction tolerance appropriate for ``dtype``."""
+    dtype = np.dtype(dtype)
+    if dtype == np.float32:
+        return RECONSTRUCTION_RTOL_F32
+    if dtype == np.float64:
+        return RECONSTRUCTION_RTOL_F64
+    raise ConfigError(f"unsupported dtype for QR kernels: {dtype}")

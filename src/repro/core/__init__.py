@@ -1,0 +1,38 @@
+"""The paper's contribution: optimized tile distribution for tiled QR.
+
+Three cooperating policies (paper Sec. IV):
+
+1. :mod:`repro.core.main_device` — select the *main computing device*
+   that runs the triangulation/elimination critical path (Alg. 2).
+2. :mod:`repro.core.device_count` — pick how many devices participate by
+   minimizing ``Top(p) + Tcomm(p)`` (Alg. 3, Eqs. 10-11).
+3. :mod:`repro.core.guide_array` + :mod:`repro.core.distribution` — build
+   the cyclic *distribution guide array* from integer update-throughput
+   ratios and map tile columns to devices (Alg. 4, Eq. 12).
+
+:class:`repro.core.optimizer.Optimizer` chains all three into a
+:class:`repro.core.plan.DistributionPlan`, which the simulator and the
+executor consume.
+"""
+
+from .plan import DistributionPlan
+from .guide_array import integer_ratio, build_guide_array
+from .main_device import select_main_device, main_device_candidates
+from .device_count import PredictedTime, predicted_times, select_num_devices
+from .distribution import ColumnDistribution
+from .optimizer import Optimizer
+from .executor import TiledQR
+
+__all__ = [
+    "DistributionPlan",
+    "integer_ratio",
+    "build_guide_array",
+    "select_main_device",
+    "main_device_candidates",
+    "PredictedTime",
+    "predicted_times",
+    "select_num_devices",
+    "ColumnDistribution",
+    "Optimizer",
+    "TiledQR",
+]

@@ -1,0 +1,190 @@
+"""Number-of-devices optimization (paper Alg. 3, Eqs. 10-11).
+
+More devices buy update parallelism but cost broadcast bandwidth; the
+paper predicts both terms for the *first iteration* (the trend of later
+iterations is proportional) and picks the prefix of the update-speed-
+ordered device list minimizing ``T(p) = Top(p) + Tcomm(p)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..comm.topology import Topology
+from ..config import ELEMENT_SIZE_BYTES
+from ..dag.tasks import Step
+from ..devices.registry import SystemSpec
+from ..errors import PlanError
+from .distribution import guide_for_participants
+
+
+@dataclass(frozen=True)
+class PredictedTime:
+    """One row of the paper's Table III prediction.
+
+    Attributes
+    ----------
+    num_devices:
+        ``p`` — how many devices (from the head of the ordered list).
+    t_op:
+        Eq. 10's parallel-operation term, seconds.
+    t_comm:
+        Eq. 11's communication term, seconds.
+    """
+
+    num_devices: int
+    t_op: float
+    t_comm: float
+
+    @property
+    def total(self) -> float:
+        return self.t_op + self.t_comm
+
+
+def order_by_update_speed(system: SystemSpec, main_device: str, tile_size: int) -> list[str]:
+    """Alg. 3 lines 6-7: descending update speed, main device first."""
+    ids = sorted(
+        (d.device_id for d in system),
+        key=lambda i: -system.device(i).update_throughput(tile_size),
+    )
+    ids.remove(main_device)
+    return [main_device, *ids]
+
+
+def _first_iteration_tile_shares(
+    system: SystemSpec,
+    ordered: list[str],
+    p: int,
+    grid_rows: int,
+    grid_cols: int,
+    tile_size: int,
+    main_updates: str = "residual",
+) -> tuple[dict[str, int], list[str]]:
+    """``#tile(i)``: update tiles each of the first ``p`` devices gets.
+
+    Uses the same guide-array distribution the real run will use: the
+    columns ``1..N-1`` of the first iteration go to devices cyclically,
+    and each column carries ``M`` tiles to update.
+    """
+    chosen = ordered[:p]
+    _ratio, guide = guide_for_participants(
+        system, chosen, ordered[0], grid_rows, grid_cols, tile_size,
+        main_updates=main_updates,
+    )
+    shares = {d: 0 for d in chosen}
+    for j in range(1, grid_cols):
+        shares[guide[j % len(guide)]] += grid_rows
+    return shares, guide
+
+
+def predicted_times(
+    system: SystemSpec,
+    main_device: str,
+    grid_rows: int,
+    grid_cols: int,
+    tile_size: int,
+    topology: Topology,
+    element_size: int = ELEMENT_SIZE_BYTES,
+    main_updates: str = "residual",
+    horizon: str = "total",
+) -> list[PredictedTime]:
+    """Evaluate ``Top(p) + Tcomm(p)`` for every prefix size ``p``.
+
+    Follows Alg. 3: devices ordered by update speed with the main device
+    at the head; for each ``p`` the operation term is the slowest
+    device's workload (Eq. 10) and the communication term sums the
+    factor broadcasts plus the next-panel column transfer (Eq. 11).
+
+    Parameters
+    ----------
+    horizon:
+        ``"first"`` evaluates the paper's literal first-iteration
+        formulas; ``"total"`` (default) sums the same per-iteration
+        formulas over every panel — the paper argues the first
+        iteration's trend carries over, and the summed variant makes the
+        prediction's crossovers line up with full executions at small
+        sizes, where later (cheaper) iterations dilute the fixed
+        per-iteration communication cost.
+    """
+    if grid_rows < 1 or grid_cols < 1:
+        raise PlanError(f"grid must be at least 1x1, got {grid_rows}x{grid_cols}")
+    if horizon not in ("first", "total"):
+        raise PlanError(f"horizon must be 'first' or 'total', got {horizon!r}")
+    ordered = order_by_update_speed(system, main_device, tile_size)
+    tile_bytes = tile_size * tile_size * element_size
+    panels = range(min(grid_rows, grid_cols)) if horizon == "total" else range(1)
+    out: list[PredictedTime] = []
+    for p in range(1, len(ordered) + 1):
+        shares0, guide = _first_iteration_tile_shares(
+            system, ordered, p, grid_rows, grid_cols, tile_size, main_updates
+        )
+        total_share0 = sum(shares0.values()) or 1
+        frac = {i: shares0[i] / total_share0 for i in ordered[:p]}
+        t_op_sum = 0.0
+        t_comm_sum = 0.0
+        for k in panels:
+            m_k = grid_rows - k
+            n_k = grid_cols - k
+            pool = m_k * max(n_k - 1, 0)
+            # --- Eq. 10: parallel operation time -------------------------
+            t_op = 0.0
+            for i in ordered[:p]:
+                dev = system.device(i)
+                if horizon == "first":
+                    # Paper-literal Eq. 10: every distributed tile is
+                    # charged one UT plus one UE.
+                    upd = frac[i] * pool * dev.effective_update_time(tile_size)
+                    panel = m_k * (
+                        dev.time(Step.T, tile_size) + dev.time(Step.E, tile_size)
+                    )
+                else:
+                    # Exact step counts: an owned column takes one UT and
+                    # M_k - 1 UEs, spread over the device's slots.
+                    per_col = (
+                        dev.time(Step.UT, tile_size)
+                        + (m_k - 1) * dev.time(Step.UE, tile_size)
+                    ) / dev.slots
+                    upd = frac[i] * max(n_k - 1, 0) * per_col
+                    panel = dev.panel_chain_time(m_k, tile_size)
+                if i == main_device:
+                    t_op = max(t_op, panel + upd)
+                else:
+                    t_op = max(t_op, upd)
+            # --- Eq. 11: communication time ------------------------------
+            t_comm = 0.0
+            for i in ordered[:p]:
+                # Factor broadcasts: M T^2 after triangulation + 2 M T^2
+                # after elimination, as two messages.
+                t_comm += topology.transfer_time(
+                    main_device, i, 3 * m_k * tile_bytes, messages=2
+                )
+            if n_k > 1 and p > 1:
+                # Next-panel column comes back from its owner j to the main.
+                j_owner = guide[(k + 1) % len(guide)]
+                t_comm += topology.transfer_time(
+                    j_owner, main_device, max(m_k - 1, 0) * tile_bytes, messages=1
+                )
+            t_op_sum += t_op
+            t_comm_sum += t_comm
+        out.append(PredictedTime(num_devices=p, t_op=t_op_sum, t_comm=t_comm_sum))
+    return out
+
+
+def select_num_devices(
+    system: SystemSpec,
+    main_device: str,
+    grid_rows: int,
+    grid_cols: int,
+    tile_size: int,
+    topology: Topology,
+    element_size: int = ELEMENT_SIZE_BYTES,
+    main_updates: str = "residual",
+    horizon: str = "total",
+) -> tuple[int, list[PredictedTime]]:
+    """Alg. 3: the ``p`` minimizing ``Top + Tcomm``, plus the full table."""
+    table = predicted_times(
+        system, main_device, grid_rows, grid_cols, tile_size, topology,
+        element_size, main_updates, horizon,
+    )
+    best = min(table, key=lambda r: r.total)
+    return best.num_devices, table

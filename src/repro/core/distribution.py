@@ -1,0 +1,191 @@
+"""Column-to-device distribution bookkeeping (paper Sec. IV-C, Eq. 12).
+
+Wraps a :class:`repro.core.plan.DistributionPlan` with the per-panel
+accounting the simulators and Eq. 10 need: which columns (and how many
+update tiles) each device handles in iteration ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.registry import SystemSpec
+from ..errors import PlanError
+from .guide_array import build_guide_array, integer_ratio
+from .plan import DistributionPlan
+
+
+def _per_tile_update_cost(system: SystemSpec, device_id: str, m: int, tile_size: int) -> float:
+    """Achieved seconds per updated tile when a device sweeps whole
+    columns: one UT plus ``m - 1`` UEs over ``m`` tiles, spread across
+    its slots."""
+    from ..dag.tasks import Step
+
+    dev = system.device(device_id)
+    col = dev.time(Step.UT, tile_size) + max(m - 1, 0) * dev.time(Step.UE, tile_size)
+    return col / (max(m, 1) * dev.slots)
+
+
+def main_update_share(
+    system: SystemSpec,
+    participants: list[str] | tuple[str, ...],
+    main: str,
+    grid_rows: int,
+    grid_cols: int,
+    tile_size: int,
+) -> float:
+    """Optimal fraction of the update pool the main device should take.
+
+    The paper states the main device "can operate some of the update
+    processes if the computation time on the main computing device is a
+    lot faster" (Sec. IV-A).  This quantifies that sentence by balancing
+    the first iteration: the main device finishes its panel chain plus
+    its update share exactly when the other devices finish theirs,
+
+        chain + x * pool * c_main = (1 - x) * pool * c_others,
+
+    solved for ``x`` and clamped to ``[0, 1]``.  ``c_others`` is the
+    combined per-tile cost of the non-main participants.
+    """
+    others = [d for d in participants if d != main]
+    if not others:
+        return 1.0
+    m = grid_rows
+    c_main = _per_tile_update_cost(system, main, m, tile_size)
+    c_others = 1.0 / sum(
+        1.0 / _per_tile_update_cost(system, d, m, tile_size) for d in others
+    )
+    # Integrate over every panel: the chain shrinks linearly with the
+    # remaining rows while the update pool shrinks quadratically, so the
+    # whole-run balance differs from the first iteration's.
+    pool_total = 0.0
+    chain_total = 0.0
+    dev_main = system.device(main)
+    for k in range(min(grid_rows, grid_cols)):
+        m_k = grid_rows - k
+        pool_total += m_k * max(grid_cols - k - 1, 0)
+        chain_total += dev_main.panel_chain_time(m_k, tile_size)
+    if pool_total == 0.0:
+        return 0.0
+    x = (pool_total * c_others - chain_total) / (pool_total * (c_main + c_others))
+    return max(0.0, min(1.0, x))
+
+
+def guide_for_participants(
+    system: SystemSpec,
+    participants: list[str] | tuple[str, ...],
+    main: str,
+    grid_rows: int,
+    grid_cols: int,
+    tile_size: int,
+    main_updates: str = "residual",
+) -> tuple[dict[str, int], list[str]]:
+    """Integer ratio and guide array for a participant set (Alg. 4).
+
+    Parameters
+    ----------
+    main_updates:
+        ``"residual"`` (default) scales the main device's throughput by
+        its idle fraction (see :func:`main_residual_fraction`) and drops
+        it from the guide array when effectively saturated by panel
+        work; ``"always"`` uses raw update throughputs for every device
+        (the literal Alg. 4 reading).
+
+    Returns
+    -------
+    (ratio_by_device, guide_array)
+        ``ratio_by_device`` maps every participant to its integer weight
+        (0 when excluded from updates); the guide array cycles over
+        devices with positive weight.
+    """
+    participants = list(participants)
+    if main not in participants:
+        raise PlanError(f"main device {main!r} not among participants")
+    if main_updates not in ("residual", "always"):
+        raise PlanError(f"main_updates must be 'residual' or 'always', got {main_updates!r}")
+    thr = {d: system.device(d).update_throughput(tile_size) for d in participants}
+    if main_updates == "residual" and len(participants) > 1:
+        others = [d for d in participants if d != main]
+        x = main_update_share(
+            system, participants, main, grid_rows, grid_cols, tile_size
+        )
+        other_sum = sum(thr[d] for d in others)
+        # Weight main so it receives fraction x of the guide array.
+        thr[main] = (x / (1.0 - x)) * other_sum if x < 1.0 else other_sum * 1e6
+        others_min = min(thr[d] for d in others)
+        if thr[main] < 0.5 * others_min:
+            # Main is saturated by panel work; keep it out of the array.
+            ratio = integer_ratio([thr[d] for d in others])
+            guide = build_guide_array(ratio, others)
+            out = dict(zip(others, ratio))
+            out[main] = 0
+            return out, guide
+    updaters = participants
+    ratio = integer_ratio([thr[d] for d in updaters])
+    guide = build_guide_array(ratio, updaters)
+    return dict(zip(updaters, ratio)), guide
+
+
+@dataclass(frozen=True)
+class ColumnDistribution:
+    """Materialized ownership over a concrete ``p x q`` tile grid.
+
+    Attributes
+    ----------
+    plan:
+        The distribution plan being applied.
+    grid_rows, grid_cols:
+        Tile-grid shape.
+    """
+
+    plan: DistributionPlan
+    grid_rows: int
+    grid_cols: int
+
+    def __post_init__(self):
+        if self.grid_rows < 1 or self.grid_cols < 1:
+            raise PlanError(
+                f"grid must be at least 1x1, got {self.grid_rows}x{self.grid_cols}"
+            )
+
+    @property
+    def owners(self) -> list[str]:
+        """Owner of every tile column."""
+        return self.plan.owners(self.grid_cols)
+
+    def columns_of(self, device_id: str, start_col: int = 0) -> list[int]:
+        """Columns >= ``start_col`` owned by ``device_id``."""
+        return self.plan.columns_of(device_id, self.grid_cols, start_col)
+
+    def update_columns(self, device_id: str, k: int) -> list[int]:
+        """Columns device updates in panel ``k`` (strictly right of it)."""
+        return self.plan.columns_of(device_id, self.grid_cols, k + 1)
+
+    def update_tiles(self, device_id: str, k: int) -> int:
+        """``#tile(i)`` for panel ``k``: owned right-of-panel columns
+        times the panel height (each column has one UT row and M-1 UE
+        rows — the paper charges every tile one UT + one UE)."""
+        m = self.grid_rows - k
+        return len(self.update_columns(device_id, k)) * m
+
+    def tiles_per_device(self) -> dict[str, int]:
+        """Total update tiles per device over the whole factorization."""
+        out = {d: 0 for d in self.plan.participants}
+        for k in range(min(self.grid_rows, self.grid_cols)):
+            for d in self.plan.participants:
+                out[d] += self.update_tiles(d, k)
+        return out
+
+    def load_balance_summary(self, tile_size: int | None = None) -> dict[str, float]:
+        """Per-device share of total update *time* (uses device models).
+
+        A perfectly balanced plan gives every device an equal value; the
+        guide array approximates this by weighting column counts with
+        throughputs.
+        """
+        b = tile_size if tile_size is not None else self.plan.tile_size
+        total = self.tiles_per_device()
+        return {
+            d: total[d] * self.plan.system.device(d).effective_update_time(b)
+            for d in self.plan.participants
+        }

@@ -1,0 +1,101 @@
+"""The distribution guide array (paper Alg. 4).
+
+Devices get tile columns in proportion to how many tiles each can update
+per unit time.  The proportions are reduced to a small integer ratio and
+unrolled into a cyclic array by repeatedly emitting the device with the
+largest remaining ratio budget — the paper's example: throughputs
+``8 : 12 : 4`` reduce to ``2 : 3 : 1`` and unroll to ``{1, 0, 1, 0, 1, 2}``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import PlanError
+
+
+def integer_ratio(
+    throughputs: list[float],
+    max_error: float = 0.05,
+    max_sum: int = 64,
+) -> list[int]:
+    """Reduce update throughputs to a small integer ratio.
+
+    Throughputs are expressed relative to the smallest one and scaled by
+    the smallest integer multiplier whose rounding error stays below
+    ``max_error`` (so ``8 : 12 : 4`` reduces to ``2 : 3 : 1`` and
+    ``3 : 4 : 4`` is preferred over the 25%-off ``1 : 1 : 1``), subject
+    to the guide array staying short (``sum <= max_sum``).
+
+    Parameters
+    ----------
+    throughputs:
+        Tiles-per-unit-time per device (paper Alg. 4's GET_RATIO input).
+    max_error:
+        Acceptable worst-case relative rounding error.
+    max_sum:
+        Upper bound on the guide-array cycle length.
+
+    Returns
+    -------
+    list[int]
+        Positive integers, one per device (every device gets >= 1).
+    """
+    if not throughputs:
+        raise PlanError("need at least one throughput")
+    if any(t <= 0 or not math.isfinite(t) for t in throughputs):
+        raise PlanError(f"throughputs must be positive and finite, got {throughputs}")
+    base = min(throughputs)
+    rel = [t / base for t in throughputs]
+
+    def candidate(scale: int) -> tuple[list[int], float]:
+        ints = [max(1, round(v * scale)) for v in rel]
+        g = math.gcd(*ints)
+        ints = [v // g for v in ints]
+        err = max(abs(i / ints[rel.index(min(rel))] - v) / v for i, v in zip(ints, rel))
+        return ints, err
+
+    best: list[int] | None = None
+    best_err = math.inf
+    for scale in range(1, 9):
+        ints, err = candidate(scale)
+        if sum(ints) > max_sum:
+            continue
+        if err < best_err - 1e-12:
+            best, best_err = ints, err
+        if err <= max_error:
+            break
+    if best is None:  # every candidate exceeded max_sum; fall back
+        best, _ = candidate(1)
+    return best
+
+
+def build_guide_array(ratio: list[int], device_ids: list[str]) -> list[str]:
+    """Unroll an integer ratio into the cyclic guide array (Alg. 4).
+
+    Greedy: at each slot, emit the device with the maximum remaining
+    budget (ties broken toward the earlier device in ``device_ids``),
+    then decrement it.  This interleaves devices so that faster devices
+    appear earlier and more often — e.g. ratio ``[2, 3, 1]`` yields
+    ``[d1, d0, d1, d0, d1, d2]``.
+
+    Parameters
+    ----------
+    ratio:
+        Positive integer budget per device.
+    device_ids:
+        Device identifiers, aligned with ``ratio``.
+    """
+    if len(ratio) != len(device_ids):
+        raise PlanError(f"ratio/id length mismatch: {len(ratio)} vs {len(device_ids)}")
+    if not ratio:
+        raise PlanError("need at least one device")
+    if any(r < 1 for r in ratio):
+        raise PlanError(f"ratio values must be >= 1, got {ratio}")
+    budget = list(ratio)
+    out: list[str] = []
+    for _ in range(sum(ratio)):
+        best = max(range(len(budget)), key=lambda i: (budget[i], -i))
+        out.append(device_ids[best])
+        budget[best] -= 1
+    return out

@@ -1,0 +1,94 @@
+"""Main computing device selection (paper Alg. 2).
+
+The main device runs the low-parallelism critical path: one
+triangulation plus a sequential elimination chain per panel.  A device
+qualifies as a *candidate* when it can finish that panel work before the
+remaining devices finish the panel's update work — otherwise the
+updaters would sit idle waiting for factors.  Among candidates the
+paper picks the device with the *minimum* update speed: fast updaters
+are worth more doing updates (this is why the GTX580, not the faster
+GTX680, is chosen on the paper's testbed).
+"""
+
+from __future__ import annotations
+
+from ..dag.tasks import Step
+from ..devices.model import DeviceSpec
+from ..devices.registry import SystemSpec
+from ..errors import PlanError
+
+
+def _others_pool_time(
+    system: SystemSpec, exclude: str, num_tiles: float, tile_size: int, steps: tuple[Step, ...]
+) -> float:
+    """Time for all devices except ``exclude`` to chew through
+    ``num_tiles`` tiles, each costing the sum of ``steps``."""
+    rate = 0.0
+    for d in system:
+        if d.device_id == exclude:
+            continue
+        per_tile = sum(d.time(s, tile_size) for s in steps) / d.slots
+        rate += 1.0 / per_tile
+    if rate == 0.0:
+        return float("inf")
+    return num_tiles / rate
+
+
+def can_finish_t_before_ue(
+    device: DeviceSpec, system: SystemSpec, grid_rows: int, grid_cols: int, tile_size: int
+) -> bool:
+    """Alg. 2 line 3: device finishes the panel's triangulation before
+    the other devices finish the panel's elimination updates."""
+    ue_tiles = max(grid_rows - 1, 0) * max(grid_cols - 1, 0)
+    t_time = device.time(Step.T, tile_size)
+    return t_time <= _others_pool_time(
+        system, device.device_id, ue_tiles, tile_size, (Step.UE,)
+    )
+
+
+def can_finish_e_before_ut(
+    device: DeviceSpec, system: SystemSpec, grid_rows: int, grid_cols: int, tile_size: int
+) -> bool:
+    """Alg. 2 line 4: device finishes the panel's elimination chain
+    before the other devices finish the panel's full update pool."""
+    chain = (grid_rows - 1) * device.time(Step.E, tile_size)
+    pool = max(grid_rows - 1, 0) * max(grid_cols - 1, 0) + max(grid_cols - 1, 0)
+    return chain <= _others_pool_time(
+        system, device.device_id, pool, tile_size, (Step.UT, Step.UE)
+    )
+
+
+def main_device_candidates(
+    system: SystemSpec, grid_rows: int, grid_cols: int, tile_size: int
+) -> list[DeviceSpec]:
+    """Devices passing both of Alg. 2's feasibility checks, in system order."""
+    if grid_rows < 1 or grid_cols < 1:
+        raise PlanError(f"grid must be at least 1x1, got {grid_rows}x{grid_cols}")
+    out = []
+    for d in system:
+        if can_finish_t_before_ue(d, system, grid_rows, grid_cols, tile_size) and (
+            can_finish_e_before_ut(d, system, grid_rows, grid_cols, tile_size)
+        ):
+            out.append(d)
+    return out
+
+
+def select_main_device(
+    system: SystemSpec, grid_rows: int, grid_cols: int, tile_size: int
+) -> str:
+    """Pick the main computing device (paper Alg. 2).
+
+    Returns the candidate with the minimum update throughput; if no
+    device passes the feasibility checks (tiny grids, or a system of
+    one), falls back to the device with the fastest panel chain.
+    """
+    if len(system) == 1:
+        return system.devices[0].device_id
+    candidates = main_device_candidates(system, grid_rows, grid_cols, tile_size)
+    if candidates:
+        best = min(candidates, key=lambda d: d.update_throughput(tile_size))
+        return best.device_id
+    fallback = min(
+        system, key=lambda d: d.panel_chain_time(max(grid_rows, 1), tile_size)
+    )
+    return fallback.device_id

@@ -1,0 +1,212 @@
+"""Device-memory footprint analysis and out-of-core planning.
+
+The paper's conclusion (Sec. VIII) flags "a lack of memory problem ...
+for very large matrix sizes" as future work.  This module closes that
+gap at the modelling level:
+
+* :func:`plan_footprint` — bytes resident per device under a plan
+  (owned column tiles + the panel/broadcast working set);
+* :func:`check_memory` — feasibility against each device's capacity;
+* :func:`out_of_core_estimate` — a left-looking super-panel schedule:
+  columns are processed in passes narrow enough to fit, and the
+  reflector factors of earlier passes are re-streamed from host memory
+  for every later pass.  The estimate prices that extra traffic on the
+  host link and reports the slowdown versus the in-core run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..comm.topology import Topology
+from ..config import ELEMENT_SIZE_BYTES
+from ..errors import PlanError
+from .plan import DistributionPlan
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Per-device residency versus capacity.
+
+    Attributes
+    ----------
+    per_device_bytes:
+        Modelled resident bytes at the start of the factorization (the
+        peak for column ownership — panels only shrink).
+    capacities:
+        ``device -> bytes`` (``None`` = unconstrained).
+    """
+
+    per_device_bytes: dict[str, float]
+    capacities: dict[str, int | None]
+
+    @property
+    def feasible(self) -> bool:
+        return all(
+            cap is None or self.per_device_bytes[d] <= cap
+            for d, cap in self.capacities.items()
+        )
+
+    def utilization(self) -> dict[str, float]:
+        """Resident bytes / capacity (0 when unconstrained)."""
+        out = {}
+        for d, cap in self.capacities.items():
+            out[d] = 0.0 if not cap else self.per_device_bytes[d] / cap
+        return out
+
+    def tightest_device(self) -> str | None:
+        util = self.utilization()
+        if not util:
+            return None
+        dev = max(util, key=util.get)
+        return dev if util[dev] > 0 else None
+
+
+def plan_footprint(
+    plan: DistributionPlan,
+    grid_rows: int,
+    grid_cols: int,
+    element_size: int = ELEMENT_SIZE_BYTES,
+) -> dict[str, float]:
+    """Bytes resident per device under ``plan``.
+
+    Each device holds the tiles of its owned columns for all rows, plus
+    a factor working set: the main device buffers the current panel
+    column and its outgoing V/T factors (≈ 3 panel columns' worth); the
+    others buffer one incoming broadcast (3·M tiles).
+    """
+    if grid_rows < 1 or grid_cols < 1:
+        raise PlanError(f"grid must be at least 1x1, got {grid_rows}x{grid_cols}")
+    tile_bytes = plan.tile_size * plan.tile_size * element_size
+    out: dict[str, float] = {}
+    for d in plan.participants:
+        cols = len(plan.columns_of(d, grid_cols))
+        resident = cols * grid_rows * tile_bytes
+        working = 3 * grid_rows * tile_bytes  # factor/broadcast buffers
+        if d == plan.main_device:
+            working += grid_rows * tile_bytes  # staged panel column
+        out[d] = float(resident + working)
+    return out
+
+
+def check_memory(
+    plan: DistributionPlan,
+    grid_rows: int,
+    grid_cols: int,
+    element_size: int = ELEMENT_SIZE_BYTES,
+) -> MemoryReport:
+    """Footprint against the plan's device capacities."""
+    usage = plan_footprint(plan, grid_rows, grid_cols, element_size)
+    caps = {
+        d: plan.system.device(d).memory_bytes for d in plan.participants
+    }
+    return MemoryReport(per_device_bytes=usage, capacities=caps)
+
+
+@dataclass(frozen=True)
+class OutOfCoreEstimate:
+    """Result of the super-panel out-of-core schedule.
+
+    Attributes
+    ----------
+    passes:
+        Number of column super-panels (1 = fits in core).
+    in_core_makespan:
+        The unconstrained simulated time.
+    makespan:
+        In-core time plus the re-streaming traffic on the host link.
+    extra_bytes:
+        Total factor bytes re-streamed beyond the in-core run.
+    """
+
+    passes: int
+    in_core_makespan: float
+    makespan: float
+    extra_bytes: float
+    notes: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def overhead(self) -> float:
+        """Relative slowdown versus the in-core run."""
+        if self.in_core_makespan <= 0:
+            return 0.0
+        return self.makespan / self.in_core_makespan - 1.0
+
+
+def out_of_core_estimate(
+    plan: DistributionPlan,
+    grid_rows: int,
+    grid_cols: int,
+    in_core_makespan: float,
+    topology: Topology,
+    element_size: int = ELEMENT_SIZE_BYTES,
+) -> OutOfCoreEstimate:
+    """Price a left-looking super-panel schedule for ``plan``.
+
+    The column super-panel count ``S`` is the smallest number of passes
+    for which every device's share of one pass fits its memory.  Pass
+    ``s`` must re-apply the reflectors of all earlier passes, so the
+    factors of panel ``k`` (``3·M_k`` tiles, paper Eq. 11 accounting)
+    are re-streamed ``S - s(k) - 1`` extra times over the host link.
+    """
+    report = check_memory(plan, grid_rows, grid_cols, element_size)
+    tile_bytes = plan.tile_size * plan.tile_size * element_size
+
+    # Find the per-device pass width that fits; S = passes needed.
+    s = 1
+    while s <= grid_cols:
+        feasible = True
+        for d in plan.participants:
+            cap = plan.system.device(d).memory_bytes
+            if cap is None:
+                continue
+            share = report.per_device_bytes[d] / s + 3 * grid_rows * tile_bytes
+            if share > cap:
+                feasible = False
+                break
+        if feasible:
+            break
+        s += 1
+    if s > grid_cols:
+        raise PlanError(
+            "matrix cannot be processed even one column at a time on this system"
+        )
+
+    if s == 1:
+        return OutOfCoreEstimate(
+            passes=1,
+            in_core_makespan=in_core_makespan,
+            makespan=in_core_makespan,
+            extra_bytes=0.0,
+        )
+
+    # Extra factor traffic: panel k lives in super-panel floor(k/width).
+    width = math.ceil(grid_cols / s)
+    extra_bytes = 0.0
+    for k in range(min(grid_rows, grid_cols)):
+        m_k = grid_rows - k
+        later_passes = s - (k // width) - 1
+        if later_passes > 0:
+            extra_bytes += later_passes * 3.0 * m_k * tile_bytes
+
+    # Price it on the host<->main-device link (the streaming channel).
+    host = next(
+        (d.device_id for d in plan.system.cpus()), plan.main_device
+    )
+    dst = plan.main_device if plan.main_device != host else (
+        next((d for d in plan.participants if d != host), host)
+    )
+    if host == dst:
+        stream_time = 0.0  # single-CPU system streams from its own RAM
+    else:
+        stream_time = topology.transfer_time(
+            host, dst, extra_bytes, messages=max(s - 1, 1)
+        )
+    return OutOfCoreEstimate(
+        passes=s,
+        in_core_makespan=in_core_makespan,
+        makespan=in_core_makespan + stream_time,
+        extra_bytes=extra_bytes,
+        notes={"superpanel_width_cols": width},
+    )

@@ -1,0 +1,131 @@
+"""End-to-end planning pipeline (paper Sec. IV).
+
+Chains the three policies — main-device selection, device-count
+optimization, guide-array distribution — into a
+:class:`repro.core.plan.DistributionPlan` for a given system and matrix.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from ..comm.topology import Topology, pcie_star
+from ..config import DEFAULT_TILE_SIZE, ELEMENT_SIZE_BYTES
+from ..devices.registry import SystemSpec
+from ..errors import PlanError
+from .device_count import order_by_update_speed, select_num_devices
+from .distribution import guide_for_participants
+from .main_device import select_main_device
+from .plan import DistributionPlan
+
+logger = logging.getLogger("repro.optimizer")
+
+
+class Optimizer:
+    """Builds optimized distribution plans for a heterogeneous system.
+
+    Parameters
+    ----------
+    system:
+        The available devices.
+    topology:
+        Interconnect; defaults to the paper's PCIe star over ``system``.
+    element_size:
+        Bytes per matrix element for the Eq. 11 communication model.
+    """
+
+    def __init__(
+        self,
+        system: SystemSpec,
+        topology: Topology | None = None,
+        element_size: int = ELEMENT_SIZE_BYTES,
+        main_updates: str = "residual",
+    ):
+        self.system = system
+        self.topology = topology if topology is not None else pcie_star(system.devices)
+        self.element_size = element_size
+        self.main_updates = main_updates
+
+    # -- pipeline stages --------------------------------------------------
+
+    def plan(
+        self,
+        matrix_size: int | None = None,
+        tile_size: int = DEFAULT_TILE_SIZE,
+        grid_rows: int | None = None,
+        grid_cols: int | None = None,
+        main_device: str | None = None,
+        num_devices: int | None = None,
+        panel_follows_column: bool = False,
+    ) -> DistributionPlan:
+        """Produce the optimized plan for an ``n x n`` matrix.
+
+        Parameters
+        ----------
+        matrix_size:
+            Square matrix edge ``n``; alternatively give ``grid_rows`` /
+            ``grid_cols`` directly.
+        tile_size:
+            Tile edge ``b``.
+        main_device:
+            Override Alg. 2 (used by the Fig. 9 baselines).
+        num_devices:
+            Override Alg. 3 (used by the Fig. 6 / Table III sweeps).
+        panel_follows_column:
+            Build a "no specific main device" plan (Fig. 9's None case).
+
+        Returns
+        -------
+        DistributionPlan
+            With ``notes["predicted"]`` holding the Alg. 3 table.
+        """
+        if grid_rows is None or grid_cols is None:
+            if matrix_size is None:
+                raise PlanError("give matrix_size or an explicit grid shape")
+            if matrix_size < 1:
+                raise PlanError(f"matrix size must be >= 1, got {matrix_size}")
+            grid_rows = grid_cols = -(-matrix_size // tile_size)
+
+        main = main_device or select_main_device(
+            self.system, grid_rows, grid_cols, tile_size
+        )
+        if main not in self.system.device_ids:
+            raise PlanError(f"unknown main device {main!r}")
+
+        p_opt, table = select_num_devices(
+            self.system, main, grid_rows, grid_cols, tile_size,
+            self.topology, self.element_size, main_updates=self.main_updates,
+        )
+        p = num_devices if num_devices is not None else p_opt
+        if not 1 <= p <= len(self.system):
+            raise PlanError(f"num_devices must be in [1, {len(self.system)}], got {p}")
+
+        ordered = order_by_update_speed(self.system, main, tile_size)
+        participants = tuple(ordered[:p])
+        ratio_map, guide_list = guide_for_participants(
+            self.system, participants, main, grid_rows, grid_cols, tile_size,
+            main_updates=self.main_updates,
+        )
+        guide = tuple(guide_list)
+        ratio = [ratio_map[d] for d in participants]
+        logger.debug(
+            "plan %dx%d b=%d: main=%s (Alg.2%s), p=%d of %d (Alg.3 "
+            "optimum %d), ratio=%s guide_len=%d",
+            grid_rows, grid_cols, tile_size, main,
+            " override" if main_device else "", p, len(self.system), p_opt,
+            ratio, len(guide),
+        )
+        return DistributionPlan(
+            system=self.system,
+            main_device=main,
+            participants=participants,
+            guide_array=guide,
+            tile_size=tile_size,
+            panel_follows_column=panel_follows_column,
+            notes={
+                "predicted": table,
+                "optimal_num_devices": p_opt,
+                "ratio": ratio,
+                "grid": (grid_rows, grid_cols),
+            },
+        )

@@ -1,0 +1,111 @@
+"""The distribution plan: who owns which tile columns and who runs panels.
+
+The plan is the single artifact every downstream consumer shares — the
+discrete-event simulator, the iteration simulator, and the numeric
+executor all take a :class:`DistributionPlan` and honour the same
+column-ownership and panel-ownership rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import validate_tile_size
+from ..devices.registry import SystemSpec
+from ..errors import PlanError
+
+
+@dataclass(frozen=True)
+class DistributionPlan:
+    """Tile-column ownership for one tiled QR run.
+
+    Attributes
+    ----------
+    system:
+        The full system the plan was made for (participants may be a
+        subset — the paper's number-of-devices optimization).
+    main_device:
+        Device id that executes triangulations and eliminations.  For
+        the "no specific main" baseline of Fig. 9 set
+        ``panel_follows_column=True``: each panel then runs on the owner
+        of its column.
+    participants:
+        Ordered device ids taking part (main first, then by descending
+        update speed — the paper's list order).
+    guide_array:
+        Cyclic device-id array from Alg. 4; column ``j`` (``j >= 1``)
+        belongs to ``guide_array[j % len]`` (Eq. 12).  Column 0 belongs
+        to the main device (its only operations are T and E).
+    tile_size:
+        Tile edge the plan assumes.
+    panel_follows_column:
+        If True, panel k's T/E run on ``column_owner(k)`` instead of the
+        main device (the Fig. 9 "None" baseline).
+    """
+
+    system: SystemSpec
+    main_device: str
+    participants: tuple[str, ...]
+    guide_array: tuple[str, ...]
+    tile_size: int
+    panel_follows_column: bool = False
+    notes: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self):
+        validate_tile_size(self.tile_size)
+        if not self.participants:
+            raise PlanError("plan needs at least one participant")
+        known = set(self.system.device_ids)
+        for d in (self.main_device, *self.participants, *self.guide_array):
+            if d not in known:
+                raise PlanError(f"unknown device {d!r} in plan")
+        if self.main_device not in self.participants:
+            raise PlanError("main device must participate")
+        if not self.guide_array:
+            raise PlanError("guide array must be non-empty")
+        if set(self.guide_array) - set(self.participants):
+            raise PlanError("guide array references non-participating devices")
+        if len(set(self.participants)) != len(self.participants):
+            raise PlanError("duplicate participants")
+
+    # -- ownership --------------------------------------------------------
+
+    def column_owner(self, col: int) -> str:
+        """Device owning tile column ``col`` (Eq. 12)."""
+        if col < 0:
+            raise PlanError(f"negative column {col}")
+        if col == 0:
+            return self.main_device
+        return self.guide_array[col % len(self.guide_array)]
+
+    def panel_owner(self, k: int) -> str:
+        """Device that runs panel ``k``'s triangulation/elimination."""
+        if self.panel_follows_column:
+            return self.column_owner(k)
+        return self.main_device
+
+    def owners(self, num_cols: int) -> list[str]:
+        """Column owners for a ``num_cols``-wide tile grid."""
+        return [self.column_owner(j) for j in range(num_cols)]
+
+    def columns_of(self, device_id: str, num_cols: int, start_col: int = 0) -> list[int]:
+        """Columns in ``[start_col, num_cols)`` owned by ``device_id``."""
+        return [
+            j
+            for j in range(start_col, num_cols)
+            if self.column_owner(j) == device_id
+        ]
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.participants)
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        ga = ", ".join(self.guide_array)
+        return (
+            f"plan[{self.system.name}]: main={self.main_device}, "
+            f"p={self.num_devices} participants={list(self.participants)}, "
+            f"guide=[{ga}], b={self.tile_size}"
+            + (", panel-follows-column" if self.panel_follows_column else "")
+        )

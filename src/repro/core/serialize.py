@@ -1,0 +1,114 @@
+"""JSON (de)serialization of systems and distribution plans.
+
+A plan captures a non-trivial optimization (profile-driven device
+selection, counts, guide array); persisting it lets a deployment plan
+once and reuse the decision — and lets experiments archive exactly what
+was run.  Everything round-trips through plain dicts / JSON strings.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..dag.tasks import Step
+from ..devices.model import DeviceKind, DeviceSpec, KernelTimingModel
+from ..devices.registry import SystemSpec
+from ..errors import PlanError
+from .plan import DistributionPlan
+
+_FORMAT_VERSION = 1
+
+
+def device_to_dict(dev: DeviceSpec) -> dict:
+    """Plain-dict form of a device spec (including the timing model)."""
+    return {
+        "device_id": dev.device_id,
+        "name": dev.name,
+        "kind": dev.kind.value,
+        "cores": dev.cores,
+        "slots": dev.slots,
+        "memory_bytes": dev.memory_bytes,
+        "timing": {
+            "overheads_s": {s.value: dev.timing.overheads_s[s] for s in Step},
+            "rates_flops": {s.value: dev.timing.rates_flops[s] for s in Step},
+        },
+    }
+
+
+def device_from_dict(d: dict) -> DeviceSpec:
+    """Inverse of :func:`device_to_dict`."""
+    try:
+        timing = KernelTimingModel(
+            overheads_s={Step(k): float(v) for k, v in d["timing"]["overheads_s"].items()},
+            rates_flops={Step(k): float(v) for k, v in d["timing"]["rates_flops"].items()},
+        )
+        return DeviceSpec(
+            device_id=d["device_id"],
+            name=d["name"],
+            kind=DeviceKind(d["kind"]),
+            cores=int(d["cores"]),
+            slots=int(d["slots"]),
+            timing=timing,
+            memory_bytes=d.get("memory_bytes"),
+        )
+    except (KeyError, ValueError) as exc:
+        raise PlanError(f"malformed device dict: {exc}") from exc
+
+
+def system_to_dict(system: SystemSpec) -> dict:
+    return {
+        "version": _FORMAT_VERSION,
+        "name": system.name,
+        "devices": [device_to_dict(d) for d in system.devices],
+    }
+
+
+def system_from_dict(d: dict) -> SystemSpec:
+    try:
+        return SystemSpec(
+            name=d["name"],
+            devices=tuple(device_from_dict(x) for x in d["devices"]),
+        )
+    except KeyError as exc:
+        raise PlanError(f"malformed system dict: missing {exc}") from exc
+
+
+def plan_to_dict(plan: DistributionPlan) -> dict:
+    """Plain-dict form of a plan (embeds its system)."""
+    return {
+        "version": _FORMAT_VERSION,
+        "system": system_to_dict(plan.system),
+        "main_device": plan.main_device,
+        "participants": list(plan.participants),
+        "guide_array": list(plan.guide_array),
+        "tile_size": plan.tile_size,
+        "panel_follows_column": plan.panel_follows_column,
+    }
+
+
+def plan_from_dict(d: dict) -> DistributionPlan:
+    """Inverse of :func:`plan_to_dict` (validates like the constructor)."""
+    try:
+        return DistributionPlan(
+            system=system_from_dict(d["system"]),
+            main_device=d["main_device"],
+            participants=tuple(d["participants"]),
+            guide_array=tuple(d["guide_array"]),
+            tile_size=int(d["tile_size"]),
+            panel_follows_column=bool(d.get("panel_follows_column", False)),
+            notes={"restored": True},
+        )
+    except KeyError as exc:
+        raise PlanError(f"malformed plan dict: missing {exc}") from exc
+
+
+def plan_to_json(plan: DistributionPlan, indent: int | None = 2) -> str:
+    return json.dumps(plan_to_dict(plan), indent=indent)
+
+
+def plan_from_json(text: str) -> DistributionPlan:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PlanError(f"invalid plan JSON: {exc}") from exc
+    return plan_from_dict(data)

@@ -1,0 +1,22 @@
+"""Task DAG for tiled QR decomposition (paper Sec. II-B, Fig. 3)."""
+
+from .tasks import Step, TaskKind, Task
+from .builder import TiledQRDag, build_dag
+from .analysis import (
+    step_counts,
+    task_counts_total,
+    critical_path_length,
+    max_parallelism,
+)
+
+__all__ = [
+    "Step",
+    "TaskKind",
+    "Task",
+    "TiledQRDag",
+    "build_dag",
+    "step_counts",
+    "task_counts_total",
+    "critical_path_length",
+    "max_parallelism",
+]

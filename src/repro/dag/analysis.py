@@ -1,0 +1,108 @@
+"""Structural analysis of the tiled-QR DAG.
+
+Includes the paper's Table I counting model, the exact per-panel counts
+the DAG actually contains, and generic DAG metrics (critical path, width)
+used by the simulator's lower-bound checks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .tasks import Step, Task
+from .builder import TiledQRDag
+
+
+def step_counts(m: int, n: int) -> dict[Step, int]:
+    """The paper's Table I: tiles operated per step for an M x N panel.
+
+    The paper counts the whole M-tile panel column under both T and E
+    (M each) and attributes ``M x (N-1)`` tiles to each update step — an
+    upper-bound accounting that treats every updated tile as receiving
+    both kinds of update.  :func:`dag_step_counts` gives the exact task
+    counts of the flat-tree DAG for comparison.
+    """
+    if m < 1 or n < 1:
+        raise ValueError(f"panel must be at least 1x1, got {m}x{n}")
+    return {
+        Step.T: m,
+        Step.E: m,
+        Step.UT: m * (n - 1),
+        Step.UE: m * (n - 1),
+    }
+
+
+def dag_step_counts(m: int, n: int) -> dict[Step, int]:
+    """Exact task counts of one flat-tree (TS) panel over an M x N grid."""
+    if m < 1 or n < 1:
+        raise ValueError(f"panel must be at least 1x1, got {m}x{n}")
+    return {
+        Step.T: 1,
+        Step.E: m - 1,
+        Step.UT: n - 1,
+        Step.UE: (m - 1) * (n - 1),
+    }
+
+
+def task_counts_total(p: int, q: int) -> dict[Step, int]:
+    """Exact total task counts of the full flat-tree DAG on a p x q grid.
+
+    Closed form — matches ``len(build_dag(p, q).tasks)`` without building
+    the DAG, so it is usable for the paper's 1000 x 1000 grids.
+    """
+    totals = {s: 0 for s in Step}
+    for k in range(min(p, q)):
+        c = dag_step_counts(p - k, q - k)
+        for s in Step:
+            totals[s] += c[s]
+    return totals
+
+
+def critical_path_length(
+    dag: TiledQRDag,
+    weight: Callable[[Task], float] | None = None,
+) -> float:
+    """Longest weighted path through the DAG.
+
+    Parameters
+    ----------
+    dag:
+        The task DAG.
+    weight:
+        Per-task cost; defaults to 1 (path length in tasks).
+
+    Returns
+    -------
+    float
+        The makespan lower bound for infinitely many devices.
+    """
+    w = weight if weight is not None else (lambda _t: 1.0)
+    finish: dict[Task, float] = {}
+    for t in dag.tasks:  # emission order is topological
+        start = max((finish[d] for d in dag.preds[t]), default=0.0)
+        finish[t] = start + w(t)
+    return max(finish.values(), default=0.0)
+
+
+def max_parallelism(dag: TiledQRDag) -> int:
+    """Width of the DAG under greedy level scheduling.
+
+    The number of tasks that become ready in the widest unit-time level
+    when every task costs 1 — an (optimistic) parallelism indicator used
+    in scalability discussions.
+    """
+    level: dict[Task, int] = {}
+    width: dict[int, int] = {}
+    for t in dag.tasks:
+        lv = max((level[d] + 1 for d in dag.preds[t]), default=0)
+        level[t] = lv
+        width[lv] = width.get(lv, 0) + 1
+    return max(width.values(), default=0)
+
+
+def per_panel_ready_updates(p: int, q: int, k: int) -> int:
+    """Tiles updated in panel ``k`` — the parallel work pool the paper's
+    ``#tile(i)`` distributes over devices (Eq. 10)."""
+    m = p - k
+    n = q - k
+    return m * (n - 1)

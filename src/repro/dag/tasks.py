@@ -1,0 +1,129 @@
+"""Task and step definitions for the tiled QR DAG.
+
+The paper divides the per-tile work into four *steps* (Sec. II-B): the
+device models and the optimizer reason in terms of these steps, while the
+DAG holds concrete *tasks* (a step applied to specific tiles).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import DAGError
+
+
+class Step(enum.Enum):
+    """The paper's four operation steps.
+
+    ==  ======================  ===============================
+    T   triangulation           GEQRT on one tile
+    E   elimination             TSQRT / TTQRT on a tile pair
+    UT  update for triangulation UNMQR on one tile
+    UE  update for elimination  TSMQR / TTMQR on a tile pair
+    ==  ======================  ===============================
+    """
+
+    T = "T"
+    E = "E"
+    UT = "UT"
+    UE = "UE"
+
+    @property
+    def is_update(self) -> bool:
+        """Updates are the high-parallelism steps (paper Sec. III-A)."""
+        return self in (Step.UT, Step.UE)
+
+
+class TaskKind(enum.Enum):
+    """Concrete kernels; two elimination flavours exist (TS and TT)."""
+
+    GEQRT = "GEQRT"
+    UNMQR = "UNMQR"
+    TSQRT = "TSQRT"
+    TSMQR = "TSMQR"
+    TTQRT = "TTQRT"
+    TTMQR = "TTMQR"
+
+    @property
+    def step(self) -> Step:
+        return _KIND_TO_STEP[self]
+
+
+_KIND_TO_STEP = {
+    TaskKind.GEQRT: Step.T,
+    TaskKind.UNMQR: Step.UT,
+    TaskKind.TSQRT: Step.E,
+    TaskKind.TTQRT: Step.E,
+    TaskKind.TSMQR: Step.UE,
+    TaskKind.TTMQR: Step.UE,
+}
+
+
+@dataclass(frozen=True)
+class Task:
+    """One kernel invocation on specific tiles.
+
+    Attributes
+    ----------
+    kind:
+        Which kernel runs.
+    k:
+        Panel (iteration) index.
+    row:
+        Tile row of the primary operand: the factored tile for GEQRT, the
+        *eliminated* (bottom) tile row for TSQRT/TTQRT and their updates,
+        and the factor-source row for UNMQR.
+    row2:
+        The *top* tile row for eliminations and elimination updates (the
+        diagonal row ``k`` in the paper's flat-tree order; an inner tree
+        node for TT reductions).  Equal to ``row`` for GEQRT/UNMQR.
+    col:
+        Tile column the task updates; ``k`` for GEQRT and eliminations.
+    """
+
+    kind: TaskKind
+    k: int
+    row: int
+    row2: int
+    col: int
+
+    def __post_init__(self):
+        if self.k < 0 or self.row < 0 or self.row2 < 0 or self.col < 0:
+            raise DAGError(f"negative index in task {self}")
+        if self.kind in (TaskKind.GEQRT, TaskKind.UNMQR) and self.row2 != self.row:
+            raise DAGError(f"{self.kind.value} tasks must have row2 == row, got {self}")
+        if self.kind is TaskKind.GEQRT and self.col != self.k:
+            raise DAGError(f"GEQRT must act on the panel column, got {self}")
+        if self.kind in (TaskKind.TSQRT, TaskKind.TTQRT):
+            if self.col != self.k:
+                raise DAGError(f"eliminations act on the panel column, got {self}")
+            if self.row2 >= self.row:
+                raise DAGError(f"elimination top row must lie above bottom row: {self}")
+
+    @property
+    def step(self) -> Step:
+        """The paper-level step this task belongs to."""
+        return self.kind.step
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering: panel, tile position, kind name."""
+        return (self.k, self.row, self.row2, self.col, self.kind.value)
+
+    def __lt__(self, other: "Task") -> bool:
+        if not isinstance(other, Task):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+    def label(self) -> str:
+        """Compact human-readable identifier (used in traces/exports)."""
+        if self.kind is TaskKind.GEQRT:
+            return f"T[{self.row},{self.col}]"
+        if self.kind is TaskKind.UNMQR:
+            return f"UT[{self.row},{self.col}]k{self.k}"
+        if self.kind in (TaskKind.TSQRT, TaskKind.TTQRT):
+            return f"E[{self.row2}+{self.row},{self.col}]"
+        return f"UE[{self.row2}+{self.row},{self.col}]k{self.k}"
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return self.label()

@@ -1,0 +1,35 @@
+"""Device performance models: the simulated CPU/GPU substrate.
+
+The paper's policies consume three things per device: per-step kernel
+times ``time_i(op)`` (its Fig. 4 profiles), a parallelism level (how many
+tiles a device updates concurrently), and link speeds.  This package
+provides calibrated analytic models of the paper's testbed (Table II)
+plus synthetic devices for extension experiments.
+"""
+
+from .model import DeviceKind, KernelTimingModel, DeviceSpec
+from .calibration import (
+    paper_gtx580,
+    paper_gtx680,
+    paper_cpu_i7_3820,
+    xeon_phi_like,
+    tesla_k20_like,
+    fig4_reference_points,
+)
+from .registry import SystemSpec, paper_testbed, make_system, synthetic_system
+
+__all__ = [
+    "DeviceKind",
+    "KernelTimingModel",
+    "DeviceSpec",
+    "paper_gtx580",
+    "paper_gtx680",
+    "paper_cpu_i7_3820",
+    "xeon_phi_like",
+    "tesla_k20_like",
+    "fig4_reference_points",
+    "SystemSpec",
+    "paper_testbed",
+    "make_system",
+    "synthetic_system",
+]

@@ -1,0 +1,151 @@
+"""Device specification and per-kernel timing models.
+
+A device is characterized by (paper Sec. III-B):
+
+* per-step, per-tile kernel times — an overhead-plus-flops model
+  reproducing the Fig. 4 curve shapes (GPU curves are launch-overhead
+  dominated at small tiles, cubic at large ones);
+* a *slot* count: how many tile kernels the device executes concurrently
+  (the paper's "parallelism"; CPU cores, or GPU multiprocessor groups).
+
+The low-parallelism steps T and E execute as a sequential chain on one
+slot; the update steps UT/UE fill all slots — which is exactly the
+heterogeneity the paper's Sec. III-A motivates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..dag.tasks import Step
+from ..errors import DeviceError
+from ..kernels.flops import flops_geqrt, flops_tsqrt, flops_unmqr, flops_tsmqr
+
+
+class DeviceKind(enum.Enum):
+    CPU = "cpu"
+    GPU = "gpu"
+    ACCELERATOR = "accelerator"  # Xeon-Phi-style devices (paper Sec. VIII)
+
+
+#: flops of one tile kernel per step, used by the timing model.
+_STEP_FLOPS = {
+    Step.T: flops_geqrt,
+    Step.E: flops_tsqrt,
+    Step.UT: flops_unmqr,
+    Step.UE: flops_tsmqr,
+}
+
+
+@dataclass(frozen=True)
+class KernelTimingModel:
+    """``t(step, b) = overhead[step] + flops(step, b) / rate[step]``.
+
+    Parameters
+    ----------
+    overheads_s:
+        Per-step fixed cost per kernel invocation (launch latency,
+        synchronization) in seconds.
+    rates_flops:
+        Per-step sustained execution rate of one slot, in flop/s.
+    """
+
+    overheads_s: dict[Step, float]
+    rates_flops: dict[Step, float]
+
+    def __post_init__(self):
+        for step in Step:
+            if step not in self.overheads_s or step not in self.rates_flops:
+                raise DeviceError(f"timing model missing step {step}")
+            if self.overheads_s[step] < 0:
+                raise DeviceError(f"negative overhead for {step}")
+            if self.rates_flops[step] <= 0:
+                raise DeviceError(f"non-positive rate for {step}")
+
+    def time(self, step: Step, tile_size: int) -> float:
+        """Seconds for one tile kernel of ``step`` at tile edge ``b``."""
+        if tile_size < 1:
+            raise DeviceError(f"tile size must be >= 1, got {tile_size}")
+        return self.overheads_s[step] + _STEP_FLOPS[step](tile_size) / self.rates_flops[step]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One computing device of the heterogeneous system.
+
+    Attributes
+    ----------
+    device_id:
+        Stable identifier used in plans and traces (e.g. ``"gtx580-0"``).
+    name:
+        Human-readable model name.
+    kind:
+        CPU / GPU / accelerator.
+    cores:
+        Physical parallel cores (the x-axis of the paper's Fig. 8).
+    slots:
+        Concurrent tile-kernel capacity for update steps.
+    timing:
+        The per-kernel timing model.
+    memory_bytes:
+        Device-local memory capacity, or ``None`` for unconstrained —
+        used by the out-of-core extension (paper Sec. VIII notes "a lack
+        of memory problem can occur for very large matrix sizes").
+    """
+
+    device_id: str
+    name: str
+    kind: DeviceKind
+    cores: int
+    slots: int
+    timing: KernelTimingModel = field(repr=False)
+    memory_bytes: int | None = None
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise DeviceError(f"device {self.device_id}: cores must be >= 1")
+        if self.slots < 1:
+            raise DeviceError(f"device {self.device_id}: slots must be >= 1")
+
+    # -- per-tile times ---------------------------------------------------
+
+    def time(self, step: Step, tile_size: int) -> float:
+        """Per-tile kernel time ``time_i(op)`` (paper Eq. 10)."""
+        return self.timing.time(step, tile_size)
+
+    def effective_update_time(self, tile_size: int) -> float:
+        """Amortized seconds per updated tile with all slots busy.
+
+        The paper's Eq. 10 charges each distributed tile
+        ``time_i(UT) + time_i(UE)``; dividing by the slot count converts
+        the per-kernel time into the device's achieved per-tile time.
+        """
+        return (self.time(Step.UT, tile_size) + self.time(Step.UE, tile_size)) / self.slots
+
+    def update_throughput(self, tile_size: int) -> float:
+        """Tiles updated per second — Alg. 4's "number of tile update on
+        unit time" that seeds the distribution guide array."""
+        return 1.0 / self.effective_update_time(tile_size)
+
+    def panel_chain_time(self, num_rows: int, tile_size: int) -> float:
+        """Sequential T + (M-1) eliminations of one panel on this device.
+
+        The flat-tree elimination chain cannot parallelize (each TSQRT
+        rewrites the diagonal tile), so it runs on one slot.
+        """
+        if num_rows < 1:
+            raise DeviceError(f"panel needs at least one row, got {num_rows}")
+        return self.time(Step.T, tile_size) + (num_rows - 1) * self.time(Step.E, tile_size)
+
+    def rename(self, device_id: str) -> "DeviceSpec":
+        """Copy of this spec under a new id (for multi-GPU systems)."""
+        return DeviceSpec(
+            device_id=device_id,
+            name=self.name,
+            kind=self.kind,
+            cores=self.cores,
+            slots=self.slots,
+            timing=self.timing,
+            memory_bytes=self.memory_bytes,
+        )

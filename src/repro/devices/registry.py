@@ -1,0 +1,161 @@
+"""System specifications: named collections of devices.
+
+A :class:`SystemSpec` is the "given system" the paper's optimizer takes
+as input — an ordered set of devices plus lookup helpers.  The default
+is the paper's Table II testbed (one i7-3820 + one GTX580 + two GTX680).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceError
+from .calibration import paper_cpu_i7_3820, paper_gtx580, paper_gtx680
+from .model import DeviceKind, DeviceSpec, KernelTimingModel
+from ..dag.tasks import Step
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """An ordered, immutable collection of devices.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports.
+    devices:
+        Tuple of :class:`DeviceSpec`; ids must be unique.
+    """
+
+    name: str
+    devices: tuple[DeviceSpec, ...]
+
+    def __post_init__(self):
+        if not self.devices:
+            raise DeviceError("a system needs at least one device")
+        ids = [d.device_id for d in self.devices]
+        if len(set(ids)) != len(ids):
+            raise DeviceError(f"duplicate device ids in system {self.name!r}: {ids}")
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self):
+        return iter(self.devices)
+
+    def device(self, device_id: str) -> DeviceSpec:
+        """Look up a device by id."""
+        for d in self.devices:
+            if d.device_id == device_id:
+                return d
+        raise DeviceError(f"no device {device_id!r} in system {self.name!r}")
+
+    @property
+    def device_ids(self) -> list[str]:
+        return [d.device_id for d in self.devices]
+
+    @property
+    def total_cores(self) -> int:
+        """Total parallel cores — the x-axis of the paper's Fig. 8."""
+        return sum(d.cores for d in self.devices)
+
+    def gpus(self) -> list[DeviceSpec]:
+        return [d for d in self.devices if d.kind is DeviceKind.GPU]
+
+    def cpus(self) -> list[DeviceSpec]:
+        return [d for d in self.devices if d.kind is DeviceKind.CPU]
+
+    def subset(self, device_ids: list[str], name: str | None = None) -> "SystemSpec":
+        """A sub-system containing only the named devices, in order."""
+        devs = tuple(self.device(i) for i in device_ids)
+        return SystemSpec(name=name or f"{self.name}[{','.join(device_ids)}]", devices=devs)
+
+    def describe(self, tile_size: int = 16) -> str:
+        """Multi-line human-readable summary (used by the CLI)."""
+        lines = [f"system {self.name!r}: {len(self)} devices, {self.total_cores} cores"]
+        for d in self.devices:
+            from ..dag.tasks import Step
+
+            lines.append(
+                f"  {d.device_id:12s} {d.name:28s} {d.cores:5d} cores "
+                f"{d.slots:3d} slots  T={d.time(Step.T, tile_size)*1e6:6.0f}us "
+                f"UE={d.time(Step.UE, tile_size)*1e6:5.1f}us "
+                f"-> {d.update_throughput(tile_size)/1e6:5.2f} Mtiles/s"
+            )
+        return "\n".join(lines)
+
+
+def paper_testbed() -> SystemSpec:
+    """The paper's Table II single-node system.
+
+    One quad-core i7-3820, one GTX580 (512 cores) and two GTX680
+    (1536 cores each) — 3588 parallel cores in total, matching the
+    rightmost point of Fig. 8.
+    """
+    return SystemSpec(
+        name="icpp13-testbed",
+        devices=(
+            paper_cpu_i7_3820("cpu-0"),
+            paper_gtx580("gtx580-0"),
+            paper_gtx680("gtx680-0"),
+            paper_gtx680("gtx680-1"),
+        ),
+    )
+
+
+def make_system(name: str, devices: list[DeviceSpec]) -> SystemSpec:
+    """Build a system from explicit device specs."""
+    return SystemSpec(name=name, devices=tuple(devices))
+
+
+def synthetic_system(
+    name: str = "synthetic",
+    num_gpus: int = 2,
+    num_cpus: int = 1,
+    gpu_slots: int = 16,
+    cpu_slots: int = 4,
+    gpu_speedup: float = 1.0,
+) -> SystemSpec:
+    """A parameterized homogeneous-GPU system for extension experiments.
+
+    Parameters
+    ----------
+    num_gpus, num_cpus:
+        Device counts.
+    gpu_slots, cpu_slots:
+        Update-slot counts per device.
+    gpu_speedup:
+        Scales every GPU kernel rate (1.0 reproduces GTX580-class GPUs).
+    """
+    if num_gpus < 0 or num_cpus < 0 or num_gpus + num_cpus == 0:
+        raise DeviceError("system needs at least one device")
+    devices: list[DeviceSpec] = []
+    for i in range(num_cpus):
+        base = paper_cpu_i7_3820(f"cpu-{i}")
+        devices.append(
+            DeviceSpec(
+                device_id=base.device_id,
+                name=base.name,
+                kind=base.kind,
+                cores=base.cores,
+                slots=cpu_slots,
+                timing=base.timing,
+            )
+        )
+    for i in range(num_gpus):
+        base = paper_gtx580(f"gpu-{i}")
+        timing = KernelTimingModel(
+            overheads_s=dict(base.timing.overheads_s),
+            rates_flops={s: r * gpu_speedup for s, r in base.timing.rates_flops.items()},
+        )
+        devices.append(
+            DeviceSpec(
+                device_id=base.device_id,
+                name=f"Synthetic GPU x{gpu_speedup:g}",
+                kind=DeviceKind.GPU,
+                cores=base.cores,
+                slots=gpu_slots,
+                timing=timing,
+            )
+        )
+    return SystemSpec(name=name, devices=tuple(devices))

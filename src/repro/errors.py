@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array or tile has an incompatible shape."""
+
+
+class TilingError(ReproError, ValueError):
+    """A matrix cannot be tiled as requested (bad tile size, etc.)."""
+
+
+class KernelError(ReproError):
+    """A numerical tile kernel was invoked on invalid inputs."""
+
+
+class DAGError(ReproError):
+    """The task DAG is malformed (cycle, missing dependency, bad task)."""
+
+
+class DeviceError(ReproError, ValueError):
+    """A device specification or lookup is invalid."""
+
+
+class TopologyError(ReproError, ValueError):
+    """A communication topology query is invalid (unknown endpoint, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class PlanError(ReproError, ValueError):
+    """A distribution plan is invalid or inconsistent with the DAG."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is out of range or inconsistent."""

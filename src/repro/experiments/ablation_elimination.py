@@ -1,0 +1,62 @@
+"""Ablation — flat-tree (TS) vs binary-tree (TT) elimination.
+
+The paper uses the flat tree (Fig. 2); Bouwmeester et al. [6] study
+tree orders.  This ablation runs both DAG flavours through the
+task-level simulator on the paper testbed and through the *numeric*
+serial runtime to confirm both produce the same factorization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.topology import pcie_star
+from ..dag import build_dag
+from ..runtime import tiled_qr
+from ..sim import simulate_task_level
+from .common import ExperimentResult, default_setup
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    system, opt, _qr = default_setup()
+    topology = pcie_star(system.devices)
+    sizes = [320] if quick else [320, 640, 960]
+    rows = []
+    for n in sizes:
+        g = n // 16
+        plan = opt.plan(matrix_size=n, num_devices=len(system))
+        per_elim = {}
+        for elim in ("TS", "TT"):
+            dag = build_dag(g, g, elim)
+            trace = simulate_task_level(dag, plan, system, topology)
+            per_elim[elim] = (len(dag), trace.report().makespan)
+        rows.append(
+            [
+                n,
+                per_elim["TS"][0], per_elim["TS"][1] * 1e3,
+                per_elim["TT"][0], per_elim["TT"][1] * 1e3,
+                per_elim["TT"][1] / per_elim["TS"][1],
+            ]
+        )
+    # Numeric equivalence on a small matrix.
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((96, 96))
+    r_ts = tiled_qr(a, 16, "TS").r_dense()
+    r_tt = tiled_qr(a, 16, "TT").r_dense()
+    max_diff = float(np.max(np.abs(np.abs(r_ts) - np.abs(r_tt))))
+    return ExperimentResult(
+        name="ablation-elimination",
+        title="Ablation: TS (flat tree) vs TT (binary tree) elimination",
+        headers=["matrix", "TS tasks", "TS ms", "TT tasks", "TT ms", "TT/TS"],
+        rows=rows,
+        paper_expectation="(beyond the paper) tree elimination shortens "
+        "the panel critical path at the cost of more tasks; with a "
+        "single main device the flat tree the paper uses is competitive.",
+        observations=f"both orders yield the same |R| up to reflector "
+        f"sign choices (max abs diff {max_diff:.2e}).",
+        extra={"r_equivalence_max_diff": max_diff},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,65 @@
+"""Ablation — the paper's per-iteration runtime vs lookahead scheduling.
+
+The paper's system (Sec. IV-D) advances panel by panel: the main device
+factorizes a whole panel, broadcasts, the others update, repeat.  A
+fully asynchronous runtime (PLASMA/StarPU-style, cf. Agullo et al. [11])
+instead releases every task the moment its DAG dependencies clear, which
+lets successive panel chains pipeline.  The task-level simulator runs
+both: ``panel_unit=True`` keeps each device's panel engine serial (the
+paper's constraint that GPU kernels don't preempt), ``False`` idealizes
+panel work as freely parallel.
+"""
+
+from __future__ import annotations
+
+from ..comm.topology import pcie_star
+from ..dag import build_dag
+from ..sim import simulate_task_level, simulate_iteration_level
+from .common import ExperimentResult, default_setup
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    system, opt, _qr = default_setup()
+    topology = pcie_star(system.devices)
+    sizes = [320, 640] if quick else [320, 640, 960, 1152]
+    rows = []
+    for n in sizes:
+        g = n // 16
+        plan = opt.plan(matrix_size=n, num_devices=len(system))
+        dag = build_dag(g, g)
+        t_paper = simulate_iteration_level(plan, g, g, system, topology).makespan
+        t_serial_panel = simulate_task_level(
+            dag, plan, system, topology, panel_unit=True
+        ).report().makespan
+        t_ideal = simulate_task_level(
+            dag, plan, system, topology, panel_unit=False
+        ).report().makespan
+        rows.append(
+            [
+                n,
+                t_paper * 1e3,
+                t_serial_panel * 1e3,
+                t_ideal * 1e3,
+                t_paper / t_serial_panel,
+                t_paper / t_ideal,
+            ]
+        )
+    return ExperimentResult(
+        name="ablation-lookahead",
+        title="Ablation: per-iteration runtime vs lookahead DAG scheduling (ms)",
+        headers=[
+            "matrix", "paper-iter", "lookahead", "ideal-parallel-panels",
+            "iter/lookahead", "iter/ideal",
+        ],
+        rows=rows,
+        paper_expectation="(beyond the paper) asynchronous lookahead "
+        "overlaps successive panels and hides part of the elimination "
+        "chain the paper's design leaves exposed.",
+        observations="lookahead buys tens of percent at these sizes; the "
+        "idealized parallel-panel runtime shows how much of the remaining "
+        "critical path is the serial chain itself.",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

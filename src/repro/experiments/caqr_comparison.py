@@ -1,0 +1,78 @@
+"""Extension — column distribution vs CA-QR-style row blocks (Sec. VII).
+
+The paper dismisses row-wise distribution as a multi-cluster technique
+and keeps columns "since there is not much communication cost for our
+system".  Running both under the same device/link models quantifies the
+trade-off, including the load-balancing problem the paper alludes to:
+contiguous row bands starve as panels advance, which block-row-cyclic
+layouts fix.
+"""
+
+from __future__ import annotations
+
+from ..comm.topology import pcie_star
+from ..sim.iteration import simulate_iteration_level
+from ..sim.rowblock import simulate_rowblock_level
+from .common import ExperimentResult, default_setup
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    system, opt, _qr = default_setup()
+    sizes = [640, 1600] if quick else [640, 1600, 3200, 6400]
+    link_scales = [1.0, 0.1]  # paper's PCIe node vs a 10x-worse network
+    participants = [d.device_id for d in system.devices]
+    rows = []
+    for scale in link_scales:
+        topology = pcie_star(
+            system.devices, bandwidth=6e9 * scale, latency=50e-6 / scale
+        )
+        for n in sizes:
+            g = n // 16
+            plan = opt.plan(matrix_size=n, num_devices=len(system))
+            t_col = simulate_iteration_level(plan, g, g, system, topology).makespan
+            t_row_c = simulate_rowblock_level(
+                system, participants, g, g, 16, topology, layout="cyclic"
+            ).makespan
+            t_row_b = simulate_rowblock_level(
+                system, participants, g, g, 16, topology, layout="contiguous"
+            ).makespan
+            rows.append(
+                [
+                    "PCIe" if scale == 1.0 else "slow net",
+                    n,
+                    t_col, t_row_c, t_row_b,
+                    t_col / t_row_c,
+                    t_row_b / t_row_c,
+                ]
+            )
+    largest_pcie = [r for r in rows if r[0] == "PCIe"][-1]
+    largest_slow = [r for r in rows if r[0] == "slow net"][-1]
+    obs = (
+        f"at n={largest_pcie[1]} on PCIe the best row-block variant runs "
+        f"{largest_pcie[5]:.2f}x the column scheme's speed (ratio > 1 means "
+        f"row blocks win) because the panel tree parallelizes the chain the "
+        f"main-device design serializes; on a 10x-worse network the gap "
+        f"widens to {largest_slow[5]:.2f}x since the column scheme's "
+        f"per-panel factor broadcast pays the degraded link on every "
+        f"iteration — consistent with CA-QR targeting clusters. Contiguous "
+        f"vs cyclic rows trade idle tails against extra merge exchanges "
+        f"(contig/cyc = {largest_pcie[6]:.2f} at that size)."
+    )
+    return ExperimentResult(
+        name="caqr-comparison",
+        title="Extension: column distribution (paper) vs CA-QR row blocks (s)",
+        headers=[
+            "link", "matrix", "column", "row-cyclic", "row-contig",
+            "col/row-cyc", "contig/cyc",
+        ],
+        rows=rows,
+        paper_expectation="(paper Sec. VII argument) columns are easy to "
+        "load-balance on a low-communication single node; row "
+        "distribution targets clusters.  CA-QR theory: the panel tree "
+        "removes the single-device chain bottleneck.",
+        observations=obs,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

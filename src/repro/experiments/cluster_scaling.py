@@ -1,0 +1,105 @@
+"""Extension — the paper's policies on a multi-node cluster (Sec. VIII).
+
+Replicates the paper's testbed node 1-4 times behind a network and lets
+the *unchanged* optimizer decide: Alg. 3's communication term now prices
+remote devices, so the enlisted device count becomes a function of both
+matrix size and network quality.  The CA-QR row-block scheme — built for
+clusters — runs on the same topologies for contrast.
+"""
+
+from __future__ import annotations
+
+from ..cluster import ClusterSpec, NodeSpec, cluster_topology
+from ..core.optimizer import Optimizer
+from ..devices.registry import paper_testbed
+from ..sim.iteration import simulate_iteration_level
+from ..sim.rowblock import simulate_rowblock_level
+from .common import ExperimentResult
+
+
+def make_cluster(num_nodes: int) -> ClusterSpec:
+    """``num_nodes`` copies of the paper's Table II node."""
+    base = paper_testbed()
+    return ClusterSpec(
+        name=f"icpp13-x{num_nodes}",
+        nodes=tuple(
+            NodeSpec(name=f"node{i}", devices=base.devices)
+            for i in range(num_nodes)
+        ),
+    )
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    sizes = [1600, 4800] if quick else [1600, 4800, 9600]
+    node_counts = [1, 2, 4]
+    networks = {"IB": (3.0e9, 120e-6)} if quick else {
+        "IB": (3.0e9, 120e-6),
+        "GigE": (0.1e9, 500e-6),
+    }
+    rows = []
+    for net_name, (bw, lat) in networks.items():
+        for n in sizes:
+            g = n // 16
+            for nodes in node_counts:
+                cluster = make_cluster(nodes)
+                system = cluster.flatten()
+                topology = cluster_topology(
+                    cluster, network_bandwidth=bw, network_latency=lat
+                )
+                opt = Optimizer(system, topology)
+                plan = opt.plan(matrix_size=n)
+                t_col = simulate_iteration_level(
+                    plan, g, g, system, topology
+                ).makespan
+                remote = sum(
+                    1 for d in plan.participants
+                    if cluster.node_of(d) != cluster.node_of(plan.main_device)
+                )
+                t_row = simulate_rowblock_level(
+                    system, list(system.device_ids), g, g, 16, topology,
+                    layout="cyclic",
+                ).makespan
+                rows.append(
+                    [net_name, n, nodes, plan.num_devices, remote, t_col, t_row]
+                )
+    # Observation: does the optimizer ever enlist remote devices, and
+    # does the row-block scheme overtake on clusters?
+    enlisted = [r for r in rows if r[4] > 0]
+    if enlisted:
+        col_part = (
+            f"Alg. 3 enlists remote devices in {len(enlisted)}/{len(rows)} "
+            f"configurations, once the matrix is large enough to amortize "
+            f"the network-priced broadcasts"
+        )
+    else:
+        col_part = (
+            "Alg. 3 never enlists a remote device at these sizes — the "
+            "per-panel factor broadcast repriced over the network always "
+            "outweighs the update help, so the column scheme stays "
+            "single-node (quantifying why the paper kept it on one node)"
+        )
+    obs = (
+        col_part
+        + "; the CA-QR row scheme uses every node unconditionally and "
+        + (
+            "overtakes the column scheme on multi-node runs"
+            if any(r[6] < r[5] for r in rows if r[2] > 1)
+            else "still trails the column scheme at these sizes"
+        )
+        + " — its per-panel communication is a logarithmic R-merge "
+        "tree, not a broadcast."
+    )
+    return ExperimentResult(
+        name="cluster-scaling",
+        title="Extension: paper policies on 1-4 cluster nodes (s)",
+        headers=["net", "matrix", "nodes", "p*", "remote", "column", "row-cyclic"],
+        rows=rows,
+        paper_expectation="(paper future work) the equations should "
+        "extend to a multi-node environment; CA-QR (Sec. VII) is the "
+        "cluster-native alternative.",
+        observations=obs,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,75 @@
+"""Shared scaffolding for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..analysis.reporting import format_table
+from ..comm.topology import pcie_star
+from ..config import DEFAULT_TILE_SIZE
+from ..core.executor import TiledQR
+from ..core.optimizer import Optimizer
+from ..devices.registry import SystemSpec, paper_testbed
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment driver.
+
+    Attributes
+    ----------
+    name:
+        Experiment id (e.g. ``"table3"``).
+    title:
+        Human-readable description referencing the paper artifact.
+    headers, rows:
+        The regenerated table (same rows/series the paper reports).
+    paper_expectation:
+        What the paper's version of this artifact shows — the shape the
+        reproduction is held against.
+    observations:
+        Notes filled in by the driver (measured shape summary).
+    """
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    paper_expectation: str = ""
+    observations: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        parts = [format_table(self.headers, self.rows, title=self.title)]
+        if self.paper_expectation:
+            parts.append(f"\npaper: {self.paper_expectation}")
+        if self.observations:
+            parts.append(f"measured: {self.observations}")
+        return "\n".join(parts)
+
+
+def default_setup(
+    tile_size: int = DEFAULT_TILE_SIZE,
+) -> tuple[SystemSpec, Optimizer, TiledQR]:
+    """The paper's Table II testbed plus its optimizer and executor."""
+    system = paper_testbed()
+    topology = pcie_star(system.devices)
+    opt = Optimizer(system, topology)
+    qr = TiledQR(system, topology)
+    return system, opt, qr
+
+
+def paper_sizes(quick: bool) -> dict[str, Sequence[int]]:
+    """Matrix-size sweeps used by the paper, with quick variants for CI."""
+    if quick:
+        return {
+            "small": [160, 320, 640],                 # Fig. 5/6 zoom range
+            "table3": list(range(160, 4001, 480)),    # Table III rows
+            "large": [3200, 6400],                    # Figs. 8-10
+        }
+    return {
+        "small": list(range(160, 3841, 160)),
+        "table3": list(range(160, 4001, 160)),
+        "large": [3200, 6400, 9600, 12800, 16000],
+    }

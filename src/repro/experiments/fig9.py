@@ -1,0 +1,67 @@
+"""Fig. 9 — how the main-device choice affects total time.
+
+Four policies on sizes 3200..16000: the Alg. 2 selection (GTX580),
+forcing the GTX680, no specific main device (panels follow column
+owners), and forcing the CPU (catastrophic — the paper reports 430 s at
+16000).
+"""
+
+from __future__ import annotations
+
+from ..baselines import forced_main_plan, no_main_plan
+from ..core.main_device import select_main_device
+from .common import ExperimentResult, default_setup, paper_sizes
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    system, opt, qr = default_setup()
+    sizes = paper_sizes(quick)["large"]
+    tile = 16
+    rows = []
+    selected = None
+    for n in sizes:
+        g = -(-n // tile)
+        selected = select_main_device(system, g, g, tile)
+        t = {}
+        t["gtx580"] = qr.simulate(
+            n, plan=forced_main_plan(system, "gtx580-0", g, g, tile)
+        ).report.makespan
+        t["gtx680"] = qr.simulate(
+            n, plan=forced_main_plan(system, "gtx680-0", g, g, tile)
+        ).report.makespan
+        t["none"] = qr.simulate(
+            n, plan=no_main_plan(system, g, g, tile)
+        ).report.makespan
+        t["cpu"] = qr.simulate(
+            n, plan=forced_main_plan(system, "cpu-0", g, g, tile)
+        ).report.makespan
+        rows.append(
+            [
+                n,
+                t["gtx580"], t["gtx680"], t["none"], t["cpu"],
+                t["gtx680"] / t["gtx580"],
+                t["none"] / t["gtx580"],
+            ]
+        )
+    last = rows[-1]
+    return ExperimentResult(
+        name="fig9",
+        title="Fig. 9: QR time (s) by main-device policy",
+        headers=["matrix", "GTX580", "GTX680", "None", "CPU", "680/580", "none/580"],
+        rows=rows,
+        paper_expectation="Alg. 2 selects the GTX580; at 16000 the "
+        "GTX680-as-main is ~13% slower, no-main ~5% slower, and "
+        "CPU-as-main is 430.6 s.",
+        observations=(
+            f"Alg. 2 selects {selected}; at n={last[0]} GTX680-as-main is "
+            f"{(last[5]-1)*100:.0f}% slower and CPU-as-main takes "
+            f"{last[4]:.0f} s (paper: 430.6 s). The no-main mode ties the "
+            f"optimized plan in our model (ratio {last[6]:.2f}) — see "
+            f"EXPERIMENTS.md for why the paper's 5% gap does not emerge."
+        ),
+        extra={"selected_main": selected},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

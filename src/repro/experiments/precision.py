@@ -1,0 +1,65 @@
+"""Extension — single vs double precision tiled QR.
+
+The paper transfers 4-byte elements (its GeForce-generation GPUs were
+single-precision machines); the numeric kernels here run in either
+precision.  This experiment measures what that choice costs in accuracy
+and buys in (modelled) bandwidth, and demonstrates the f32 kernels end
+to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.topology import pcie_star
+from ..runtime import tiled_qr
+from ..sim.iteration import simulate_iteration_level
+from ..utils import frobenius_relative_error
+from .common import ExperimentResult, default_setup
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    system, opt, _qr = default_setup()
+    sizes = [96, 192] if quick else [96, 192, 384]
+    rows = []
+    rng = np.random.default_rng(11)
+    for n in sizes:
+        a64 = rng.standard_normal((n, n))
+        a32 = a64.astype(np.float32)
+        f64 = tiled_qr(a64, 16)
+        f32 = tiled_qr(a32, 16)
+        err64 = frobenius_relative_error(f64.apply_q(f64.r_dense()), a64)
+        err32 = frobenius_relative_error(f32.apply_q(f32.r_dense()), a32)
+        assert f32.r.dtype == np.float32
+        # Modelled communication with 4- vs 8-byte elements.
+        g = max(n // 16, 4)
+        plan4 = opt.plan(matrix_size=g * 16, num_devices=4)
+        from ..core.optimizer import Optimizer
+
+        opt8 = Optimizer(system, pcie_star(system.devices), element_size=8)
+        plan8 = opt8.plan(matrix_size=g * 16, num_devices=4)
+        c4 = simulate_iteration_level(
+            plan4, g, g, system, opt.topology, element_size=4
+        ).comm_time
+        c8 = simulate_iteration_level(
+            plan8, g, g, system, opt8.topology, element_size=8
+        ).comm_time
+        rows.append([n, err32, err64, err64 / err32, c8 / c4])
+    return ExperimentResult(
+        name="precision",
+        title="Extension: float32 vs float64 tiled QR "
+        "(reconstruction error; comm-time ratio f64/f32)",
+        headers=["matrix", "f32 error", "f64 error", "err ratio", "comm x"],
+        rows=rows,
+        paper_expectation="(the paper's GPUs are single-precision "
+        "machines; Eq. 11 uses 4-byte elements) f32 halves transfer "
+        "volume at ~1e-7 accuracy; f64 reaches ~1e-15.",
+        observations="the same kernels run in both precisions; errors "
+        "sit at the respective machine epsilons and the modelled "
+        "communication scales with the element size (latency dilutes "
+        "the ratio below 2x at small sizes).",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

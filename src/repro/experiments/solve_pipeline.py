@@ -1,0 +1,113 @@
+"""Extension — the full Ax=b pipeline: factor once, solve many.
+
+The paper motivates QR by the linear-system use case (Eqs. 1-3) but only
+evaluates the factorization.  This experiment models the whole pipeline
+on the testbed: factorization time (simulated) plus per-solve time
+(the Q^T sweep over the reflector log and the triangular solve), and
+reports the right-hand-side count at which total solve work overtakes
+the factorization — the amortization the use case relies on.
+"""
+
+from __future__ import annotations
+
+from ..dag.tasks import Step
+from ..sim.iteration import simulate_iteration_level
+from .common import ExperimentResult, default_setup
+
+
+def _solve_time_model(system, plan, grid: int, tile_size: int, nrhs: int) -> float:
+    """Modelled wall-clock seconds for one batched solve.
+
+    Unlike the update sweep of the factorization, a solve over one RHS
+    tile column is a *serial chain*: every Q^T pair-application touches
+    RHS tile-row ``k``, and the back-substitution rows depend bottom-up.
+    Slots only parallelize across RHS tile columns, and the reflector
+    factors must travel from the main device to the RHS owner each panel
+    (the latency-dominated term the DES exposes).
+    """
+    main = system.device(plan.main_device)
+    rhs_tiles = max(1, -(-nrhs // tile_size))
+    # Concurrent RHS tile columns limited by slots.
+    waves = max(1, -(-rhs_tiles // main.slots))
+    t_pair = main.time(Step.UE, tile_size)
+    t_single = main.time(Step.UT, tile_size)
+    tile_bytes = tile_size * tile_size * 4
+    # Q^T sweep: per panel, the serial chain down the panel rows.
+    from ..comm.topology import pcie_star
+
+    topology = pcie_star(system.devices)
+    qt_time = 0.0
+    comm_time = 0.0
+    rhs_owner = plan.column_owner(grid)  # first RHS column's owner
+    for k in range(grid):
+        m_k = grid - k
+        qt_time += waves * (t_single + (m_k - 1) * t_pair)
+        if rhs_owner != plan.main_device:
+            comm_time += topology.transfer_time(
+                plan.main_device, rhs_owner, 3 * m_k * tile_bytes, messages=2
+            )
+    # Back-substitution: serial TRSM chain; substitutions pipeline behind.
+    tri_time = grid * waves * (t_single + t_pair)
+    return qt_time + tri_time + comm_time
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    system, opt, _qr = default_setup()
+    sizes = [1600] if quick else [1600, 3200, 6400]
+    rhs_counts = [1, 16, 256] if quick else [1, 16, 64, 256, 1024]
+    rows = []
+    # Cross-check the analytic solve model against the task-level DES on
+    # a small grid (the DES replays the actual solve DAG).
+    from ..dag.solve import build_solve_dag
+    from ..sim.engine import simulate_task_level
+
+    g_chk = 20
+    plan_chk = opt.plan(matrix_size=g_chk * 16, num_devices=3)
+    t_des = simulate_task_level(
+        build_solve_dag(g_chk, 1), plan_chk, system, opt.topology
+    ).makespan
+    t_model = _solve_time_model(system, plan_chk, g_chk, 16, 1)
+    model_vs_des = t_model / t_des
+    for n in sizes:
+        g = n // 16
+        plan = opt.plan(matrix_size=n)
+        t_factor = simulate_iteration_level(plan, g, g, system, opt.topology).makespan
+        per_rhs = {
+            r: _solve_time_model(system, plan, g, 16, r) for r in rhs_counts
+        }
+        # Amortization point: solves as cheap as the factorization.
+        t1 = per_rhs[1]
+        breakeven = t_factor / t1 if t1 > 0 else float("inf")
+        rows.append(
+            [
+                n,
+                t_factor,
+                *[per_rhs[r] * 1e3 for r in rhs_counts],
+                f"{breakeven:.0f}",
+            ]
+        )
+    return ExperimentResult(
+        name="solve-pipeline",
+        title="Extension: factor-once/solve-many amortization "
+        "(factor s; solve ms per batch; single-RHS solves per factor)",
+        headers=["matrix", "factor (s)", *[f"rhs={r} (ms)" for r in rhs_counts],
+                 "breakeven"],
+        rows=rows,
+        paper_expectation="(the paper's Eqs. 1-3 use case) a solve is "
+        "O(n^2) against the factorization's O(n^3): one factorization "
+        "amortizes over many right-hand sides.",
+        observations=(
+            f"a solve is a latency-bound serial chain, so it costs more "
+            f"than its O(n^2) flops suggest — the breakeven column counts "
+            f"how many single-RHS solves equal one factorization (growing "
+            f"with n as compute scales n^3 vs the chain's n). Batches ride "
+            f"along for free up to one RHS tile-column per slot. The "
+            f"analytic model sits at {model_vs_des:.2f}x the task-level "
+            f"DES replay of the actual solve DAG on a 20x20 grid."
+        ),
+        extra={"model_vs_des": model_vs_des},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,74 @@
+"""Extension — numerical stability of QR variants vs conditioning.
+
+The paper chooses Householder reflections "because it is efficient and
+well-matching with parallel computations" (Sec. I); the other classic
+family it names is Cholesky-based.  This experiment quantifies the
+choice: orthogonality loss ``||Q^T Q - I||`` as the condition number
+grows, for the tiled Householder QR (this library), CholeskyQR,
+CholeskyQR2 and modified Gram-Schmidt.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.cholesky_qr import cholesky_qr, cholesky_qr2, modified_gram_schmidt
+from ..runtime import tiled_qr
+from ..utils import orthogonality_error
+from .common import ExperimentResult
+
+
+def matrix_with_condition(m: int, n: int, cond: float, seed: int = 0) -> np.ndarray:
+    """Random tall matrix with prescribed 2-norm condition number.
+
+    Built as ``U diag(s) V^T`` with log-spaced singular values and
+    Haar-ish orthogonal factors from our own Householder QR.
+    """
+    rng = np.random.default_rng(seed)
+    from ..kernels.householder import householder_qr
+
+    u, _ = householder_qr(rng.standard_normal((m, n)))
+    v, _ = householder_qr(rng.standard_normal((n, n)))
+    s = np.logspace(0.0, -np.log10(cond), n)
+    return (u[:, :n] * s) @ v.T
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    conds = [1e2, 1e6] if quick else [1e1, 1e3, 1e5, 1e7, 1e9, 1e11]
+    m, n = (96, 32) if quick else (192, 48)
+    rows = []
+    for cond in conds:
+        a = matrix_with_condition(m, n, cond, seed=3)
+        f = tiled_qr(a, tile_size=16)
+        hh = orthogonality_error(f.q_dense()[:, :n])
+        try:
+            q, _ = cholesky_qr(a)
+            cq = orthogonality_error(q)
+        except np.linalg.LinAlgError:
+            cq = float("inf")
+        try:
+            q2, _ = cholesky_qr2(a)
+            cq2 = orthogonality_error(q2)
+        except np.linalg.LinAlgError:
+            cq2 = float("inf")
+        qm, _ = modified_gram_schmidt(a)
+        mgs = orthogonality_error(qm)
+        rows.append([f"{cond:.0e}", hh, cq, cq2, mgs])
+    return ExperimentResult(
+        name="stability",
+        title="Extension: orthogonality loss ||Q^T Q - I|| vs cond(A)",
+        headers=["cond(A)", "tiled Householder", "CholeskyQR", "CholeskyQR2", "MGS"],
+        rows=rows,
+        paper_expectation="(motivates the paper's Householder choice) "
+        "Householder stays at machine precision independent of "
+        "conditioning; CholeskyQR degrades as cond^2 and fails outright "
+        "past ~1e8; CholeskyQR2 repairs moderate cases; MGS degrades "
+        "linearly.",
+        observations="tiled Householder orthogonality is flat across all "
+        "tested condition numbers; the alternatives degrade or fail as "
+        "theory predicts.",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

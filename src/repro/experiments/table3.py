@@ -1,0 +1,58 @@
+"""Table III — predicted vs actual optimal number of devices.
+
+For each matrix size 160..4000 the predictor (Alg. 3's ``Top + Tcomm``)
+and a full simulated execution each normalize the three GPU-count
+options; the paper's claim is that the predicted argmin always matches
+the actual fastest configuration.
+"""
+
+from __future__ import annotations
+
+from .common import ExperimentResult, default_setup, paper_sizes
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    system, opt, qr = default_setup()
+    sizes = paper_sizes(quick)["table3"]
+    rows = []
+    agreements = 0
+    for n in sizes:
+        actual, predicted = {}, {}
+        for p in (1, 2, 3):
+            plan = opt.plan(matrix_size=n, num_devices=p)
+            actual[p] = qr.simulate(n, plan=plan, fidelity="iteration").report.makespan
+            predicted[p] = plan.notes["predicted"][p - 1].total
+        pa = min(predicted.values())
+        aa = min(actual.values())
+        best_pred = min(predicted, key=predicted.get)
+        best_act = min(actual, key=actual.get)
+        agreements += best_pred == best_act
+        rows.append(
+            [
+                n,
+                predicted[1] / pa, predicted[2] / pa, predicted[3] / pa,
+                actual[1] / aa, actual[2] / aa, actual[3] / aa,
+                f"{best_pred}G", f"{best_act}G",
+                "yes" if best_pred == best_act else "NO",
+            ]
+        )
+    return ExperimentResult(
+        name="table3",
+        title="Table III: normalized predicted (Top+Tcomm) vs actual time "
+        "for 1/2/3 GPUs",
+        headers=[
+            "matrix", "p1G", "p2G", "p3G", "a1G", "a2G", "a3G",
+            "pred", "act", "agree",
+        ],
+        rows=rows,
+        paper_expectation="1 GPU optimal for 160-480, 2 GPUs for "
+        "640-2560, 3 GPUs from 2720; predicted argmin matches actual at "
+        "every size.",
+        observations=f"predicted and actual argmin agree on "
+        f"{agreements}/{len(sizes)} sizes.",
+        extra={"agreements": agreements, "total": len(sizes)},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().to_text())

@@ -1,0 +1,97 @@
+"""Compact-WY block reflector accumulation and application.
+
+Given Householder vectors ``V = [v_1 | ... | v_k]`` and scalars ``tau_i``,
+the product of the elementary reflectors is
+
+    H_1 H_2 ... H_k  =  I - V @ Tf @ V.T
+
+with ``Tf`` upper triangular (LAPACK ``larft`` with direction 'F', storage
+'C').  Applying the transpose swaps ``Tf`` for ``Tf.T`` (``larfb``).
+
+The tile kernels in this package all reduce to these two routines; they
+are therefore the hot spots and are written as a handful of BLAS-3 calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+
+
+def build_t_factor(v: np.ndarray, taus: np.ndarray) -> np.ndarray:
+    """Accumulate the upper-triangular ``Tf`` factor (LAPACK ``larft``).
+
+    Parameters
+    ----------
+    v:
+        ``(m, k)`` matrix whose columns are the Householder vectors
+        (including their unit heads — callers pass V with ``v[i, i] == 1``
+        and zeros above, or the structured TS/TT equivalents).
+    taus:
+        Length-``k`` reflector scalars.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(k, k)`` upper-triangular ``Tf`` with ``Tf[i, i] == taus[i]``.
+
+    Notes
+    -----
+    Recurrence: ``Tf[:i, i] = -tau_i * Tf[:i, :i] @ (V[:, :i].T @ V[:, i])``.
+    """
+    v = np.asarray(v)
+    taus = np.asarray(taus, dtype=v.dtype)
+    if v.ndim != 2:
+        raise KernelError(f"V must be 2-D, got ndim={v.ndim}")
+    k = v.shape[1]
+    if taus.shape != (k,):
+        raise KernelError(f"taus must have shape ({k},), got {taus.shape}")
+    tf = np.zeros((k, k), dtype=v.dtype)
+    if k == 0:
+        return tf
+    # V^T V once (upper part used); cheaper than k GEMVs for tile sizes.
+    gram = v.T @ v
+    for i in range(k):
+        tau = taus[i]
+        tf[i, i] = tau
+        if i and tau != 0.0:
+            tf[:i, i] = -tau * (tf[:i, :i] @ gram[:i, i])
+    return tf
+
+
+def apply_block_reflector(
+    v: np.ndarray,
+    tf: np.ndarray,
+    c: np.ndarray,
+    transpose: bool,
+) -> np.ndarray:
+    """Apply ``I - V Tf V.T`` (or its transpose) to ``C`` from the left.
+
+    ``C`` is updated in place and returned.
+
+    Parameters
+    ----------
+    v:
+        ``(m, k)`` Householder vectors.
+    tf:
+        ``(k, k)`` upper-triangular compact-WY factor.
+    c:
+        ``(m, n)`` target block.
+    transpose:
+        ``True`` applies ``Q.T = I - V Tf.T V.T`` (factorization
+        direction); ``False`` applies ``Q`` (Q-building direction).
+    """
+    v = np.asarray(v)
+    c = np.asarray(c)
+    if c.ndim != 2 or v.ndim != 2 or c.shape[0] != v.shape[0]:
+        raise KernelError(
+            f"incompatible shapes for block reflector: V {v.shape}, C {c.shape}"
+        )
+    k = v.shape[1]
+    if tf.shape != (k, k):
+        raise KernelError(f"Tf must have shape ({k}, {k}), got {tf.shape}")
+    w = v.T @ c  # (k, n)
+    w = (tf.T if transpose else tf) @ w
+    c -= v @ w
+    return c

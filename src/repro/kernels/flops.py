@@ -1,0 +1,105 @@
+"""Floating-point operation models for the tile kernels.
+
+These are the standard PLASMA/LAPACK working-note counts, used by the
+analysis layer (utilization, achieved GFLOP/s) and as sanity anchors for
+the device timing models.  ``b`` is the square tile edge; ``nb`` the
+number of columns a kernel updates.
+"""
+
+from __future__ import annotations
+
+
+def flops_geqrt(b: int) -> float:
+    """QR of a ``b x b`` tile plus the compact-WY ``Tf`` accumulation.
+
+    ``~ 4/3 b^3`` for the factorization + ``~ 1/3 b^3`` for ``Tf``.
+    """
+    return (4.0 / 3.0) * b**3 + (1.0 / 3.0) * b**3
+
+
+def flops_unmqr(b: int) -> float:
+    """Apply a GEQRT factor to one ``b x b`` tile: three GEMM-ish products.
+
+    ``W = V^T C`` (~``b^3`` with unit-lower V), ``Tf W`` (triangular,
+    ``~b^3``), ``C -= V W`` (~``b^3``); each product counts 2 flops/entry.
+    """
+    return 4.0 * b**3
+
+
+def flops_tsqrt(b: int) -> float:
+    """Eliminate a dense tile against a triangular one: ``~2 b^3``."""
+    return 2.0 * b**3 + (1.0 / 3.0) * b**3  # + Tf accumulation
+
+
+def flops_tsmqr(b: int) -> float:
+    """Apply a TS factor to a stacked pair: three dense ``b^3`` GEMMs."""
+    return 6.0 * b**3
+
+
+def flops_ttqrt(b: int) -> float:
+    """TT elimination touches only the triangular half: ``~ b^3``."""
+    return 1.0 * b**3 + (1.0 / 3.0) * b**3
+
+
+def flops_ttmqr(b: int) -> float:
+    """TT update: the triangular ``V2`` halves two of the three GEMMs."""
+    return 4.0 * b**3
+
+
+def flops_dense_qr(n: int, m: int | None = None) -> float:
+    """Householder QR of an ``m x n`` dense matrix (``m >= n``).
+
+    ``2 m n^2 - 2/3 n^3``; for square matrices ``4/3 n^3``.
+    """
+    if m is None:
+        m = n
+    return 2.0 * m * n**2 - (2.0 / 3.0) * n**3
+
+
+def flops_orgqr(p: int, q: int, b: int) -> float:
+    """Building the full ``Q`` from a flat-tree tiled factorization.
+
+    Every logged reflector (one GEQRT per panel, ``p-k-1`` eliminations)
+    is applied to all ``p`` tile columns of the identity: per panel ``k``
+    that is ``p`` UNMQR applications plus ``(p-k-1) * p`` TSMQR pair
+    applications.
+    """
+    total = 0.0
+    for k in range(min(p, q)):
+        total += p * flops_unmqr(b)
+        total += (p - k - 1) * p * flops_tsmqr(b)
+    return total
+
+
+def flops_tiled_qr(p: int, q: int, b: int, elimination: str = "TS") -> float:
+    """Total flops of tiled QR on a ``p x q`` grid of ``b x b`` tiles.
+
+    Sums the kernel counts over the algorithm's loop nest: for panel
+    ``k``: one GEQRT, ``q-k-1`` UNMQRs, ``p-k-1`` eliminations each with
+    ``q-k-1`` updates.
+
+    Parameters
+    ----------
+    p, q:
+        Tile-grid rows and columns.
+    b:
+        Tile edge.
+    elimination:
+        ``"TS"`` (flat tree) or ``"TT"`` (binary tree) — same tile-pair
+        count, different per-pair constants.
+    """
+    if elimination == "TS":
+        f_e, f_ue = flops_tsqrt(b), flops_tsmqr(b)
+    elif elimination == "TT":
+        f_e, f_ue = flops_ttqrt(b), flops_ttmqr(b)
+    else:
+        raise ValueError(f"unknown elimination kind {elimination!r}")
+    total = 0.0
+    for k in range(min(p, q)):
+        rows = p - k - 1
+        cols = q - k - 1
+        total += flops_geqrt(b)
+        total += cols * flops_unmqr(b)
+        total += rows * f_e
+        total += rows * cols * f_ue
+    return total

@@ -1,0 +1,154 @@
+"""Givens rotations and QR factor updating/downdating.
+
+Householder reflectors (the paper's workhorse) zero whole column tails;
+Givens rotations zero one entry at a time, which makes them the right
+tool for *updating* an existing factorization when rows arrive or leave
+— the streaming-data counterpart of the paper's "data analysis" use
+case.  All from scratch: no LAPACK ``rot``/``rotg``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import KernelError
+
+
+@dataclass(frozen=True)
+class GivensRotation:
+    """A 2x2 rotation ``[[c, s], [-s, c]]`` zeroing one component.
+
+    Applying it to rows ``(i, j)`` of a matrix sends
+    ``(a_i, a_j) -> (c a_i + s a_j, -s a_i + c a_j)``.
+    """
+
+    c: float
+    s: float
+    r: float  # the resulting nonzero: r = hypot(a, b)
+
+    def apply_rows(self, m: np.ndarray, i: int, j: int) -> None:
+        """Rotate rows ``i`` and ``j`` of ``m`` in place."""
+        top = self.c * m[i] + self.s * m[j]
+        m[j] = -self.s * m[i] + self.c * m[j]
+        m[i] = top
+
+
+def make_givens(a: float, b: float) -> GivensRotation:
+    """Rotation with ``[[c, s], [-s, c]] @ [a, b] == [r, 0]``.
+
+    Numerically safe continuous-scaling construction (no overflow in
+    the intermediate squares).
+    """
+    if b == 0.0:
+        return GivensRotation(c=1.0, s=0.0, r=float(a))
+    if a == 0.0:
+        return GivensRotation(c=0.0, s=1.0, r=float(b))
+    # Scale out the magnitude first so subnormal/huge inputs keep the
+    # rotation exactly orthonormal (dividing two subnormals loses bits).
+    scale = max(abs(a), abs(b))
+    a1, b1 = a / scale, b / scale
+    r1 = float(np.hypot(a1, b1))
+    return GivensRotation(c=a1 / r1, s=b1 / r1, r=r1 * scale)
+
+
+def qr_insert_row(
+    r: np.ndarray, row: np.ndarray
+) -> tuple[np.ndarray, list[tuple[int, GivensRotation]]]:
+    """Update an ``n x n`` R factor after appending one row to ``A``.
+
+    Given ``A = Q R`` and a new row ``v``, the stacked ``[R; v]`` is
+    re-triangularized by ``n`` Givens rotations; the returned R is the
+    factor of the extended matrix (the rotations are returned so a
+    caller tracking ``Q^T b`` can replay them).
+
+    Parameters
+    ----------
+    r:
+        Current upper-triangular factor (not modified).
+    row:
+        The appended data row, length ``n``.
+    """
+    r = np.asarray(r, dtype=np.float64)
+    row = np.asarray(row, dtype=np.float64)
+    n = r.shape[1]
+    if r.ndim != 2 or r.shape[0] != n:
+        raise KernelError(f"R must be square n x n, got {r.shape}")
+    if row.shape != (n,):
+        raise KernelError(f"row must have length {n}, got {row.shape}")
+    work = np.vstack([np.triu(r), row[None, :]])
+    rotations: list[tuple[int, GivensRotation]] = []
+    for k in range(n):
+        g = make_givens(work[k, k], work[n, k])
+        g.apply_rows(work, k, n)
+        work[n, k] = 0.0
+        rotations.append((k, g))
+    return np.triu(work[:n]), rotations
+
+
+def qr_delete_row(
+    r: np.ndarray, removed_row: np.ndarray
+) -> tuple[np.ndarray, list[tuple[int, GivensRotation]]]:
+    """Downdate an R factor after removing one data row from ``A``.
+
+    Golub & Van Loan downdating: with ``A = QR`` and a removed row
+    ``v``, solve ``R^T w = v``, require ``rho^2 = 1 - w^T w > 0`` (the
+    remaining matrix must stay full rank), then rotate the vector
+    ``[w; rho]`` onto ``e_{n+1}`` with Givens rotations in the
+    ``(k, n+1)`` planes; dragging ``[R; 0]`` through the same rotations
+    leaves the downdated ``R`` on top (and reconstructs ``v`` in the
+    discarded last row).
+
+    Parameters
+    ----------
+    r:
+        Current ``n x n`` upper-triangular factor.
+    removed_row:
+        The data row being removed (length ``n``).
+
+    Returns
+    -------
+    (r_new, rotations)
+
+    Raises
+    ------
+    numpy.linalg.LinAlgError
+        If the downdate is numerically impossible (the row carries all
+        the remaining rank in some direction).
+    """
+    r = np.asarray(r, dtype=np.float64)
+    v = np.asarray(removed_row, dtype=np.float64)
+    n = r.shape[1]
+    if r.ndim != 2 or r.shape[0] != n:
+        raise KernelError(f"R must be square n x n, got {r.shape}")
+    if v.shape != (n,):
+        raise KernelError(f"removed row must have length {n}, got {v.shape}")
+    rt = np.triu(r).T  # lower triangular
+    # Forward-substitute R^T w = v.
+    w = np.zeros(n)
+    for i in range(n):
+        d = rt[i, i]
+        if d == 0.0:
+            raise np.linalg.LinAlgError("R is singular; cannot downdate")
+        w[i] = (v[i] - rt[i, :i] @ w[:i]) / d
+    rho_sq = 1.0 - float(w @ w)
+    if rho_sq <= 0.0:
+        raise np.linalg.LinAlgError(
+            "downdate would make the factor indefinite (row carries "
+            "remaining rank)"
+        )
+    u = np.concatenate([w, [np.sqrt(rho_sq)]])
+    work = np.vstack([np.triu(r), np.zeros((1, n))])
+    rotations: list[tuple[int, GivensRotation]] = []
+    for k in range(n - 1, -1, -1):
+        if u[k] == 0.0:
+            continue
+        g = make_givens(u[n], u[k])
+        # Rotate u[k] into u[n] and drag the matrix rows along.
+        new_last = g.c * u[n] + g.s * u[k]
+        u[k] = 0.0
+        u[n] = new_last
+        g.apply_rows(work, n, k)
+        rotations.append((k, g))
+    return np.triu(work[:n]), rotations

@@ -1,0 +1,67 @@
+"""TSMQR — the *update for elimination* kernel (paper Sec. II-B step 4).
+
+After TSQRT/TTQRT eliminates a tile pair, every tile pair to the right in
+the same two tile rows must be hit with the pair's orthogonal factor
+(Eq. 9).  With ``V = [I; V2]`` the block-reflector application decomposes
+into three small GEMMs:
+
+    W  = C1 + V2^T C2
+    W' = op(Tf) W
+    C1 -= W'
+    C2 -= V2 W'
+
+This single routine serves both the TS and TT kinds (TTMQR in
+:mod:`repro.kernels.ttmqr` is a thin structured wrapper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+from .tsqrt import TSQRTResult
+
+
+def tsmqr(
+    factors: TSQRTResult,
+    c1: np.ndarray,
+    c2: np.ndarray,
+    transpose: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply a TSQRT/TTQRT orthogonal factor to a stacked tile pair.
+
+    Parameters
+    ----------
+    factors:
+        Output of :func:`repro.kernels.tsqrt` or :func:`repro.kernels.ttqrt`.
+    c1:
+        ``(b, n)`` tile in the diagonal tile's row.  Updated in place.
+    c2:
+        ``(m2, n)`` tile in the eliminated tile's row.  Updated in place.
+    transpose:
+        ``True`` (default) applies ``Q^T`` (factorization direction),
+        ``False`` applies ``Q`` (Q-building direction).
+
+    Returns
+    -------
+    tuple
+        ``(c1, c2)`` — the same arrays, updated.
+    """
+    c1 = np.asarray(c1)
+    c2 = np.asarray(c2)
+    v2 = factors.v2
+    b = factors.r.shape[0]
+    if c1.ndim != 2 or c1.shape[0] != b:
+        raise KernelError(f"c1 must have {b} rows, got shape {c1.shape}")
+    if c2.ndim != 2 or c2.shape[0] != v2.shape[0]:
+        raise KernelError(f"c2 must have {v2.shape[0]} rows, got shape {c2.shape}")
+    if c1.shape[1] != c2.shape[1]:
+        raise KernelError(
+            f"c1/c2 column counts differ: {c1.shape[1]} vs {c2.shape[1]}"
+        )
+    tf = factors.tf.T if transpose else factors.tf
+    w = c1 + v2.T @ c2
+    w = tf @ w
+    c1 -= w
+    c2 -= v2 @ w
+    return c1, c2

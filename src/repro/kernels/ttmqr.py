@@ -1,0 +1,31 @@
+"""TTMQR — update kernel for triangle-on-triangle elimination.
+
+Numerically identical to :func:`repro.kernels.tsmqr` (the application only
+sees ``V2`` and ``Tf``); kept as a named entry point because the paper —
+and the DAG builder — distinguish the two update kinds, and because the
+triangular ``V2`` halves the achievable flop count on a real machine
+(which the device *cost models* account for).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+from .tsqrt import TSQRTResult
+from .tsmqr import tsmqr
+
+
+def ttmqr(
+    factors: TSQRTResult,
+    c1: np.ndarray,
+    c2: np.ndarray,
+    transpose: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply a TTQRT orthogonal factor to a stacked tile pair in place.
+
+    See :func:`repro.kernels.tsmqr` for the parameter contract.
+    """
+    if factors.kind != "TT":
+        raise KernelError(f"ttmqr requires TT factors, got kind={factors.kind!r}")
+    return tsmqr(factors, c1, c2, transpose=transpose)

@@ -1,0 +1,37 @@
+"""TTQRT — triangle-on-top-of-*triangle* elimination (paper Sec. II-B).
+
+Identical contract to :func:`repro.kernels.tsqrt` but the bottom tile is
+itself already triangulated (upper triangular), which the kernel exploits:
+column ``k``'s reflector only involves rows ``0..k`` of the bottom tile,
+halving the arithmetic.  The paper notes both variants perform the same
+*amount* of elimination work per tile pair; TT is what tree-reduction
+elimination orders use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tsqrt import TSQRTResult, _stacked_factor
+
+
+def ttqrt(r1: np.ndarray, r2: np.ndarray) -> TSQRTResult:
+    """Eliminate an upper-triangular tile ``r2`` against ``r1``.
+
+    Parameters
+    ----------
+    r1:
+        ``(b, b)`` upper-triangular diagonal tile.
+    r2:
+        ``(b, b)`` upper-triangular tile in the same tile column (the
+        output of a previous GEQRT/TTQRT), to be zeroed.
+
+    Returns
+    -------
+    repro.kernels.tsqrt.TSQRTResult
+        With ``kind == "TT"`` and upper-triangular ``v2``.
+    """
+    r2 = np.asarray(r2)
+    # Only the upper triangle of r2 is data; enforce the contract so
+    # stray garbage below the diagonal cannot leak into the factors.
+    return _stacked_factor(r1, np.triu(r2), triangular_bottom=True)

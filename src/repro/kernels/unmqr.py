@@ -1,0 +1,40 @@
+"""UNMQR — the *update for triangulation* kernel (paper Sec. II-B step 2).
+
+After GEQRT factorizes the diagonal tile of a column, every tile to its
+right in the same tile row must be hit with ``Q_t^T`` (the paper writes the
+update as ``A_t <- Q_t A_t`` in Eq. 6 with ``Q_t`` the transforming factor;
+in the compact-WY convention used here that operator is
+``Q^T = I - V Tf^T V^T``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+from .geqrt import GEQRTResult
+from .blockreflector import apply_block_reflector
+
+
+def unmqr(factors: GEQRTResult, c: np.ndarray, transpose: bool = True) -> np.ndarray:
+    """Apply a GEQRT tile's orthogonal factor to another tile, in place.
+
+    Parameters
+    ----------
+    factors:
+        Compact factors from :func:`repro.kernels.geqrt`.
+    c:
+        ``(m, n)`` tile to update; ``m`` must equal the factored tile's
+        row count.  Modified in place and returned.
+    transpose:
+        ``True`` (default) applies ``Q^T`` — the factorization direction
+        used during the decomposition.  ``False`` applies ``Q`` — used
+        when explicitly building the orthogonal factor.
+    """
+    c = np.asarray(c)
+    if c.ndim != 2 or c.shape[0] != factors.v.shape[0]:
+        raise KernelError(
+            f"unmqr: tile of shape {c.shape} incompatible with factors of "
+            f"shape {factors.v.shape}"
+        )
+    return apply_block_reflector(factors.v, factors.tf, c, transpose=transpose)

@@ -1,0 +1,40 @@
+"""Numerical validation helpers shared by tests and examples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import reconstruction_rtol
+from ..utils import frobenius_relative_error, is_upper_triangular, orthogonality_error
+
+
+def check_reconstruction(
+    a: np.ndarray, q: np.ndarray, r: np.ndarray, rtol: float | None = None
+) -> float:
+    """Assert ``A ~= Q R`` and return the relative Frobenius error."""
+    err = frobenius_relative_error(q @ r, a)
+    tol = rtol if rtol is not None else reconstruction_rtol(np.asarray(a).dtype)
+    if err > tol:
+        raise AssertionError(f"reconstruction error {err:.3e} exceeds tolerance {tol:.1e}")
+    return err
+
+
+def check_orthogonality(q: np.ndarray, rtol: float | None = None) -> float:
+    """Assert ``Q^T Q ~= I`` and return ``||Q^T Q - I||_F``."""
+    err = orthogonality_error(q)
+    n = np.asarray(q).shape[1]
+    tol = (rtol if rtol is not None else reconstruction_rtol(np.asarray(q).dtype)) * max(n, 1)
+    if err > tol:
+        raise AssertionError(f"orthogonality error {err:.3e} exceeds tolerance {tol:.1e}")
+    return err
+
+
+def check_upper_triangular(r: np.ndarray, atol: float = 1e-12) -> None:
+    """Assert ``R`` has (numerically) zero strictly-lower triangle."""
+    scale = float(np.max(np.abs(r))) or 1.0
+    if not is_upper_triangular(r, atol=atol * scale):
+        worst = float(np.max(np.abs(np.tril(np.asarray(r), k=-1))))
+        raise AssertionError(
+            f"matrix is not upper triangular: max |lower| = {worst:.3e} "
+            f"(tolerance {atol * scale:.3e})"
+        )

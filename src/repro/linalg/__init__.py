@@ -1,0 +1,49 @@
+"""User-facing linear-algebra operations built on tiled QR.
+
+The paper motivates QR as "the basis for solving some systems of linear
+equations ... widely used in data analysis of various domains" (Sec. I).
+This package is that downstream surface: solvers, least squares,
+inverses and orthonormal bases, all running on the library's own tiled
+Householder kernels (no LAPACK driver routines).
+"""
+
+from .ops import (
+    qr_solve,
+    lstsq,
+    inv,
+    det,
+    slogdet,
+    orth_basis,
+    condition_estimate,
+    solve_triangular,
+    lq,
+)
+from .streaming import StreamingLeastSquares
+from .rank_revealing import (
+    QRCPResult,
+    qr_column_pivoting,
+    numerical_rank,
+    randomized_range,
+    low_rank_approx,
+)
+from .jacobi_svd import svd_jacobi, randomized_svd
+
+__all__ = [
+    "qr_solve",
+    "lstsq",
+    "inv",
+    "det",
+    "slogdet",
+    "orth_basis",
+    "condition_estimate",
+    "solve_triangular",
+    "lq",
+    "StreamingLeastSquares",
+    "QRCPResult",
+    "qr_column_pivoting",
+    "numerical_rank",
+    "randomized_range",
+    "low_rank_approx",
+    "svd_jacobi",
+    "randomized_svd",
+]

@@ -1,0 +1,109 @@
+"""Singular value decomposition via one-sided Jacobi rotations.
+
+From-scratch (no LAPACK ``gesvd``): one-sided Jacobi orthogonalizes the
+columns of ``A`` by plane rotations until all pairs are numerically
+orthogonal; the column norms are then the singular values, the rotated
+matrix holds ``U diag(s)``, and the accumulated rotations form ``V``.
+Slow but exceptionally accurate — intended for small/medium matrices
+and as the dense core of :func:`randomized_svd`, whose heavy lifting
+(the range finder) runs on the tiled QR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .rank_revealing import randomized_range
+
+
+def svd_jacobi(
+    a: np.ndarray,
+    tol: float = 1e-12,
+    max_sweeps: int = 60,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One-sided Jacobi SVD: ``A = U @ diag(s) @ V.T``.
+
+    Parameters
+    ----------
+    a:
+        ``(m, n)`` with ``m >= n``.
+    tol:
+        Convergence threshold on the normalized off-diagonal inner
+        products.
+    max_sweeps:
+        Safety bound on full column-pair sweeps.
+
+    Returns
+    -------
+    (u, s, vt)
+        ``u`` is ``(m, n)`` with orthonormal columns, ``s`` descending,
+        ``vt`` is ``(n, n)``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got ndim={a.ndim}")
+    m, n = a.shape
+    if m < n:
+        raise ShapeError(f"svd_jacobi requires m >= n, got {a.shape}; pass A.T")
+    u = a.copy()
+    v = np.eye(n)
+    scale = float(np.linalg.norm(a)) or 1.0
+    for _sweep in range(max_sweeps):
+        rotated = False
+        for p in range(n - 1):
+            for q in range(p + 1, n):
+                apq = float(u[:, p] @ u[:, q])
+                app = float(u[:, p] @ u[:, p])
+                aqq = float(u[:, q] @ u[:, q])
+                if abs(apq) <= tol * scale * scale:
+                    continue
+                rotated = True
+                # Jacobi rotation zeroing the (p, q) inner product.
+                tau = (aqq - app) / (2.0 * apq)
+                t = np.sign(tau) / (abs(tau) + np.hypot(1.0, tau)) if tau != 0 else 1.0
+                c = 1.0 / np.hypot(1.0, t)
+                s = c * t
+                up = u[:, p].copy()
+                u[:, p] = c * up - s * u[:, q]
+                u[:, q] = s * up + c * u[:, q]
+                vp = v[:, p].copy()
+                v[:, p] = c * vp - s * v[:, q]
+                v[:, q] = s * vp + c * v[:, q]
+        if not rotated:
+            break
+    sing = np.linalg.norm(u, axis=0)
+    # Normalize U's columns; zero singular values get arbitrary unit dirs.
+    for j in range(n):
+        if sing[j] > 0:
+            u[:, j] /= sing[j]
+        else:
+            u[:, j] = 0.0
+            u[min(j, m - 1), j] = 1.0
+    order = np.argsort(sing)[::-1]
+    return u[:, order], sing[order], v[:, order].T
+
+
+def randomized_svd(
+    a: np.ndarray,
+    k: int,
+    oversample: int = 8,
+    power_iters: int = 2,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Truncated SVD via the randomized range finder + Jacobi core.
+
+    ``A ~= U[:, :k] @ diag(s[:k]) @ Vt[:k]``.  The ``(m, k+p)`` sketch
+    basis comes from the tiled-QR-powered
+    :func:`~repro.linalg.rank_revealing.randomized_range`; the small
+    ``(k+p, n)`` projection is decomposed by one-sided Jacobi.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    q = randomized_range(a, k, oversample, power_iters, seed)
+    b = q.T @ a                       # (k+p, n) — small
+    # Jacobi needs tall input; decompose b.T = U_b s V_b^T.
+    u_b, s, vt_b = svd_jacobi(b.T)
+    # b = V_b s U_b^T  =>  A ~= (Q V_b) s U_b^T.
+    u = q @ vt_b.T
+    vt = u_b.T
+    return u[:, :k], s[:k], vt[:k]

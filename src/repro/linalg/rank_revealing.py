@@ -1,0 +1,151 @@
+"""Rank-revealing and randomized factorizations on top of the QR stack.
+
+* :func:`qr_column_pivoting` — from-scratch Householder QR with column
+  pivoting (LAPACK ``geqp3``-style norm downdating), the classic
+  rank-revealing factorization.
+* :func:`randomized_range` / :func:`low_rank_approx` — the
+  Halko-Martinsson-Tropp randomized range finder, using this library's
+  tiled QR as its orthonormalizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import DEFAULT_TILE_SIZE
+from ..errors import KernelError, ShapeError
+from ..kernels.householder import apply_reflector, make_reflector
+from ..runtime.serial import tiled_qr
+
+
+@dataclass(frozen=True)
+class QRCPResult:
+    """``A P = Q R`` with decreasing ``|r_kk|``.
+
+    Attributes
+    ----------
+    q:
+        ``(m, m)`` orthogonal factor.
+    r:
+        ``(m, n)`` upper triangular with non-increasing diagonal
+        magnitudes.
+    perm:
+        Column permutation: ``a[:, perm] == q @ r``.
+    rank:
+        Numerical rank detected at the given tolerance.
+    """
+
+    q: np.ndarray
+    r: np.ndarray
+    perm: np.ndarray
+    rank: int
+
+
+def qr_column_pivoting(a: np.ndarray, rtol: float = 1e-12) -> QRCPResult:
+    """Householder QR with greedy column pivoting.
+
+    At every step the column with the largest remaining norm moves to
+    the front; partial norms are downdated and recomputed on
+    cancellation (the standard ``geqp3`` safeguard).  The numerical rank
+    is the number of diagonal entries above ``rtol * |r_00|``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got ndim={a.ndim}")
+    m, n = a.shape
+    if m < 1 or n < 1:
+        raise ShapeError(f"matrix must be non-empty, got {a.shape}")
+    r = a.copy()
+    q = np.eye(m)
+    perm = np.arange(n)
+    norms = np.sum(r * r, axis=0)
+    orig = norms.copy()
+    steps = min(m, n)
+    for k in range(steps):
+        j = k + int(np.argmax(norms[k:]))
+        if norms[j] <= 0.0:
+            break
+        if j != k:
+            r[:, [k, j]] = r[:, [j, k]]
+            norms[[k, j]] = norms[[j, k]]
+            orig[[k, j]] = orig[[j, k]]
+            perm[[k, j]] = perm[[j, k]]
+        if k < m - 1:
+            refl = make_reflector(r[k:, k])
+            apply_reflector(refl, r[k:, k:])
+            r[k + 1 :, k] = 0.0
+            apply_reflector(refl, q[k:, :])
+        # Downdate the partial column norms; recompute on cancellation.
+        if k + 1 < n:
+            norms[k + 1 :] -= r[k, k + 1 :] ** 2
+            np.clip(norms[k + 1 :], 0.0, None, out=norms[k + 1 :])
+            stale = norms[k + 1 :] < 1e-14 * orig[k + 1 :]
+            if np.any(stale):
+                idx = np.nonzero(stale)[0] + k + 1
+                norms[idx] = np.sum(r[k + 1 :, idx] ** 2, axis=0)
+    diag = np.abs(np.diag(r)[:steps])
+    top = diag[0] if diag.size else 0.0
+    rank = int(np.sum(diag > rtol * top)) if top > 0 else 0
+    return QRCPResult(q=q.T, r=np.triu(r), perm=perm, rank=rank)
+
+
+def numerical_rank(a: np.ndarray, rtol: float = 1e-10) -> int:
+    """Numerical rank via pivoted QR."""
+    return qr_column_pivoting(a, rtol=rtol).rank
+
+
+def randomized_range(
+    a: np.ndarray,
+    k: int,
+    oversample: int = 8,
+    power_iters: int = 1,
+    seed: int | None = 0,
+    tile_size: int = DEFAULT_TILE_SIZE,
+) -> np.ndarray:
+    """Orthonormal basis approximately spanning ``A``'s top-``k`` range.
+
+    Halko-Martinsson-Tropp: sample ``Y = A Omega`` with a Gaussian test
+    matrix, optionally run power iterations (re-orthonormalizing with
+    the tiled QR between applications), and return the orthonormal
+    ``(m, k + oversample)`` basis of ``Y``.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got ndim={a.ndim}")
+    m, n = a.shape
+    if not 1 <= k <= min(m, n):
+        raise KernelError(f"target rank must be in [1, {min(m, n)}], got {k}")
+    ell = min(k + max(oversample, 0), min(m, n))
+    rng = np.random.default_rng(seed)
+    y = a @ rng.standard_normal((n, ell))
+
+    def orthonormalize(block: np.ndarray) -> np.ndarray:
+        f = tiled_qr(block, tile_size=tile_size)
+        cols = block.shape[1]
+        eye = np.zeros((block.shape[0], cols))
+        np.fill_diagonal(eye, 1.0)
+        return f.apply_q(eye)
+
+    q = orthonormalize(y)
+    for _ in range(max(power_iters, 0)):
+        q = orthonormalize(a @ (a.T @ q))
+    return q
+
+
+def low_rank_approx(
+    a: np.ndarray,
+    k: int,
+    oversample: int = 8,
+    power_iters: int = 1,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rank-``k+oversample`` approximation ``A ~= Q (Q^T A)``.
+
+    Returns ``(q, b)`` with ``q`` orthonormal and ``b = q.T @ a``; the
+    Frobenius error approaches the optimal rank-``k`` error for
+    matrices with decaying spectra.
+    """
+    q = randomized_range(a, k, oversample, power_iters, seed)
+    return q, q.T @ np.asarray(a, dtype=np.float64)

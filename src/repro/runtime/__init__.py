@@ -1,0 +1,32 @@
+"""In-process runtimes that execute the tiled-QR DAG numerically.
+
+Two executors share one task-application core:
+
+* :class:`SerialRuntime` — deterministic, single-threaded; the reference
+  implementation used by tests and examples.
+* :class:`ThreadedRuntime` — a worker pool with dependency-counting
+  dispatch; exercises the same concurrency structure a real
+  PLASMA/StarPU-style runtime uses (NumPy's BLAS releases the GIL).
+* :class:`MultiprocessRuntime` — distributed-memory execution with one
+  OS process per device and explicit pipe transfers (the paper's
+  Fig. 7 structure made literal).
+"""
+
+from .factorization import TiledQRFactorization
+from .serial import SerialRuntime, tiled_qr
+from .threaded import ThreadedRuntime
+from .multiprocess import MultiprocessRuntime
+from .trisolve import tiled_back_substitution, solve_factorized_tiled
+from .checkpoint import save_factorization, load_factorization
+
+__all__ = [
+    "TiledQRFactorization",
+    "SerialRuntime",
+    "ThreadedRuntime",
+    "MultiprocessRuntime",
+    "tiled_qr",
+    "tiled_back_substitution",
+    "solve_factorized_tiled",
+    "save_factorization",
+    "load_factorization",
+]

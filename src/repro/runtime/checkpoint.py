@@ -1,0 +1,117 @@
+"""Persist and restore tiled QR factorizations.
+
+A factorization of a large matrix is expensive; saving the factors lets
+solves/Q-applications resume in a later process.  The format is a
+single NumPy ``.npz``: the R tiles, the reflector log (V/Tf per
+factorization task), and the layout metadata.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..dag.tasks import Task, TaskKind
+from ..errors import ReproError
+from ..kernels.geqrt import GEQRTResult
+from ..kernels.tsqrt import TSQRTResult
+from ..tiles import TiledMatrix
+from .factorization import TiledQRFactorization
+
+_FORMAT = 1
+
+
+class CheckpointError(ReproError):
+    """Raised on malformed or incompatible checkpoint files."""
+
+
+def save_factorization(fact: TiledQRFactorization, path) -> None:
+    """Write a factorization to ``path`` (``.npz``)."""
+    arrays: dict[str, np.ndarray] = {}
+    meta = {
+        "format": _FORMAT,
+        "rows": fact.shape[0],
+        "cols": fact.shape[1],
+        "tile_size": fact.tile_size,
+        "grid_rows": fact.r.grid_rows,
+        "grid_cols": fact.r.grid_cols,
+        "num_ops": len(fact.log),
+    }
+    arrays["meta"] = np.array(
+        [meta["format"], meta["rows"], meta["cols"], meta["tile_size"],
+         meta["grid_rows"], meta["grid_cols"], meta["num_ops"]],
+        dtype=np.int64,
+    )
+    for i, j, tile in fact.r.iter_tiles():
+        arrays[f"r_{i}_{j}"] = tile
+    for idx, (task, factors) in enumerate(fact.log):
+        arrays[f"op{idx}_id"] = np.array(
+            [_KIND_CODE[task.kind], task.k, task.row, task.row2, task.col],
+            dtype=np.int64,
+        )
+        if isinstance(factors, GEQRTResult):
+            arrays[f"op{idx}_v"] = factors.v
+            arrays[f"op{idx}_tf"] = factors.tf
+            arrays[f"op{idx}_taus"] = factors.taus
+        else:
+            arrays[f"op{idx}_v"] = factors.v2
+            arrays[f"op{idx}_tf"] = factors.tf
+            arrays[f"op{idx}_taus"] = factors.taus
+            arrays[f"op{idx}_r"] = factors.r
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+
+
+_KIND_CODE = {
+    TaskKind.GEQRT: 0,
+    TaskKind.TSQRT: 1,
+    TaskKind.TTQRT: 2,
+}
+_CODE_KIND = {v: k for k, v in _KIND_CODE.items()}
+
+
+def load_factorization(path) -> TiledQRFactorization:
+    """Read a factorization previously saved by :func:`save_factorization`."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    with np.load(path) as data:
+        try:
+            fmt, rows, cols, tile_size, g_rows, g_cols, num_ops = (
+                int(v) for v in data["meta"]
+            )
+        except KeyError as exc:
+            raise CheckpointError(f"missing metadata in {path}") from exc
+        if fmt != _FORMAT:
+            raise CheckpointError(f"unsupported checkpoint format {fmt}")
+        try:
+            grid = [
+                [np.array(data[f"r_{i}_{j}"]) for j in range(g_cols)]
+                for i in range(g_rows)
+            ]
+            tiled = TiledMatrix(grid, rows, cols)
+            log = []
+            for idx in range(num_ops):
+                code, k, row, row2, col = (int(v) for v in data[f"op{idx}_id"])
+                kind = _CODE_KIND[code]
+                task = Task(kind, k, row, row2, col)
+                if kind is TaskKind.GEQRT:
+                    factors = GEQRTResult(
+                        r=np.array([]),  # tile R already lives in `tiled`
+                        v=np.array(data[f"op{idx}_v"]),
+                        tf=np.array(data[f"op{idx}_tf"]),
+                        taus=np.array(data[f"op{idx}_taus"]),
+                    )
+                else:
+                    factors = TSQRTResult(
+                        r=np.array(data[f"op{idx}_r"]),
+                        v2=np.array(data[f"op{idx}_v"]),
+                        tf=np.array(data[f"op{idx}_tf"]),
+                        taus=np.array(data[f"op{idx}_taus"]),
+                        kind="TT" if kind is TaskKind.TTQRT else "TS",
+                    )
+                log.append((task, factors))
+        except KeyError as exc:
+            raise CheckpointError(f"truncated checkpoint {path}: {exc}") from exc
+    return TiledQRFactorization(r=tiled, log=log, shape=(rows, cols))

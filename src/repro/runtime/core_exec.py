@@ -1,0 +1,61 @@
+"""Shared task-application core for the numeric runtimes.
+
+A single function maps one DAG task onto the tile kernels; both the
+serial and the threaded runtime call it, so they cannot diverge.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..dag.tasks import Task, TaskKind
+from ..errors import DAGError
+from ..kernels import geqrt, tsqrt, ttqrt, unmqr, tsmqr
+from ..kernels.geqrt import GEQRTResult
+from ..kernels.tsqrt import TSQRTResult
+from ..tiles import TiledMatrix
+
+Factors = Union[GEQRTResult, TSQRTResult]
+
+
+def apply_task(task: Task, a: TiledMatrix, factors: dict[tuple, Factors]) -> Factors | None:
+    """Execute one task against the tiled matrix, in place.
+
+    Parameters
+    ----------
+    task:
+        The DAG task to run.
+    a:
+        The matrix being factorized (tiles mutated in place).
+    factors:
+        Shared factor store keyed by ``("Vg"|"Ve", row, k)``; factorization
+        tasks insert, update tasks read.  The threaded runtime relies on
+        plain-dict atomicity under the GIL plus DAG ordering for safety.
+
+    Returns
+    -------
+    The factors produced (for factorization tasks) or ``None`` (updates).
+    """
+    k = task.k
+    if task.kind is TaskKind.GEQRT:
+        f = geqrt(a.tile(task.row, k))
+        a.set_tile(task.row, k, f.r)
+        factors[("Vg", task.row, k)] = f
+        return f
+    if task.kind is TaskKind.UNMQR:
+        f = factors[("Vg", task.row, k)]
+        unmqr(f, a.tile(task.row, task.col))
+        return None
+    if task.kind in (TaskKind.TSQRT, TaskKind.TTQRT):
+        top = a.tile(task.row2, k)
+        bot = a.tile(task.row, k)
+        fe = tsqrt(top, bot) if task.kind is TaskKind.TSQRT else ttqrt(top, bot)
+        a.set_tile(task.row2, k, fe.r)
+        bot[...] = 0.0
+        factors[("Ve", task.row, k)] = fe
+        return fe
+    if task.kind in (TaskKind.TSMQR, TaskKind.TTMQR):
+        fe = factors[("Ve", task.row, k)]
+        tsmqr(fe, a.tile(task.row2, task.col), a.tile(task.row, task.col))
+        return None
+    raise DAGError(f"unknown task kind {task.kind!r}")  # pragma: no cover

@@ -1,0 +1,80 @@
+"""Deterministic single-threaded execution of the tiled-QR DAG."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DEFAULT_TILE_SIZE
+from ..dag import build_dag
+from ..errors import ShapeError
+from ..tiles import TiledMatrix
+from .core_exec import Factors, apply_task
+from .factorization import TiledQRFactorization
+
+
+class SerialRuntime:
+    """Reference executor: runs tasks in the DAG's topological order.
+
+    Parameters
+    ----------
+    elimination:
+        ``"TS"`` (paper's flat tree, default) or ``"TT"`` (binary tree).
+    progress:
+        Optional callback ``(tasks_done, tasks_total, task)`` invoked
+        after every kernel — hook for progress bars or cancellation
+        (raise inside the callback to abort).
+    """
+
+    def __init__(self, elimination: str = "TS", progress=None):
+        self.elimination = elimination
+        self.progress = progress
+
+    def factorize(self, a, tile_size: int = DEFAULT_TILE_SIZE) -> TiledQRFactorization:
+        """Tiled QR factorization of a dense or tiled matrix.
+
+        Parameters
+        ----------
+        a:
+            Dense ``m x n`` array (``m >= n``) or a
+            :class:`repro.tiles.TiledMatrix` (consumed: tiles mutated).
+        tile_size:
+            Tile edge when ``a`` is dense (ignored otherwise).
+
+        Returns
+        -------
+        TiledQRFactorization
+        """
+        if isinstance(a, TiledMatrix):
+            tiled = a
+            shape = tiled.shape
+        else:
+            arr = np.asarray(a)
+            if arr.ndim != 2:
+                raise ShapeError(f"expected a 2-D matrix, got ndim={arr.ndim}")
+            if arr.shape[0] < arr.shape[1]:
+                raise ShapeError(f"QR requires m >= n, got shape {arr.shape}")
+            tiled = TiledMatrix.from_dense(arr, tile_size)
+            shape = arr.shape
+        dag = build_dag(tiled.grid_rows, tiled.grid_cols, self.elimination)
+        factors: dict[tuple, Factors] = {}
+        log = []
+        total = len(dag.tasks)
+        for done, task in enumerate(dag.tasks, start=1):
+            produced = apply_task(task, tiled, factors)
+            if produced is not None:
+                log.append((task, produced))
+            if self.progress is not None:
+                self.progress(done, total, task)
+        return TiledQRFactorization(r=tiled, log=log, shape=shape)
+
+
+def tiled_qr(
+    a: np.ndarray,
+    tile_size: int = DEFAULT_TILE_SIZE,
+    elimination: str = "TS",
+) -> TiledQRFactorization:
+    """One-call tiled QR: ``f = tiled_qr(A); Q, R = f.q_dense(), f.r_dense()``.
+
+    This is the package's quickstart entry point.
+    """
+    return SerialRuntime(elimination).factorize(a, tile_size)

@@ -1,0 +1,319 @@
+"""Task-level discrete-event simulation of tiled QR execution.
+
+Models exactly what the paper's runtime (Fig. 7) does:
+
+* every kernel occupies one slot of its assigned device for the device
+  model's kernel time — panel steps chain through the DAG, update steps
+  fan out across slots;
+* every datum (tile, reflector factor set) lives on specific devices;
+  a task may only start once its inputs are resident, and moving them
+  occupies the source device's outgoing port (transfers from one device
+  are serialized — the star topology of Fig. 1);
+* transfers queued on a port toward the same destination are batched
+  into one message (the manager thread moves a panel's worth of data at
+  once), so latency is paid per batch, not per tile.
+
+The simulator consumes the same :class:`~repro.core.plan.DistributionPlan`
+as the numeric executor: panel tasks run on ``plan.panel_owner(k)``,
+update tasks on ``plan.column_owner(col)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import defaultdict, deque
+
+from ..comm.topology import Topology
+from ..config import ELEMENT_SIZE_BYTES
+from ..core.plan import DistributionPlan
+from ..dag.builder import TiledQRDag
+from ..dag.tasks import Step, Task
+from ..devices.registry import SystemSpec
+from ..errors import SimulationError
+from .trace import ExecutionTrace, TaskRecord, TransferRecord
+
+
+def _payload_bytes(key: tuple, tile_bytes: float) -> float:
+    """Bytes of one data object, following the paper's Eq. 11 accounting:
+    a tile or a GEQRT factor is one ``T^2`` payload, an elimination
+    factor is two (``Q_t1`` and ``Q_t2``)."""
+    if key[0] == "Ve":
+        return 2.0 * tile_bytes
+    return tile_bytes
+
+
+class DiscreteEventSimulator:
+    """Event-driven executor of a tiled-QR DAG on modelled devices.
+
+    Parameters
+    ----------
+    system:
+        Device models.
+    topology:
+        Link models between devices.
+    element_size:
+        Bytes per matrix element (paper uses 4 — single precision).
+    """
+
+    #: Ready-queue orderings selectable via ``policy``:
+    #: ``critical-path`` (default) runs panel steps and next-panel-column
+    #: updates first; ``fifo`` dispatches in become-ready order;
+    #: ``column-major`` favours finishing whole columns left to right;
+    #: ``reverse`` deliberately starves the critical path (a pessimal
+    #: contrast for the scheduling ablation).
+    POLICIES = ("critical-path", "fifo", "column-major", "reverse")
+
+    def __init__(
+        self,
+        system: SystemSpec,
+        topology: Topology,
+        element_size: int = ELEMENT_SIZE_BYTES,
+        panel_unit: bool = True,
+        policy: str = "critical-path",
+    ):
+        self.system = system
+        self.topology = topology
+        self.element_size = element_size
+        #: When True (default), each device runs panel steps (T/E) on a
+        #: dedicated capacity-1 engine: GPU kernels are non-preemptive
+        #: and the panel factorization is a serial chain (paper Secs. I
+        #: and III-A).  Setting False lets panel tasks share the update
+        #: slots — an idealized fully-parallel runtime, used as an
+        #: ablation of how much lookahead scheduling would buy.
+        self.panel_unit = panel_unit
+        if policy not in self.POLICIES:
+            raise SimulationError(
+                f"unknown scheduling policy {policy!r}; choose from {self.POLICIES}"
+            )
+        self.policy = policy
+
+    # -- public API -------------------------------------------------------
+
+    def run(
+        self,
+        dag: TiledQRDag,
+        plan: DistributionPlan,
+        tiles=None,
+    ) -> ExecutionTrace:
+        """Simulate the DAG under ``plan`` and return the full trace.
+
+        Parameters
+        ----------
+        tiles:
+            Optional :class:`~repro.tiles.TiledMatrix` holding real data.
+            When given, every simulated kernel *also executes numerically*
+            at its completion event (completion order is a valid
+            topological order), so one pass yields both the factorization
+            and its timeline — virtual-time co-execution.  The matrix is
+            mutated in place into the R factor; the produced reflector
+            log is stored on ``trace.numeric_log``.
+        """
+        b = plan.tile_size
+        tile_bytes = float(b * b * self.element_size)
+        devices = {d: self.system.device(d) for d in plan.participants}
+
+        def assign(task: Task) -> str:
+            if task.step in (Step.T, Step.E):
+                return plan.panel_owner(task.k)
+            return plan.column_owner(task.col)
+
+        # --- state -------------------------------------------------------
+        trace = ExecutionTrace()
+        numeric_factors: dict[tuple, object] = {}
+        numeric_log: list = []
+        if tiles is not None:
+            if (tiles.grid_rows, tiles.grid_cols) != (dag.grid_rows, dag.grid_cols):
+                raise SimulationError(
+                    f"tile grid {tiles.grid_shape} does not match DAG "
+                    f"{dag.grid_rows}x{dag.grid_cols}"
+                )
+        dep_remaining = {t: len(dag.preds[t]) for t in dag.tasks}
+        location: dict[tuple, set[str]] = defaultdict(set)
+        # Initial residency: column j's tiles start on their owner.
+        for j in range(dag.grid_cols):
+            owner = plan.column_owner(j)
+            for i in range(dag.grid_rows):
+                location[("t", i, j)].add(owner)
+
+        # Pre-seed data produced *outside* this DAG (e.g. factorization
+        # factors consumed by a solve DAG): any key read but never
+        # written lands where its producing panel would have run.
+        written_keys = set()
+        for t in dag.tasks:
+            written_keys.update(dag.accesses(t)[1])
+        for t in dag.tasks:
+            for key in dag.accesses(t)[0]:
+                if key[0] in ("Vg", "Ve") and key not in written_keys:
+                    if not location[key]:
+                        location[key].add(plan.panel_owner(key[2]))
+
+        ready_heap: dict[str, list] = {d: [] for d in devices}
+        panel_heap: dict[str, list] = {d: [] for d in devices}
+        busy_slots = {d: 0 for d in devices}
+        panel_busy = {d: False for d in devices}
+        pending_inputs: dict[Task, int] = {}
+        waiters: dict[tuple[tuple, str], list[Task]] = defaultdict(list)
+        port_queue: dict[str, deque] = {d: deque() for d in devices}
+        port_busy = {d: False for d in devices}
+
+        clock = 0.0
+        events: list = []
+        seq = itertools.count()
+
+        ready_seq = itertools.count()
+
+        def priority(task: Task) -> tuple:
+            if self.policy == "fifo":
+                return (next(ready_seq),)
+            if self.policy == "column-major":
+                return (task.col, task.k, task.row)
+            if self.policy == "reverse":
+                panel = 1 if task.step in (Step.T, Step.E) else 0
+                return (-task.k, panel, -task.col, task.row)
+            # critical-path (default)
+            panel = 0 if task.step in (Step.T, Step.E) else 1
+            next_col = 0 if task.col == task.k + 1 else 1
+            return (task.k, panel, next_col, task.col, task.row)
+
+        def push_event(time: float, kind: str, payload) -> None:
+            heapq.heappush(events, (time, next(seq), kind, payload))
+
+        def is_panel_task(task: Task) -> bool:
+            return self.panel_unit and task.step in (Step.T, Step.E)
+
+        def make_runnable(task: Task) -> None:
+            dev = assign(task)
+            heap = panel_heap[dev] if is_panel_task(task) else ready_heap[dev]
+            heapq.heappush(heap, (priority(task), task))
+            dispatch(dev)
+
+        def dispatch(dev: str) -> None:
+            spec = devices[dev]
+            if not panel_busy[dev] and panel_heap[dev]:
+                _, task = heapq.heappop(panel_heap[dev])
+                panel_busy[dev] = True
+                duration = spec.time(task.step, b)
+                push_event(clock + duration, "task_done", (task, dev, clock))
+            while busy_slots[dev] < spec.slots and ready_heap[dev]:
+                _, task = heapq.heappop(ready_heap[dev])
+                busy_slots[dev] += 1
+                duration = spec.time(task.step, b)
+                push_event(clock + duration, "task_done", (task, dev, clock))
+
+        def pump_port(src: str) -> None:
+            """Start the next transfer batch on ``src``'s outgoing port."""
+            if port_busy[src] or not port_queue[src]:
+                return
+            # Batch every queued request toward the head's destination.
+            head_key, head_dst = port_queue[src][0]
+            batch = [(head_key, head_dst)]
+            rest = deque()
+            port_queue[src].popleft()
+            while port_queue[src]:
+                key, dst = port_queue[src].popleft()
+                if dst == head_dst:
+                    batch.append((key, dst))
+                else:
+                    rest.append((key, dst))
+            port_queue[src] = rest
+            total_bytes = sum(_payload_bytes(k, tile_bytes) for k, _ in batch)
+            duration = self.topology.transfer_time(src, head_dst, total_bytes, messages=1)
+            port_busy[src] = True
+            push_event(clock + duration, "xfer_done", (src, head_dst, batch, clock, total_bytes))
+
+        def request_input(key: tuple, dst: str, task: Task) -> None:
+            waiters[(key, dst)].append(task)
+            if len(waiters[(key, dst)]) > 1:
+                return  # already in flight
+            holders = location[key]
+            if not holders:
+                raise SimulationError(f"datum {key} needed by {task} has no producer copy")
+            src = next(iter(holders))
+            port_queue[src].append((key, dst))
+            pump_port(src)
+
+        def stage(task: Task) -> None:
+            """Called when DAG deps are satisfied; moves inputs then runs."""
+            dev = assign(task)
+            reads, _writes = dag.accesses(task)
+            missing = [k for k in dict.fromkeys(reads) if dev not in location[k]]
+            if not missing:
+                make_runnable(task)
+                return
+            pending_inputs[task] = len(missing)
+            for key in missing:
+                request_input(key, dev, task)
+
+        def complete_task(task: Task, dev: str, start: float) -> None:
+            if is_panel_task(task):
+                panel_busy[dev] = False
+            else:
+                busy_slots[dev] -= 1
+            trace.tasks.append(TaskRecord(task=task, device_id=dev, start=start, end=clock))
+            if tiles is not None:
+                from ..runtime.core_exec import apply_task
+
+                produced = apply_task(task, tiles, numeric_factors)
+                if produced is not None:
+                    numeric_log.append((task, produced))
+            _reads, writes = dag.accesses(task)
+            for key in writes:
+                location[key] = {dev}
+            for succ in dag.succs[task]:
+                dep_remaining[succ] -= 1
+                if dep_remaining[succ] == 0:
+                    stage(succ)
+            dispatch(dev)
+
+        def complete_transfer(src: str, dst: str, batch, start: float, nbytes: float) -> None:
+            port_busy[src] = False
+            trace.transfers.append(
+                TransferRecord(
+                    src=src, dst=dst, num_bytes=nbytes, start=start, end=clock,
+                    tag="+".join(sorted({k[0] for k, _ in batch})),
+                )
+            )
+            for key, _ in batch:
+                location[key].add(dst)
+                for task in waiters.pop((key, dst), []):
+                    pending_inputs[task] -= 1
+                    if pending_inputs[task] == 0:
+                        del pending_inputs[task]
+                        make_runnable(task)
+            pump_port(src)
+
+        # --- main loop -----------------------------------------------------
+        for t in dag.tasks:
+            if dep_remaining[t] == 0:
+                stage(t)
+        completed = 0
+        total = len(dag.tasks)
+        while events:
+            clock, _, kind, payload = heapq.heappop(events)
+            if kind == "task_done":
+                complete_task(*payload)
+                completed += 1
+            else:
+                complete_transfer(*payload)
+        if completed != total:
+            raise SimulationError(
+                f"simulation deadlocked: {completed}/{total} tasks completed"
+            )
+        if tiles is not None:
+            trace.numeric_log = numeric_log
+        return trace
+
+
+def simulate_task_level(
+    dag: TiledQRDag,
+    plan: DistributionPlan,
+    system: SystemSpec,
+    topology: Topology,
+    element_size: int = ELEMENT_SIZE_BYTES,
+    panel_unit: bool = True,
+) -> ExecutionTrace:
+    """One-call wrapper around :class:`DiscreteEventSimulator`."""
+    return DiscreteEventSimulator(
+        system, topology, element_size, panel_unit=panel_unit
+    ).run(dag, plan)

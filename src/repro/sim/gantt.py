@@ -1,0 +1,100 @@
+"""Trace visualization: ASCII Gantt charts and Chrome trace export.
+
+``ascii_gantt`` renders an :class:`~repro.sim.trace.ExecutionTrace` as a
+per-device timeline directly in the terminal; ``to_chrome_trace`` emits
+the Trace Event JSON format so a trace can be opened in
+``chrome://tracing`` / Perfetto for interactive inspection.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..dag.tasks import Step
+from .trace import ExecutionTrace
+
+#: Display characters per step kind.
+_STEP_CHAR = {Step.T: "T", Step.E: "E", Step.UT: "u", Step.UE: "x"}
+
+
+def ascii_gantt(
+    trace: ExecutionTrace,
+    width: int = 100,
+    include_transfers: bool = True,
+) -> str:
+    """Render the trace as one text row per device (plus link rows).
+
+    Each column of the chart is a time bucket; the character shows what
+    dominated the bucket (``T``/``E`` panel kernels, ``u``/``x`` update
+    kernels, ``-`` transfers, space = idle).
+    """
+    if not trace.tasks:
+        return "(empty trace)"
+    span = trace.makespan
+    if span <= 0:
+        return "(zero-length trace)"
+    scale = width / span
+
+    rows: dict[str, list[str]] = {}
+
+    def paint(row_key: str, start: float, end: float, ch: str) -> None:
+        row = rows.setdefault(row_key, [" "] * width)
+        c0 = min(width - 1, int(start * scale))
+        c1 = min(width - 1, max(c0, int(end * scale) - 1))
+        for c in range(c0, c1 + 1):
+            row[c] = ch
+
+    # Paint updates first so panel steps overwrite them at ties.
+    for rec in sorted(trace.tasks, key=lambda r: r.task.step in (Step.T, Step.E)):
+        paint(rec.device_id, rec.start, rec.end, _STEP_CHAR[rec.task.step])
+    if include_transfers:
+        for t in trace.transfers:
+            paint(f"{t.src} ->", t.start, t.end, "-")
+
+    label_w = max(len(k) for k in rows)
+    lines = [
+        f"{key.ljust(label_w)} |{''.join(row)}|"
+        for key, row in sorted(rows.items())
+    ]
+    legend = "T=triangulation E=elimination u=UT x=UE -=transfer"
+    header = f"makespan: {span * 1e3:.3f} ms, {len(trace.tasks)} tasks, {len(trace.transfers)} transfers"
+    return "\n".join([header, *lines, legend])
+
+
+def to_chrome_trace(trace: ExecutionTrace, time_unit: float = 1e6) -> str:
+    """Serialize to Chrome Trace Event JSON (open in chrome://tracing).
+
+    Parameters
+    ----------
+    time_unit:
+        Multiplier from simulated seconds to trace microseconds; the
+        default treats simulated seconds as real seconds.
+    """
+    events = []
+    for rec in trace.tasks:
+        events.append(
+            {
+                "name": rec.task.label(),
+                "cat": rec.task.step.value,
+                "ph": "X",
+                "ts": rec.start * time_unit,
+                "dur": rec.duration * time_unit,
+                "pid": "devices",
+                "tid": rec.device_id,
+                "args": {"panel": rec.task.k, "col": rec.task.col},
+            }
+        )
+    for t in trace.transfers:
+        events.append(
+            {
+                "name": t.tag or "transfer",
+                "cat": "comm",
+                "ph": "X",
+                "ts": t.start * time_unit,
+                "dur": t.duration * time_unit,
+                "pid": "links",
+                "tid": f"{t.src}->{t.dst}",
+                "args": {"bytes": t.num_bytes},
+            }
+        )
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, indent=1)

@@ -1,0 +1,178 @@
+"""Execution traces and summary reports produced by the simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dag.tasks import Step, Task
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed kernel: where and when."""
+
+    task: Task
+    device_id: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One data movement over a link."""
+
+    src: str
+    dst: str
+    num_bytes: float
+    start: float
+    end: float
+    tag: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SimulationReport:
+    """Aggregate outcome every simulator produces.
+
+    Attributes
+    ----------
+    makespan:
+        Wall-clock seconds for the whole factorization.
+    compute_busy:
+        Per-device total seconds spent inside kernels (slot-seconds).
+    comm_time:
+        Total seconds of link occupation across all transfers.
+    num_tasks, num_transfers:
+        Volume counters.
+    meta:
+        Free-form details (grid, plan description, fidelity).
+    """
+
+    makespan: float
+    compute_busy: dict[str, float]
+    comm_time: float
+    num_tasks: int = 0
+    num_transfers: int = 0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def total_compute(self) -> float:
+        return sum(self.compute_busy.values())
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of communication in total busy time (paper Fig. 5)."""
+        denom = self.comm_time + self.total_compute
+        if denom <= 0.0:
+            return 0.0
+        return self.comm_time / denom
+
+    def utilization(self, slots: dict[str, int]) -> dict[str, float]:
+        """Per-device slot utilization: busy / (slots x makespan)."""
+        if self.makespan <= 0.0:
+            return {d: 0.0 for d in self.compute_busy}
+        return {
+            d: busy / (slots[d] * self.makespan)
+            for d, busy in self.compute_busy.items()
+        }
+
+
+@dataclass
+class ExecutionTrace:
+    """Full task-level trace (discrete-event simulator output).
+
+    ``numeric_log`` is populated only by virtual-time co-execution
+    (:meth:`repro.sim.engine.DiscreteEventSimulator.run` with real
+    tiles): the chronological reflector log, same contract as
+    :attr:`repro.runtime.factorization.TiledQRFactorization.log`.
+    """
+
+    tasks: list[TaskRecord] = field(default_factory=list)
+    transfers: list[TransferRecord] = field(default_factory=list)
+    numeric_log: list = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        ends = [t.end for t in self.tasks] + [t.end for t in self.transfers]
+        return max(ends, default=0.0)
+
+    def compute_busy(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for rec in self.tasks:
+            out[rec.device_id] = out.get(rec.device_id, 0.0) + rec.duration
+        return out
+
+    def comm_time(self) -> float:
+        return sum(t.duration for t in self.transfers)
+
+    def step_time(self) -> dict[Step, float]:
+        """Total kernel seconds by paper step."""
+        out = {s: 0.0 for s in Step}
+        for rec in self.tasks:
+            out[rec.task.step] += rec.duration
+        return out
+
+    def report(self, **meta) -> SimulationReport:
+        """Summarize into a :class:`SimulationReport`."""
+        return SimulationReport(
+            makespan=self.makespan,
+            compute_busy=self.compute_busy(),
+            comm_time=self.comm_time(),
+            num_tasks=len(self.tasks),
+            num_transfers=len(self.transfers),
+            meta={"fidelity": "task-level", **meta},
+        )
+
+    def validate_no_overlap(self, slots: dict[str, int], panel_unit: bool = True) -> None:
+        """Assert no device ever runs more kernels than it has capacity.
+
+        Update kernels are checked against the device's slot count; when
+        ``panel_unit`` is set (the simulator default), panel kernels
+        (T/E) are checked against their dedicated capacity-1 engine.
+        Sweep-line over task records; raises :class:`SimulationError` on
+        overcommit.  Used by the simulator's tests as a conservation law.
+        """
+
+        def check(records: list[TaskRecord], capacity: dict[str, int], label: str) -> None:
+            events: dict[str, list[tuple[float, int]]] = {}
+            for rec in records:
+                events.setdefault(rec.device_id, []).append((rec.start, +1))
+                events.setdefault(rec.device_id, []).append((rec.end, -1))
+            for dev, evs in events.items():
+                evs.sort(key=lambda e: (e[0], e[1]))  # ends before starts at ties
+                level = 0
+                for _t, delta in evs:
+                    level += delta
+                    if level > capacity[dev]:
+                        raise SimulationError(
+                            f"device {dev} overcommitted on {label}: "
+                            f"{level} > {capacity[dev]}"
+                        )
+
+        if panel_unit:
+            panel = [r for r in self.tasks if r.task.step in (Step.T, Step.E)]
+            updates = [r for r in self.tasks if r.task.step not in (Step.T, Step.E)]
+            check(panel, {d: 1 for d in slots}, "panel unit")
+            check(updates, slots, "update slots")
+        else:
+            check(self.tasks, slots, "slots")
+
+    def gantt_rows(self) -> list[tuple[str, str, float, float]]:
+        """``(device, label, start, end)`` rows for plotting/reporting."""
+        rows = [
+            (rec.device_id, rec.task.label(), rec.start, rec.end) for rec in self.tasks
+        ]
+        rows += [
+            (f"{t.src}->{t.dst}", t.tag or "xfer", t.start, t.end)
+            for t in self.transfers
+        ]
+        rows.sort(key=lambda r: (r[0], r[2]))
+        return rows

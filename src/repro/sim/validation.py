@@ -1,0 +1,80 @@
+"""Trace validators: the simulator's conservation laws as library code.
+
+Every law the test suite holds the simulators to is available here for
+user traces too (e.g. after custom plans or modified device models):
+
+* task starts respect the DAG's dependency edges;
+* no device exceeds its update slots, and panel kernels respect the
+  capacity-1 panel engine;
+* transfers out of one device never overlap (star topology ports);
+* every DAG task executed exactly once, on the device the plan assigns.
+"""
+
+from __future__ import annotations
+
+from ..core.plan import DistributionPlan
+from ..dag.builder import TiledQRDag
+from ..dag.tasks import Step
+from ..devices.registry import SystemSpec
+from ..errors import SimulationError
+from .trace import ExecutionTrace
+
+
+def validate_dependencies(trace: ExecutionTrace, dag: TiledQRDag) -> None:
+    """Every task starts only after all its DAG predecessors finished."""
+    end_of = {r.task: r.end for r in trace.tasks}
+    start_of = {r.task: r.start for r in trace.tasks}
+    missing = [t for t in dag.tasks if t not in start_of]
+    if missing:
+        raise SimulationError(f"{len(missing)} DAG tasks never executed, e.g. {missing[0]}")
+    for t in dag.tasks:
+        for d in dag.preds[t]:
+            if start_of[t] < end_of[d] - 1e-12:
+                raise SimulationError(
+                    f"dependency violated: {t.label()} started at "
+                    f"{start_of[t]:.6g} before {d.label()} ended at {end_of[d]:.6g}"
+                )
+
+
+def validate_assignment(trace: ExecutionTrace, plan: DistributionPlan) -> None:
+    """Every kernel ran on the device the plan assigns it to."""
+    for rec in trace.tasks:
+        t = rec.task
+        expected = (
+            plan.panel_owner(t.k) if t.step in (Step.T, Step.E)
+            else plan.column_owner(t.col)
+        )
+        if rec.device_id != expected:
+            raise SimulationError(
+                f"{t.label()} ran on {rec.device_id}, plan says {expected}"
+            )
+
+
+def validate_ports(trace: ExecutionTrace) -> None:
+    """Outgoing transfers from one device are serialized."""
+    by_src: dict[str, list[tuple[float, float]]] = {}
+    for tr in trace.transfers:
+        by_src.setdefault(tr.src, []).append((tr.start, tr.end))
+    for src, spans in by_src.items():
+        spans.sort()
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            if s2 < e1 - 1e-12:
+                raise SimulationError(f"overlapping transfers out of {src}")
+
+
+def validate_trace(
+    trace: ExecutionTrace,
+    dag: TiledQRDag,
+    plan: DistributionPlan,
+    system: SystemSpec | None = None,
+    panel_unit: bool = True,
+) -> None:
+    """Run every conservation law; raises :class:`SimulationError` on the
+    first violation.  ``system`` enables the slot-capacity sweep."""
+    validate_dependencies(trace, dag)
+    validate_assignment(trace, plan)
+    validate_ports(trace)
+    if system is not None:
+        trace.validate_no_overlap(
+            {d.device_id: d.slots for d in system}, panel_unit=panel_unit
+        )

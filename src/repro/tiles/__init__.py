@@ -1,0 +1,6 @@
+"""Tiled matrix layout: splitting matrices into square tiles and back."""
+
+from .partition import Partition, partition_extent
+from .layout import TiledMatrix
+
+__all__ = ["Partition", "partition_extent", "TiledMatrix"]

@@ -1,0 +1,62 @@
+"""Partition arithmetic for tile grids.
+
+The paper uses square tiles over square matrices whose size is a multiple
+of the tile size; this module generalizes slightly (ragged last tile via
+zero padding) so the library is usable on arbitrary sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import validate_tile_size
+from ..errors import TilingError
+
+
+@dataclass(frozen=True)
+class Partition:
+    """How one matrix dimension of length ``extent`` splits into tiles.
+
+    Attributes
+    ----------
+    extent:
+        The dimension length being partitioned.
+    tile_size:
+        Tile edge length ``b``.
+    """
+
+    extent: int
+    tile_size: int
+
+    def __post_init__(self):
+        validate_tile_size(self.tile_size)
+        if self.extent < 1:
+            raise TilingError(f"extent must be >= 1, got {self.extent}")
+
+    @property
+    def num_tiles(self) -> int:
+        """Number of tiles covering the dimension (last may be padded)."""
+        return -(-self.extent // self.tile_size)
+
+    @property
+    def padded_extent(self) -> int:
+        """Dimension length after zero padding to a whole tile count."""
+        return self.num_tiles * self.tile_size
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the tile size divides the extent evenly."""
+        return self.extent % self.tile_size == 0
+
+    def tile_span(self, index: int) -> tuple[int, int]:
+        """Half-open element range ``[start, stop)`` of tile ``index``
+        within the *unpadded* dimension."""
+        if not 0 <= index < self.num_tiles:
+            raise TilingError(f"tile index {index} out of range [0, {self.num_tiles})")
+        start = index * self.tile_size
+        return start, min(start + self.tile_size, self.extent)
+
+
+def partition_extent(extent: int, tile_size: int) -> Partition:
+    """Convenience constructor mirroring :class:`Partition`."""
+    return Partition(extent=extent, tile_size=tile_size)

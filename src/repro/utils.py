@@ -1,0 +1,115 @@
+"""Small shared helpers used across the repro package."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import ShapeError
+
+
+def as_square_matrix(a: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Return ``a`` as a 2-D square ndarray, validating its shape.
+
+    Parameters
+    ----------
+    a:
+        Array-like input.
+    name:
+        Name used in error messages.
+    """
+    arr = np.asarray(a)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got ndim={arr.ndim}")
+    if arr.shape[0] != arr.shape[1]:
+        raise ShapeError(f"{name} must be square, got shape {arr.shape}")
+    return arr
+
+
+def require_2d(a: np.ndarray, name: str = "array") -> np.ndarray:
+    """Return ``a`` as a 2-D ndarray or raise :class:`ShapeError`."""
+    arr = np.asarray(a)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got ndim={arr.ndim}")
+    return arr
+
+
+def require_same_shape(a: np.ndarray, b: np.ndarray, what: str = "arrays") -> None:
+    """Raise :class:`ShapeError` unless ``a`` and ``b`` have equal shapes."""
+    if a.shape != b.shape:
+        raise ShapeError(f"{what} must have equal shapes, got {a.shape} and {b.shape}")
+
+
+def frobenius_relative_error(actual: np.ndarray, expected: np.ndarray) -> float:
+    """Relative Frobenius-norm error ``||actual - expected|| / ||expected||``.
+
+    Falls back to the absolute error when ``expected`` is (numerically)
+    zero, so the result is always finite.
+    """
+    denom = float(np.linalg.norm(expected))
+    err = float(np.linalg.norm(np.asarray(actual) - np.asarray(expected)))
+    if denom <= np.finfo(np.float64).tiny:
+        return err
+    return err / denom
+
+
+def is_upper_triangular(a: np.ndarray, atol: float = 0.0) -> bool:
+    """True when every strictly-lower-triangular entry of ``a`` is ~ 0."""
+    arr = require_2d(a)
+    lower = np.tril(arr, k=-1)
+    if atol == 0.0:
+        return not np.any(lower)
+    return bool(np.all(np.abs(lower) <= atol))
+
+
+def orthogonality_error(q: np.ndarray) -> float:
+    """``||Q^T Q - I||_F`` — 0 for a perfectly orthogonal matrix."""
+    q = require_2d(q, "Q")
+    n = q.shape[1]
+    return float(np.linalg.norm(q.T @ q - np.eye(n, dtype=q.dtype)))
+
+
+def human_time(seconds: float) -> str:
+    """Format a duration in engineering-friendly units."""
+    if seconds != seconds:  # NaN
+        return "nan"
+    if seconds < 0:
+        return f"-{human_time(-seconds)}"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"
+
+
+def geometric_sizes(start: int, stop: int, factor: float) -> list[int]:
+    """Geometric sweep of integer sizes, inclusive of both endpoints."""
+    if start <= 0 or stop < start or factor <= 1.0:
+        raise ValueError("need 0 < start <= stop and factor > 1")
+    out = []
+    x = float(start)
+    while x < stop:
+        out.append(int(round(x)))
+        x *= factor
+    out.append(stop)
+    # Deduplicate while preserving order.
+    seen: set[int] = set()
+    uniq = []
+    for v in out:
+        if v not in seen:
+            seen.add(v)
+            uniq.append(v)
+    return uniq
+
+
+def chunked(seq: Sequence, size: int) -> Iterable[Sequence]:
+    """Yield successive chunks of ``seq`` of at most ``size`` elements."""
+    if size < 1:
+        raise ValueError("chunk size must be >= 1")
+    for i in range(0, len(seq), size):
+        yield seq[i : i + size]

@@ -1,0 +1,80 @@
+"""Workload generators: matrix families for tests and experiments.
+
+The paper evaluates on "random floating point numbers"; real data
+analysis brings structure.  These generators cover the families the
+test suite and the stability experiments exercise, all reproducible
+from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import ShapeError
+
+
+def random_gaussian(m: int, n: int | None = None, seed: int = 0) -> np.ndarray:
+    """The paper's workload: i.i.d. standard-normal entries."""
+    n = m if n is None else n
+    _check(m, n)
+    return np.random.default_rng(seed).standard_normal((m, n))
+
+
+def random_uniform(m: int, n: int | None = None, seed: int = 0) -> np.ndarray:
+    """Uniform(-1, 1) entries."""
+    n = m if n is None else n
+    _check(m, n)
+    return np.random.default_rng(seed).uniform(-1.0, 1.0, (m, n))
+
+
+def graded(m: int, n: int | None = None, decay: float = 0.9, seed: int = 0) -> np.ndarray:
+    """Gaussian matrix with geometrically decaying column scales —
+    mildly ill conditioned, exercises pivoting-free robustness."""
+    n = m if n is None else n
+    _check(m, n)
+    if not 0.0 < decay <= 1.0:
+        raise ValueError(f"decay must be in (0, 1], got {decay}")
+    a = np.random.default_rng(seed).standard_normal((m, n))
+    return a * (decay ** np.arange(n))
+
+def vandermonde(m: int, degree: int, a: float = -1.0, b: float = 1.0) -> np.ndarray:
+    """Polynomial design matrix on ``m`` points — the least-squares
+    workload (tall, moderately ill conditioned with degree)."""
+    if m < degree + 1:
+        raise ShapeError(f"need at least degree+1 rows, got {m} for degree {degree}")
+    t = np.linspace(a, b, m)
+    return np.vander(t, degree + 1)
+
+
+def spd(n: int, seed: int = 0, shift: float = 1.0) -> np.ndarray:
+    """Symmetric positive definite (for the Cholesky baselines)."""
+    _check(n, n)
+    a = np.random.default_rng(seed).standard_normal((n, n))
+    return a @ a.T + shift * n * np.eye(n)
+
+
+def near_singular(n: int, rank: int, noise: float = 1e-12, seed: int = 0) -> np.ndarray:
+    """Rank-``rank`` matrix plus tiny noise — stresses the solvers'
+    singularity detection."""
+    _check(n, n)
+    if not 0 < rank <= n:
+        raise ValueError(f"rank must be in (0, {n}], got {rank}")
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal((n, rank))
+    v = rng.standard_normal((rank, n))
+    return u @ v + noise * rng.standard_normal((n, n))
+
+
+def orthogonal(n: int, seed: int = 0) -> np.ndarray:
+    """Haar-ish orthogonal matrix via our own Householder QR."""
+    from .kernels.householder import householder_qr
+
+    _check(n, n)
+    q, r = householder_qr(np.random.default_rng(seed).standard_normal((n, n)))
+    # Fix the sign convention so the distribution is properly uniform.
+    return q * np.sign(np.diag(r))
+
+
+def _check(m: int, n: int) -> None:
+    if m < 1 or n < 1:
+        raise ShapeError(f"matrix dimensions must be positive, got {m}x{n}")

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.topology import pcie_star
+from repro.core.optimizer import Optimizer
+from repro.devices.registry import paper_testbed
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def system():
+    return paper_testbed()
+
+
+@pytest.fixture(scope="session")
+def topology(system):
+    return pcie_star(system.devices)
+
+
+@pytest.fixture(scope="session")
+def optimizer(system, topology):
+    return Optimizer(system, topology)

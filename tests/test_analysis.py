@@ -1,0 +1,179 @@
+"""Tests for metrics and reporting helpers."""
+
+import pytest
+
+from repro.analysis import (
+    achieved_gflops,
+    amdahl_bound,
+    ascii_chart,
+    format_series,
+    format_table,
+    parallel_efficiency,
+    speedup,
+    weak_scaling_efficiency,
+)
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_parallel_efficiency(self):
+        assert parallel_efficiency(8.0, 2.0, 4) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            parallel_efficiency(1.0, 1.0, 0)
+
+    def test_achieved_gflops(self):
+        g = achieved_gflops(3200, 16, 1.0)
+        assert g > 0
+        # Twice as fast -> twice the rate.
+        assert achieved_gflops(3200, 16, 0.5) == pytest.approx(2 * g)
+        with pytest.raises(ValueError):
+            achieved_gflops(100, 16, 0.0)
+
+    def test_weak_scaling(self):
+        # Perfect: 8x work on 8x workers in the same time.
+        eff = weak_scaling_efficiency(1.0, 100, 1.0, 200, 8.0)
+        assert eff == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            weak_scaling_efficiency(0, 1, 1, 1, 1)
+
+    def test_amdahl(self):
+        assert amdahl_bound(0.0, 10) == pytest.approx(10.0)
+        assert amdahl_bound(1.0, 10) == pytest.approx(1.0)
+        assert amdahl_bound(0.1, 1e9) == pytest.approx(10.0, rel=1e-6)
+        with pytest.raises(ValueError):
+            amdahl_bound(1.5, 2)
+        with pytest.raises(ValueError):
+            amdahl_bound(0.5, 0)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+    def test_format_series(self):
+        out = format_series("timing", [1, 2], [0.5, 1.5], unit="s")
+        assert "timing [s]" in out
+        assert "1 2" in out
+
+    def test_ascii_chart_contains_marks(self):
+        out = ascii_chart({"alpha": ([1, 2, 3], [1.0, 2.0, 3.0])})
+        assert "A" in out
+        assert "alpha" in out
+
+    def test_ascii_chart_log(self):
+        out = ascii_chart({"x": ([1, 2], [1.0, 100.0])}, logy=True)
+        assert "log y" in out
+
+    def test_ascii_chart_empty(self):
+        assert ascii_chart({}) == "(empty chart)"
+
+
+class TestRoofline:
+    def test_intensity_linear_in_b(self):
+        from repro.analysis import arithmetic_intensity
+        from repro.dag.tasks import Step
+
+        a16 = arithmetic_intensity(Step.UE, 16)
+        a32 = arithmetic_intensity(Step.UE, 32)
+        assert a32 == pytest.approx(2 * a16)
+        with pytest.raises(ValueError):
+            arithmetic_intensity(Step.UE, 0)
+
+    def test_kernel_bytes_ordering(self):
+        from repro.analysis import kernel_bytes
+        from repro.dag.tasks import Step
+
+        # Pair kernels touch more data than single-tile ones.
+        assert kernel_bytes(Step.UE, 16) > kernel_bytes(Step.UT, 16)
+        assert kernel_bytes(Step.E, 16) > kernel_bytes(Step.T, 16)
+
+    def test_roofline_regimes(self):
+        from repro.analysis import roofline
+        from repro.dag.tasks import Step
+        from repro.devices import paper_gtx580
+
+        dev = paper_gtx580()
+        # Starved bandwidth: bandwidth-bound even at large tiles.
+        starved = roofline(dev, Step.UE, 16, mem_bandwidth=1e6)
+        assert not starved.compute_bound
+        assert starved.attainable_flops < dev.timing.rates_flops[Step.UE]
+        # Generous bandwidth: compute-bound.
+        rich = roofline(dev, Step.UE, 64, mem_bandwidth=1e12)
+        assert rich.compute_bound
+        with pytest.raises(ValueError):
+            roofline(dev, Step.UE, 16, mem_bandwidth=0)
+
+    def test_ridge_tile_size(self):
+        from repro.analysis import ridge_tile_size
+        from repro.dag.tasks import Step
+        from repro.devices import paper_gtx580
+
+        dev = paper_gtx580()
+        # Low bandwidth pushes the ridge to larger tiles.
+        b_low = ridge_tile_size(dev, Step.UE, mem_bandwidth=1e9)
+        b_high = ridge_tile_size(dev, Step.UE, mem_bandwidth=1e11)
+        assert b_low is not None and b_high is not None
+        assert b_low >= b_high
+        # Hopeless bandwidth: never compute-bound.
+        assert ridge_tile_size(dev, Step.UE, mem_bandwidth=1.0, max_b=64) is None
+
+
+class TestEnergy:
+    def _report(self, makespan=2.0, busy=None):
+        from repro.sim.trace import SimulationReport
+
+        return SimulationReport(
+            makespan=makespan,
+            compute_busy=busy or {"gtx580-0": 16.0, "cpu-0": 4.0},
+            comm_time=0.0,
+        )
+
+    def test_full_utilization_draws_tdp(self, system):
+        from repro.analysis import energy_report
+
+        # gtx580 busy = slots * makespan -> 100% utilization.
+        rep = self._report(makespan=1.0, busy={"gtx580-0": 16.0})
+        e = energy_report(rep, system, idle_fraction=0.0)
+        assert e.total_joules == pytest.approx(244.0)
+        assert e.average_watts == pytest.approx(244.0)
+
+    def test_idle_fraction_adds_floor(self, system):
+        from repro.analysis import energy_report
+
+        rep = self._report(makespan=1.0, busy={"gtx580-0": 0.0})
+        e = energy_report(rep, system, idle_fraction=0.5)
+        assert e.active_joules == 0.0
+        assert e.idle_joules == pytest.approx(122.0)
+
+    def test_unknown_device_gets_fallback(self):
+        from repro.analysis import device_power
+        from repro.devices import synthetic_system
+
+        sys_ = synthetic_system(num_gpus=1, num_cpus=0)
+        assert device_power(sys_, "gpu-0") == 150.0
+
+    def test_invalid_idle_fraction(self, system):
+        from repro.analysis import energy_report
+
+        with pytest.raises(ValueError):
+            energy_report(self._report(), system, idle_fraction=2.0)
+
+    def test_energy_experiment_shape(self):
+        from repro.experiments import energy_to_solution
+
+        res = energy_to_solution.run(quick=True)
+        # Energy optimum never uses MORE devices than the time optimum.
+        for row in res.rows:
+            assert int(row[-1][0]) <= int(row[-2][0])

@@ -1,0 +1,101 @@
+"""Tests for the baseline plans and sequential reference."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    cores_based_plan,
+    even_plan,
+    forced_main_plan,
+    no_main_plan,
+    round_robin_plan,
+    sequential_qr,
+    sequential_time_estimate,
+)
+from repro.errors import PlanError
+
+
+class TestEvenPlan:
+    def test_equal_column_shares(self, system):
+        plan = even_plan(system, "gtx580-0")
+        owners = plan.owners(400)[1:]  # column 0 is pinned to main
+        counts = {d: owners.count(d) for d in plan.participants}
+        assert max(counts.values()) - min(counts.values()) <= 2
+
+    def test_participants_subset(self, system):
+        gpus = [d.device_id for d in system.gpus()]
+        plan = even_plan(system, "gtx580-0", participants=gpus)
+        assert set(plan.participants) == set(gpus)
+
+    def test_main_must_participate(self, system):
+        with pytest.raises(PlanError):
+            even_plan(system, "cpu-0", participants=["gtx580-0"])
+
+
+class TestCoresBasedPlan:
+    def test_shares_proportional_to_cores(self, system):
+        plan = cores_based_plan(system, "gtx580-0")
+        owners = plan.owners(10000)[1:]
+        n680 = owners.count("gtx680-0")
+        n580 = owners.count("gtx580-0")
+        assert n680 / max(n580, 1) == pytest.approx(1536 / 512, rel=0.1)
+
+    def test_cpu_nearly_starved(self, system):
+        plan = cores_based_plan(system, "gtx580-0")
+        owners = plan.owners(4000)
+        assert owners.count("cpu-0") < 0.01 * len(owners)
+
+
+class TestRoundRobinPlan:
+    def test_cycles_in_order(self, system):
+        plan = round_robin_plan(system, "gtx580-0", participants=["gtx580-0", "gtx680-0"])
+        assert plan.column_owner(1) == "gtx680-0"
+        assert plan.column_owner(2) == "gtx580-0"
+
+
+class TestForcedMainPlan:
+    def test_main_respected(self, system):
+        plan = forced_main_plan(system, "gtx680-1", 50, 50, 16)
+        assert plan.main_device == "gtx680-1"
+        assert plan.panel_owner(3) == "gtx680-1"
+
+    def test_unknown_device(self, system):
+        with pytest.raises(PlanError):
+            forced_main_plan(system, "nope", 10, 10)
+
+    def test_explicit_participants(self, system):
+        plan = forced_main_plan(
+            system, "gtx580-0", 50, 50, 16,
+            participants=["gtx580-0", "cpu-0"],
+        )
+        assert set(plan.participants) == {"gtx580-0", "cpu-0"}
+
+
+class TestNoMainPlan:
+    def test_panels_follow_columns(self, system):
+        plan = no_main_plan(system, 50, 50, 16)
+        assert plan.panel_follows_column
+        owners = {plan.panel_owner(k) for k in range(20)}
+        assert len(owners) > 1  # panels actually migrate
+
+    def test_gpus_only_by_default(self, system):
+        plan = no_main_plan(system, 50, 50, 16)
+        assert "cpu-0" not in set(plan.guide_array)
+
+    def test_cpu_included_when_requested(self, system):
+        plan = no_main_plan(system, 50, 50, 16, gpus_only_panels=False)
+        assert "cpu-0" in plan.participants
+
+
+class TestSequential:
+    def test_qr_correct(self, rng):
+        a = rng.standard_normal((20, 12))
+        q, r = sequential_qr(a)
+        np.testing.assert_allclose(q @ r, a, atol=1e-10)
+
+    def test_time_estimate_positive_and_cubic(self, system):
+        dev = system.device("gtx580-0")
+        t1 = sequential_time_estimate(dev, 1000, 16)
+        t2 = sequential_time_estimate(dev, 2000, 16)
+        assert t1 > 0
+        assert t2 / t1 == pytest.approx(8.0, rel=0.01)

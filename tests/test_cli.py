@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "fig9" in out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "640"]) == 0
+        out = capsys.readouterr().out
+        assert "main=gtx580-0" in out
+        assert "selected" in out
+
+    def test_plan_custom_tile(self, capsys):
+        assert main(["plan", "640", "--tile-size", "32"]) == 0
+        assert "b=32" in capsys.readouterr().out
+
+    def test_experiment_quick(self, capsys):
+        assert main(["experiment", "table1", "--quick"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+
+    def test_factorize(self, capsys):
+        assert main(["factorize", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "||A - QR||/||A||" in out
+
+    def test_factorize_too_large(self):
+        assert main(["factorize", "99999"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_gantt(self, capsys):
+        assert main(["gantt", "160", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "T=triangulation" in out
+
+    def test_gantt_too_large(self):
+        assert main(["gantt", "99999"]) == 2
+
+    def test_selfcheck(self, capsys):
+        assert main(["selfcheck"]) == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_experiment_out_json(self, capsys, tmp_path):
+        out = tmp_path / "res.json"
+        assert main(["experiment", "table1", "--quick", "--out", str(out)]) == 0
+        import json
+
+        data = json.loads(out.read_text())
+        assert data[0]["name"] == "table1"
+        assert data[0]["rows"]

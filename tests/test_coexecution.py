@@ -1,0 +1,59 @@
+"""Tests for virtual-time co-execution (numeric kernels inside the DES)."""
+
+import numpy as np
+import pytest
+
+from repro import TiledQR, paper_testbed
+from repro.dag import build_dag
+from repro.errors import SimulationError
+from repro.runtime import tiled_qr
+from repro.sim.engine import DiscreteEventSimulator
+from repro.tiles import TiledMatrix
+
+
+class TestCoexecution:
+    def test_numeric_result_matches_serial(self, rng, system, topology, optimizer):
+        a = rng.standard_normal((96, 96))
+        plan = optimizer.plan(matrix_size=96, num_devices=3)
+        tiled = TiledMatrix.from_dense(a, 16)
+        dag = build_dag(6, 6)
+        trace = DiscreteEventSimulator(system, topology).run(dag, plan, tiles=tiled)
+        serial = tiled_qr(a, 16)
+        np.testing.assert_allclose(tiled.to_dense(), serial.r_dense(), atol=1e-12)
+        assert len(trace.numeric_log) == len(serial.log)
+
+    def test_q_valid_from_coexec_log(self, rng, system):
+        from repro.runtime.factorization import TiledQRFactorization
+
+        a = rng.standard_normal((80, 80))
+        qr = TiledQR(system)
+        run = qr.factorize(a, coexecute=True)
+        assert run.factorization.reconstruction_error(a) < 1e-10
+        assert run.report.makespan > 0
+        assert run.report.num_tasks == len(build_dag(5, 5))
+
+    def test_trace_schedule_still_valid(self, rng, system, topology, optimizer):
+        a = rng.standard_normal((96, 96))
+        plan = optimizer.plan(matrix_size=96, num_devices=4)
+        tiled = TiledMatrix.from_dense(a, 16)
+        dag = build_dag(6, 6)
+        trace = DiscreteEventSimulator(system, topology).run(dag, plan, tiles=tiled)
+        trace.validate_no_overlap({d.device_id: d.slots for d in system})
+        end_of = {r.task: r.end for r in trace.tasks}
+        start_of = {r.task: r.start for r in trace.tasks}
+        for t in dag.tasks:
+            for d in dag.preds[t]:
+                assert start_of[t] >= end_of[d] - 1e-12
+
+    def test_grid_mismatch_rejected(self, rng, system, topology, optimizer):
+        plan = optimizer.plan(matrix_size=96, num_devices=2)
+        tiled = TiledMatrix.from_dense(rng.standard_normal((80, 80)), 16)
+        dag = build_dag(6, 6)
+        with pytest.raises(SimulationError):
+            DiscreteEventSimulator(system, topology).run(dag, plan, tiles=tiled)
+
+    def test_without_tiles_no_numeric_log(self, system, topology, optimizer):
+        plan = optimizer.plan(matrix_size=96, num_devices=2)
+        dag = build_dag(6, 6)
+        trace = DiscreteEventSimulator(system, topology).run(dag, plan)
+        assert trace.numeric_log == []

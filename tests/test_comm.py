@@ -1,0 +1,92 @@
+"""Tests for the link and topology models."""
+
+import math
+
+import pytest
+
+from repro.comm import Link, Topology, pcie_star
+from repro.devices import paper_testbed
+from repro.errors import TopologyError
+
+
+class TestLink:
+    def test_affine_transfer_time(self):
+        lk = Link(bandwidth_bytes_per_s=1e9, latency_s=1e-5)
+        assert lk.transfer_time(1e6) == pytest.approx(1e-5 + 1e-3)
+
+    def test_multiple_messages_pay_latency_each(self):
+        lk = Link(bandwidth_bytes_per_s=1e9, latency_s=1e-5)
+        assert lk.transfer_time(1e6, messages=3) == pytest.approx(3e-5 + 1e-3)
+
+    def test_zero_bytes_costs_latency(self):
+        lk = Link(bandwidth_bytes_per_s=1e9, latency_s=2e-6)
+        assert lk.transfer_time(0) == pytest.approx(2e-6)
+
+    def test_effective_speed_below_bandwidth(self):
+        lk = Link(bandwidth_bytes_per_s=1e9, latency_s=1e-4)
+        assert lk.effective_speed(1e3) < 1e9
+        # Large payloads asymptote to the raw bandwidth.
+        assert lk.effective_speed(1e12) == pytest.approx(1e9, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            Link(bandwidth_bytes_per_s=0)
+        with pytest.raises(TopologyError):
+            Link(bandwidth_bytes_per_s=1e9, latency_s=-1)
+        lk = Link(1e9)
+        with pytest.raises(TopologyError):
+            lk.transfer_time(-5)
+        with pytest.raises(TopologyError):
+            lk.transfer_time(10, messages=0)
+        with pytest.raises(TopologyError):
+            lk.effective_speed(0)
+
+
+class TestTopology:
+    def test_same_device_is_free(self):
+        top = Topology()
+        assert top.transfer_time("a", "a", 1e9) == 0.0
+        assert top.speed("a", "a") == math.inf
+
+    def test_missing_link_raises(self):
+        top = Topology()
+        with pytest.raises(TopologyError):
+            top.transfer_time("a", "b", 10)
+
+    def test_speed_with_payload(self):
+        lk = Link(1e9, 1e-4)
+        top = Topology(links={("a", "b"): lk})
+        assert top.speed("a", "b") == 1e9
+        assert top.speed("a", "b", payload_bytes=1e3) == pytest.approx(
+            lk.effective_speed(1e3)
+        )
+
+
+class TestPcieStar:
+    def test_all_pairs_present(self, system):
+        top = pcie_star(system.devices)
+        ids = system.device_ids
+        for a in ids:
+            for b in ids:
+                if a != b:
+                    assert top.link(a, b) is not None
+
+    def test_gpu_gpu_via_host_slower(self, system):
+        top = pcie_star(system.devices)
+        direct = top.transfer_time("cpu-0", "gtx580-0", 1e6)
+        staged = top.transfer_time("gtx580-0", "gtx680-0", 1e6)
+        assert staged > direct
+
+    def test_cpu_cpu_nearly_free(self):
+        from repro.devices import synthetic_system
+
+        sys_ = synthetic_system(num_gpus=1, num_cpus=2)
+        top = pcie_star(sys_.devices)
+        assert top.transfer_time("cpu-0", "cpu-1", 1e6) < top.transfer_time(
+            "cpu-0", "gpu-0", 1e6
+        )
+
+    def test_custom_parameters(self, system):
+        top = pcie_star(system.devices, bandwidth=1e9, latency=1e-3)
+        t = top.transfer_time("cpu-0", "gtx580-0", 1e9)
+        assert t == pytest.approx(1e-3 + 1.0)

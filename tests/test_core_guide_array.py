@@ -1,0 +1,118 @@
+"""Tests for integer ratios and the distribution guide array (Alg. 4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.guide_array import build_guide_array, integer_ratio
+from repro.errors import PlanError
+
+
+class TestIntegerRatio:
+    def test_paper_example(self):
+        # Paper Sec. IV-C: devices updating 8, 12, 4 tiles/unit -> 2:3:1.
+        assert integer_ratio([8.0, 12.0, 4.0]) == [2, 3, 1]
+
+    def test_equal_throughputs(self):
+        assert integer_ratio([5.0, 5.0, 5.0]) == [1, 1, 1]
+
+    def test_single_device(self):
+        assert integer_ratio([3.7]) == [1]
+
+    def test_fractional_ratio_refined(self):
+        # 4/3 should not collapse to 1:1.
+        r = integer_ratio([3.0, 4.0, 4.0])
+        assert r == [3, 4, 4]
+
+    def test_scaling_invariance(self):
+        assert integer_ratio([1.0, 2.0]) == integer_ratio([100.0, 200.0])
+
+    def test_large_spread_capped(self):
+        r = integer_ratio([1.0, 10.0, 13.3, 13.3])
+        assert min(r) >= 1
+        assert sum(r) <= 64
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(PlanError):
+            integer_ratio([])
+        with pytest.raises(PlanError):
+            integer_ratio([1.0, 0.0])
+        with pytest.raises(PlanError):
+            integer_ratio([1.0, float("inf")])
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_property_positive_and_bounded(self, thr):
+        r = integer_ratio(thr)
+        assert len(r) == len(thr)
+        assert all(v >= 1 for v in r)
+        # The fastest device always gets at least as much as the slowest.
+        fastest = thr.index(max(thr))
+        slowest = thr.index(min(thr))
+        assert r[fastest] >= r[slowest]
+
+
+class TestBuildGuideArray:
+    def test_paper_example_sequence(self):
+        # Ratio 2:3:1 over device ids 0,1,2 -> {1,0,1,0,1,2} (Sec. IV-C).
+        assert build_guide_array([2, 3, 1], ["0", "1", "2"]) == [
+            "1", "0", "1", "0", "1", "2",
+        ]
+
+    def test_length_is_ratio_sum(self):
+        arr = build_guide_array([3, 2, 2], ["a", "b", "c"])
+        assert len(arr) == 7
+
+    def test_counts_match_ratio(self):
+        ratio = [4, 2, 1]
+        arr = build_guide_array(ratio, ["a", "b", "c"])
+        assert arr.count("a") == 4
+        assert arr.count("b") == 2
+        assert arr.count("c") == 1
+
+    def test_larger_ratio_appears_first(self):
+        arr = build_guide_array([1, 5], ["slow", "fast"])
+        assert arr[0] == "fast"
+
+    def test_tie_breaks_toward_earlier_device(self):
+        arr = build_guide_array([2, 2], ["a", "b"])
+        assert arr[0] == "a"
+
+    def test_interleaving_no_long_runs(self):
+        # Greedy max-budget interleaves: with ratio [3,3] no device
+        # appears three times in a row.
+        arr = build_guide_array([3, 3], ["a", "b"])
+        assert arr == ["a", "b", "a", "b", "a", "b"]
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            build_guide_array([1, 2], ["a"])
+        with pytest.raises(PlanError):
+            build_guide_array([], [])
+        with pytest.raises(PlanError):
+            build_guide_array([0, 1], ["a", "b"])
+
+    @given(st.lists(st.integers(1, 6), min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_property_multiset_preserved(self, ratio):
+        ids = [f"d{i}" for i in range(len(ratio))]
+        arr = build_guide_array(ratio, ids)
+        assert len(arr) == sum(ratio)
+        for i, r in enumerate(ratio):
+            assert arr.count(ids[i]) == r
+
+    @given(st.lists(st.integers(1, 8), min_size=2, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_property_prefix_balance(self, ratio):
+        """Cyclic fairness: in every prefix, each device's count stays
+        within the greedy's worst-case drift of its proportional share
+        (the max-budget greedy front-loads the dominant device by up to
+        the budget gap, e.g. ratio [8,5,5,5] opens with a run of 'd0')."""
+        ids = [f"d{i}" for i in range(len(ratio))]
+        arr = build_guide_array(ratio, ids)
+        total = sum(ratio)
+        drift = max(ratio) / 2.0 + 1.5
+        for prefix_len in range(1, total + 1):
+            prefix = arr[:prefix_len]
+            for i, r in enumerate(ratio):
+                share = r * prefix_len / total
+                assert abs(prefix.count(ids[i]) - share) <= drift

@@ -1,0 +1,202 @@
+"""Tests for DistributionPlan, ColumnDistribution and the optimizer pipeline."""
+
+import pytest
+
+from repro.core import ColumnDistribution, DistributionPlan, Optimizer
+from repro.core.distribution import guide_for_participants, main_update_share
+from repro.errors import PlanError
+
+
+def make_plan(system, **kw):
+    defaults = dict(
+        system=system,
+        main_device="gtx580-0",
+        participants=("gtx580-0", "gtx680-0"),
+        guide_array=("gtx680-0",),
+        tile_size=16,
+    )
+    defaults.update(kw)
+    return DistributionPlan(**defaults)
+
+
+class TestDistributionPlan:
+    def test_column_zero_belongs_to_main(self, system):
+        plan = make_plan(system)
+        assert plan.column_owner(0) == "gtx580-0"
+
+    def test_cyclic_ownership(self, system):
+        plan = make_plan(
+            system,
+            participants=("gtx580-0", "gtx680-0", "gtx680-1"),
+            guide_array=("gtx680-0", "gtx680-1"),
+        )
+        assert plan.column_owner(1) == "gtx680-1"  # 1 % 2 == 1
+        assert plan.column_owner(2) == "gtx680-0"
+        assert plan.column_owner(3) == "gtx680-1"
+
+    def test_panel_owner_default_is_main(self, system):
+        plan = make_plan(system)
+        assert plan.panel_owner(5) == "gtx580-0"
+
+    def test_panel_follows_column(self, system):
+        plan = make_plan(system, panel_follows_column=True)
+        assert plan.panel_owner(1) == plan.column_owner(1)
+
+    def test_columns_of(self, system):
+        plan = make_plan(system)
+        cols = plan.columns_of("gtx680-0", 6)
+        assert cols == [1, 2, 3, 4, 5]
+        assert plan.columns_of("gtx580-0", 6) == [0]
+
+    def test_validation_unknown_device(self, system):
+        with pytest.raises(PlanError):
+            make_plan(system, main_device="nope")
+
+    def test_validation_main_must_participate(self, system):
+        with pytest.raises(PlanError):
+            make_plan(system, participants=("gtx680-0",))
+
+    def test_validation_guide_subset(self, system):
+        with pytest.raises(PlanError):
+            make_plan(system, guide_array=("gtx680-1",))
+
+    def test_validation_duplicates(self, system):
+        with pytest.raises(PlanError):
+            make_plan(system, participants=("gtx580-0", "gtx580-0"))
+
+    def test_negative_column(self, system):
+        with pytest.raises(PlanError):
+            make_plan(system).column_owner(-1)
+
+    def test_describe_mentions_main(self, system):
+        assert "gtx580-0" in make_plan(system).describe()
+
+
+class TestColumnDistribution:
+    def test_update_tiles_first_iteration(self, system):
+        plan = make_plan(system)
+        dist = ColumnDistribution(plan, grid_rows=10, grid_cols=10)
+        # Device gtx680-0 owns columns 1..9: 9 columns x 10 rows.
+        assert dist.update_tiles("gtx680-0", 0) == 90
+        assert dist.update_tiles("gtx580-0", 0) == 0
+
+    def test_update_columns_shrink_with_k(self, system):
+        plan = make_plan(system)
+        dist = ColumnDistribution(plan, 10, 10)
+        assert len(dist.update_columns("gtx680-0", 0)) == 9
+        assert len(dist.update_columns("gtx680-0", 8)) == 1
+        assert dist.update_columns("gtx680-0", 9) == []
+
+    def test_tiles_per_device_total(self, system):
+        plan = make_plan(system)
+        dist = ColumnDistribution(plan, 6, 6)
+        total = sum(dist.tiles_per_device().values())
+        expected = sum((6 - k) * (6 - k - 1) for k in range(6))
+        assert total == expected
+
+    def test_load_balance_summary(self, system):
+        plan = make_plan(system)
+        dist = ColumnDistribution(plan, 8, 8)
+        summary = dist.load_balance_summary()
+        assert set(summary) == set(plan.participants)
+        assert summary["gtx680-0"] > 0.0
+
+    def test_invalid_grid(self, system):
+        with pytest.raises(PlanError):
+            ColumnDistribution(make_plan(system), 0, 5)
+
+
+class TestMainUpdateShare:
+    def test_alone_gets_everything(self, system):
+        x = main_update_share(system, ["gtx580-0"], "gtx580-0", 100, 100, 16)
+        assert x == 1.0
+
+    def test_share_in_unit_interval(self, system):
+        x = main_update_share(
+            system, list(system.device_ids), "gtx580-0", 500, 500, 16
+        )
+        assert 0.0 <= x <= 1.0
+
+    def test_small_grid_saturates_main(self, system):
+        # Short panels: the chain dwarfs the update pool -> no share.
+        x = main_update_share(
+            system, ["gtx580-0", "gtx680-0"], "gtx580-0", 20, 20, 16
+        )
+        assert x == 0.0
+
+    def test_large_grid_gives_main_some_updates(self, system):
+        x = main_update_share(
+            system, list(system.device_ids), "gtx580-0", 1000, 1000, 16
+        )
+        assert x > 0.05
+
+
+class TestGuideForParticipants:
+    def test_residual_excludes_saturated_main(self, system):
+        ratio, guide = guide_for_participants(
+            system, ["gtx580-0", "gtx680-0"], "gtx580-0", 40, 40, 16
+        )
+        assert ratio["gtx580-0"] == 0
+        assert "gtx580-0" not in guide
+        assert set(guide) == {"gtx680-0"}
+
+    def test_always_mode_includes_main(self, system):
+        ratio, guide = guide_for_participants(
+            system, ["gtx580-0", "gtx680-0"], "gtx580-0", 40, 40, 16,
+            main_updates="always",
+        )
+        assert ratio["gtx580-0"] >= 1
+        assert "gtx580-0" in guide
+
+    def test_unknown_mode(self, system):
+        with pytest.raises(PlanError):
+            guide_for_participants(
+                system, ["gtx580-0"], "gtx580-0", 10, 10, 16, main_updates="x"
+            )
+
+    def test_main_must_participate(self, system):
+        with pytest.raises(PlanError):
+            guide_for_participants(system, ["gtx680-0"], "gtx580-0", 10, 10, 16)
+
+
+class TestOptimizer:
+    def test_plan_roundtrip(self, optimizer):
+        plan = optimizer.plan(matrix_size=640)
+        assert plan.main_device == "gtx580-0"
+        assert plan.tile_size == 16
+        assert plan.notes["grid"] == (40, 40)
+
+    def test_optimal_device_count_small_vs_large(self, optimizer):
+        small = optimizer.plan(matrix_size=320)
+        large = optimizer.plan(matrix_size=4000)
+        assert small.num_devices < large.num_devices
+
+    def test_num_devices_override(self, optimizer):
+        plan = optimizer.plan(matrix_size=640, num_devices=3)
+        assert plan.num_devices == 3
+        assert plan.notes["optimal_num_devices"] >= 1
+
+    def test_main_override(self, optimizer):
+        plan = optimizer.plan(matrix_size=640, main_device="gtx680-0", num_devices=4)
+        assert plan.main_device == "gtx680-0"
+        assert plan.participants[0] == "gtx680-0"
+
+    def test_invalid_inputs(self, optimizer):
+        with pytest.raises(PlanError):
+            optimizer.plan()
+        with pytest.raises(PlanError):
+            optimizer.plan(matrix_size=0)
+        with pytest.raises(PlanError):
+            optimizer.plan(matrix_size=100, num_devices=9)
+        with pytest.raises(PlanError):
+            optimizer.plan(matrix_size=100, main_device="nope")
+
+    def test_predicted_table_attached(self, optimizer):
+        plan = optimizer.plan(matrix_size=640)
+        table = plan.notes["predicted"]
+        assert len(table) == 4
+        assert all(r.total > 0 for r in table)
+
+    def test_participants_ordered_main_first(self, optimizer):
+        plan = optimizer.plan(matrix_size=3200, num_devices=4)
+        assert plan.participants[0] == plan.main_device

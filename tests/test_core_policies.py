@@ -1,0 +1,141 @@
+"""Tests for main-device selection (Alg. 2) and device-count choice (Alg. 3)."""
+
+import pytest
+
+from repro.core.device_count import (
+    PredictedTime,
+    order_by_update_speed,
+    predicted_times,
+    select_num_devices,
+)
+from repro.core.main_device import (
+    can_finish_e_before_ut,
+    can_finish_t_before_ue,
+    main_device_candidates,
+    select_main_device,
+)
+from repro.devices import paper_testbed, synthetic_system
+from repro.errors import PlanError
+
+
+class TestMainDeviceSelection:
+    def test_paper_selection_is_gtx580(self, system):
+        """The paper's headline: GTX580 is the main device (Sec. VI-B)."""
+        for grid in (50, 200, 1000):
+            assert select_main_device(system, grid, grid, 16) == "gtx580-0"
+
+    def test_cpu_never_candidate_on_testbed(self, system):
+        cands = main_device_candidates(system, 200, 200, 16)
+        assert "cpu-0" not in [d.device_id for d in cands]
+
+    def test_both_gpu_types_are_candidates(self, system):
+        cands = [d.device_id for d in main_device_candidates(system, 200, 200, 16)]
+        assert "gtx580-0" in cands
+        assert "gtx680-0" in cands
+
+    def test_minimum_update_speed_among_candidates_wins(self, system):
+        cands = main_device_candidates(system, 200, 200, 16)
+        chosen = select_main_device(system, 200, 200, 16)
+        slowest = min(cands, key=lambda d: d.update_throughput(16))
+        assert chosen == slowest.device_id
+
+    def test_single_device_system(self):
+        sys_ = paper_testbed().subset(["cpu-0"])
+        assert select_main_device(sys_, 10, 10, 16) == "cpu-0"
+
+    def test_fallback_when_no_candidates(self, system):
+        # A 2x2 grid has almost no update pool, so nobody passes the
+        # feasibility checks; the fastest chain wins.
+        chosen = select_main_device(system, 2, 2, 16)
+        assert chosen == "gtx580-0"
+
+    def test_subchecks_consistent(self, system):
+        dev = system.device("gtx580-0")
+        assert can_finish_t_before_ue(dev, system, 200, 200, 16)
+        assert can_finish_e_before_ut(dev, system, 200, 200, 16)
+        cpu = system.device("cpu-0")
+        assert not can_finish_e_before_ut(cpu, system, 200, 200, 16)
+
+    def test_invalid_grid(self, system):
+        with pytest.raises(PlanError):
+            main_device_candidates(system, 0, 5, 16)
+
+    def test_homogeneous_gpus(self):
+        sys_ = synthetic_system(num_gpus=3, num_cpus=0)
+        main = select_main_device(sys_, 100, 100, 16)
+        assert main in sys_.device_ids
+
+
+class TestOrderByUpdateSpeed:
+    def test_main_first_then_descending(self, system):
+        ordered = order_by_update_speed(system, "gtx580-0", 16)
+        assert ordered[0] == "gtx580-0"
+        thr = [system.device(d).update_throughput(16) for d in ordered[1:]]
+        assert thr == sorted(thr, reverse=True)
+        assert ordered[-1] == "cpu-0"
+
+    def test_contains_all_devices(self, system):
+        ordered = order_by_update_speed(system, "gtx680-1", 16)
+        assert sorted(ordered) == sorted(system.device_ids)
+
+
+class TestPredictedTimes:
+    def test_row_per_prefix(self, system, topology):
+        table = predicted_times(system, "gtx580-0", 100, 100, 16, topology)
+        assert [r.num_devices for r in table] == [1, 2, 3, 4]
+
+    def test_no_comm_for_single_device(self, system, topology):
+        table = predicted_times(system, "gtx580-0", 100, 100, 16, topology)
+        assert table[0].t_comm == 0.0
+
+    def test_comm_grows_with_devices(self, system, topology):
+        table = predicted_times(system, "gtx580-0", 100, 100, 16, topology)
+        comms = [r.t_comm for r in table]
+        assert comms == sorted(comms)
+
+    def test_op_time_decreases_weakly(self, system, topology):
+        table = predicted_times(system, "gtx580-0", 250, 250, 16, topology)
+        ops = [r.t_op for r in table]
+        assert all(a >= b - 1e-12 for a, b in zip(ops, ops[1:]))
+
+    def test_total_property(self):
+        r = PredictedTime(num_devices=2, t_op=1.0, t_comm=0.5)
+        assert r.total == 1.5
+
+    def test_first_horizon_literal_formula(self, system, topology):
+        from repro.dag.tasks import Step
+
+        table = predicted_times(
+            system, "gtx580-0", 40, 40, 16, topology, horizon="first"
+        )
+        dev = system.device("gtx580-0")
+        # p=1: main does everything; Eq. 10 literal charge.
+        m = 40
+        expected = m * (dev.time(Step.T, 16) + dev.time(Step.E, 16)) + (
+            m * (m - 1)
+        ) * dev.effective_update_time(16)
+        assert table[0].t_op == pytest.approx(expected, rel=1e-9)
+
+    def test_invalid_horizon(self, system, topology):
+        with pytest.raises(PlanError):
+            predicted_times(system, "gtx580-0", 10, 10, 16, topology, horizon="x")
+
+    def test_invalid_grid(self, system, topology):
+        with pytest.raises(PlanError):
+            predicted_times(system, "gtx580-0", 0, 10, 16, topology)
+
+
+class TestSelectNumDevices:
+    def test_small_matrix_prefers_one_gpu(self, system, topology):
+        p, _ = select_num_devices(system, "gtx580-0", 10, 10, 16, topology)
+        assert p == 1
+
+    def test_large_matrix_prefers_more(self, system, topology):
+        p_small, _ = select_num_devices(system, "gtx580-0", 20, 20, 16, topology)
+        p_large, _ = select_num_devices(system, "gtx580-0", 250, 250, 16, topology)
+        assert p_large > p_small
+
+    def test_returns_table(self, system, topology):
+        p, table = select_num_devices(system, "gtx580-0", 100, 100, 16, topology)
+        assert 1 <= p <= len(system)
+        assert min(table, key=lambda r: r.total).num_devices == p

@@ -1,0 +1,208 @@
+"""Deeper behavioural coverage across subsystems.
+
+Each test pins a behaviour not covered elsewhere: transfer batching,
+broadcast gating, padding corner cases, horizon variants, doctest of the
+package front page, etc.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dag import Step, build_dag
+from repro.sim import simulate_iteration_level, simulate_task_level
+
+
+class TestEngineTransferBehaviour:
+    def test_transfers_batched_per_destination(self, system, topology, optimizer):
+        """Port batching: fewer messages than payloads moved."""
+        plan = optimizer.plan(matrix_size=320, num_devices=3)
+        dag = build_dag(20, 20)
+        trace = simulate_task_level(dag, plan, system, topology)
+        # Unbatched, every factor/tile would be its own transfer; with
+        # batching the message count is far below the task count.
+        assert 0 < len(trace.transfers) < len(trace.tasks) / 4
+
+    def test_factor_broadcast_cached_per_device(self, system, topology, optimizer):
+        """A factor travels to a given device at most once."""
+        plan = optimizer.plan(matrix_size=160, num_devices=2)
+        dag = build_dag(10, 10)
+        trace = simulate_task_level(dag, plan, system, topology)
+        # Count total payload-bytes vs naive per-consumer shipping:
+        # every UE task consuming a remote factor would be 2 KB each.
+        ue_tasks = sum(1 for r in trace.tasks if r.task.step is Step.UE)
+        total_bytes = sum(t.num_bytes for t in trace.transfers)
+        assert total_bytes < ue_tasks * 2048  # strictly better than naive
+
+    def test_no_transfer_to_self(self, system, topology, optimizer):
+        plan = optimizer.plan(matrix_size=160, num_devices=4)
+        dag = build_dag(10, 10)
+        trace = simulate_task_level(dag, plan, system, topology)
+        assert all(t.src != t.dst for t in trace.transfers)
+
+
+class TestIterationBroadcastGating:
+    def test_exhausted_devices_stop_receiving(self, system, topology, optimizer):
+        """Once a device's columns are all factored, broadcasts to it stop
+        (the fix validated by ablation-guide-optimality)."""
+        plan = optimizer.plan(matrix_size=160, num_devices=2)
+        g = 10
+        rep_full = simulate_iteration_level(plan, g, g, system, topology)
+        # Same plan on a 1-wide grid: the non-main device owns nothing,
+        # so there must be no broadcasts at all.
+        rep_thin = simulate_iteration_level(plan, g, 1, system, topology)
+        assert rep_thin.num_transfers == 0
+        assert rep_full.num_transfers > 0
+
+    def test_panel_follows_column_moves_broadcast_source(self, system, topology):
+        from repro.baselines import no_main_plan
+
+        g = 12
+        plan = no_main_plan(system, g, g, 16)
+        rep = simulate_iteration_level(plan, g, g, system, topology)
+        assert rep.makespan > 0
+        # All GPUs do panel work -> all three accumulate busy time.
+        gpus_busy = [v for d, v in rep.compute_busy.items() if "gtx" in d]
+        assert all(v > 0 for v in gpus_busy)
+
+
+class TestPaddingCorners:
+    def test_identity_padded_diagonal_cleared(self):
+        from repro.tiles import TiledMatrix
+
+        t = TiledMatrix.identity(20, 16)
+        # The padded diagonal entries of the last tile must be zero.
+        last = t.tile(1, 1)
+        assert last[4, 4] == 0.0
+        assert last[15, 15] == 0.0
+        np.testing.assert_array_equal(t.to_dense(), np.eye(20))
+
+    def test_single_element_matrix(self):
+        from repro.runtime import tiled_qr
+
+        f = tiled_qr(np.array([[3.0]]), tile_size=16)
+        assert f.r_dense()[0, 0] == pytest.approx(-3.0) or f.r_dense()[0, 0] == pytest.approx(3.0)
+        assert abs(abs(f.q_dense()[0, 0]) - 1.0) < 1e-15
+
+    def test_tile_size_larger_than_matrix(self, rng):
+        from repro.runtime import tiled_qr
+
+        a = rng.standard_normal((5, 5))
+        f = tiled_qr(a, tile_size=64)
+        assert np.linalg.norm(f.apply_q(f.r_dense()) - a) < 1e-12
+
+    def test_one_column_matrix(self, rng):
+        from repro.runtime import tiled_qr
+
+        a = rng.standard_normal((40, 1))
+        f = tiled_qr(a, tile_size=16)
+        r = f.r_dense()
+        assert abs(abs(r[0, 0]) - np.linalg.norm(a)) < 1e-10
+        assert np.linalg.norm(r[1:]) < 1e-10
+
+
+class TestPredictorHorizons:
+    def test_first_vs_total_agree_at_boundaries(self, system, topology):
+        """Both horizons of the Alg. 3 predictor give valid tables; the
+        total horizon is what lines up with execution (Table III)."""
+        from repro.core.device_count import predicted_times
+
+        for horizon in ("first", "total"):
+            table = predicted_times(
+                system, "gtx580-0", 100, 100, 16, topology, horizon=horizon
+            )
+            assert len(table) == 4
+            assert all(r.t_op > 0 for r in table)
+
+    def test_total_is_larger_than_first(self, system, topology):
+        from repro.core.device_count import predicted_times
+
+        first = predicted_times(system, "gtx580-0", 50, 50, 16, topology, horizon="first")
+        total = predicted_times(system, "gtx580-0", 50, 50, 16, topology, horizon="total")
+        for f, t in zip(first, total):
+            assert t.total > f.total  # whole run costs more than iteration 1
+
+
+class TestPackageFrontPage:
+    def test_init_doctests(self):
+        import doctest
+
+        import repro
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 2
+
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_public_symbols_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestExperimentCommon:
+    def test_paper_sizes_quick_subset(self):
+        from repro.experiments.common import paper_sizes
+
+        quick = paper_sizes(True)
+        full = paper_sizes(False)
+        assert set(quick["large"]) <= set(full["large"])
+        assert len(full["table3"]) == 25
+        assert full["table3"][0] == 160 and full["table3"][-1] == 4000
+
+    def test_experiment_result_to_text(self):
+        from repro.experiments.common import ExperimentResult
+
+        res = ExperimentResult(
+            name="x", title="T", headers=["a"], rows=[[1.0]],
+            paper_expectation="p", observations="o",
+        )
+        text = res.to_text()
+        assert "T" in text and "paper: p" in text and "measured: o" in text
+
+
+class TestGanttEdgeCases:
+    def test_zero_length_trace(self):
+        from repro.dag.tasks import Task, TaskKind
+        from repro.sim.gantt import ascii_gantt
+        from repro.sim.trace import ExecutionTrace, TaskRecord
+
+        tr = ExecutionTrace(
+            tasks=[TaskRecord(Task(TaskKind.GEQRT, 0, 0, 0, 0), "d", 0.0, 0.0)]
+        )
+        assert "zero-length" in ascii_gantt(tr)
+
+    def test_chrome_trace_time_unit(self, system, topology, optimizer):
+        import json
+
+        from repro.sim.gantt import to_chrome_trace
+
+        plan = optimizer.plan(matrix_size=64, num_devices=1)
+        dag = build_dag(4, 4)
+        trace = simulate_task_level(dag, plan, system, topology)
+        doc1 = json.loads(to_chrome_trace(trace, time_unit=1e6))
+        doc2 = json.loads(to_chrome_trace(trace, time_unit=1e3))
+        d1 = doc1["traceEvents"][0]["dur"]
+        d2 = doc2["traceEvents"][0]["dur"]
+        assert d1 == pytest.approx(1000 * d2)
+
+
+class TestLogging:
+    def test_optimizer_logs_decisions(self, optimizer, caplog):
+        import logging
+
+        with caplog.at_level(logging.DEBUG, logger="repro.optimizer"):
+            optimizer.plan(matrix_size=640)
+        assert any("main=gtx580-0" in r.message for r in caplog.records)
+        assert any("Alg.3" in r.message for r in caplog.records)
+
+    def test_silent_by_default(self, optimizer, caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro.optimizer"):
+            optimizer.plan(matrix_size=640)
+        assert not caplog.records

@@ -1,0 +1,170 @@
+"""Tests for device models, calibration and system registry."""
+
+import pytest
+
+from repro.dag.tasks import Step
+from repro.devices import (
+    DeviceKind,
+    DeviceSpec,
+    KernelTimingModel,
+    fig4_reference_points,
+    make_system,
+    paper_cpu_i7_3820,
+    paper_gtx580,
+    paper_gtx680,
+    paper_testbed,
+    synthetic_system,
+)
+from repro.errors import DeviceError
+
+
+class TestTimingModel:
+    def test_time_is_affine_in_flops(self):
+        dev = paper_gtx580()
+        t8 = dev.time(Step.UE, 8)
+        t16 = dev.time(Step.UE, 16)
+        t32 = dev.time(Step.UE, 32)
+        # After removing the overhead the cost is cubic.
+        oh = dev.timing.overheads_s[Step.UE]
+        assert (t32 - oh) / (t16 - oh) == pytest.approx(8.0, rel=0.01)
+        assert t8 < t16 < t32
+
+    def test_missing_step_rejected(self):
+        with pytest.raises(DeviceError):
+            KernelTimingModel(overheads_s={}, rates_flops={})
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(DeviceError):
+            KernelTimingModel(
+                overheads_s={s: -1.0 for s in Step},
+                rates_flops={s: 1e9 for s in Step},
+            )
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(DeviceError):
+            KernelTimingModel(
+                overheads_s={s: 0.0 for s in Step},
+                rates_flops={s: 0.0 for s in Step},
+            )
+
+    def test_invalid_tile_size(self):
+        with pytest.raises(DeviceError):
+            paper_gtx580().time(Step.T, 0)
+
+
+class TestDeviceSpec:
+    def test_update_throughput_inverse_of_effective_time(self):
+        dev = paper_gtx680()
+        assert dev.update_throughput(16) == pytest.approx(
+            1.0 / dev.effective_update_time(16)
+        )
+
+    def test_panel_chain_time(self):
+        dev = paper_gtx580()
+        one = dev.panel_chain_time(1, 16)
+        ten = dev.panel_chain_time(10, 16)
+        assert one == pytest.approx(dev.time(Step.T, 16))
+        assert ten == pytest.approx(one + 9 * dev.time(Step.E, 16))
+
+    def test_panel_chain_rejects_zero_rows(self):
+        with pytest.raises(DeviceError):
+            paper_gtx580().panel_chain_time(0, 16)
+
+    def test_rename(self):
+        dev = paper_gtx680().rename("x")
+        assert dev.device_id == "x"
+        assert dev.cores == 1536
+
+    def test_invalid_cores_slots(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec("a", "A", DeviceKind.GPU, 0, 1, paper_gtx580().timing)
+        with pytest.raises(DeviceError):
+            DeviceSpec("a", "A", DeviceKind.GPU, 1, 0, paper_gtx580().timing)
+
+
+class TestCalibration:
+    """The orderings the paper's Fig. 4 and Sec. III-B establish."""
+
+    def test_per_tile_ordering_across_devices(self):
+        # Holds from the paper's working point (b=16) upward; at tiny
+        # tiles GPU launch overhead dominates and the CPU wins, exactly
+        # as Fig. 4c's low-b points show.
+        g580, g680, cpu = paper_gtx580(), paper_gtx680(), paper_cpu_i7_3820()
+        for step in Step:
+            for b in (16, 24, 32):
+                assert g580.time(step, b) < g680.time(step, b) < cpu.time(step, b)
+
+    def test_cpu_beats_gpus_at_tiny_tiles(self):
+        # Fig. 4's small-tile regime: kernel-launch overhead dominates.
+        g580, cpu = paper_gtx580(), paper_cpu_i7_3820()
+        assert cpu.time(Step.T, 4) < g580.time(Step.T, 4)
+
+    def test_step_ordering_within_device(self):
+        for dev in (paper_gtx580(), paper_gtx680(), paper_cpu_i7_3820()):
+            for b in (8, 16, 24):
+                assert dev.time(Step.T, b) > dev.time(Step.UT, b)
+                assert dev.time(Step.E, b) > dev.time(Step.UE, b)
+
+    def test_update_throughput_ordering(self):
+        # The GTX680 has more parallelism: better update throughput even
+        # though each kernel is slower (paper Sec. VI-B).
+        assert (
+            paper_gtx680().update_throughput(16)
+            > paper_gtx580().update_throughput(16)
+            > paper_cpu_i7_3820().update_throughput(16)
+        )
+
+    def test_core_counts_match_table2(self):
+        assert paper_gtx580().cores == 512
+        assert paper_gtx680().cores == 1536
+        assert paper_cpu_i7_3820().cores == 4
+
+    def test_fig4_reference_structure(self):
+        ref = fig4_reference_points()
+        assert set(ref) == {"gtx580", "gtx680", "cpu"}
+        for dev in ref.values():
+            n = len(dev["tile_sizes"])
+            assert len(dev["T"]) == len(dev["E"]) == len(dev["U"]) == n
+            # Digitized curves are increasing in tile size.
+            for key in ("T", "E", "U"):
+                assert all(a <= b for a, b in zip(dev[key], dev[key][1:]))
+
+
+class TestSystemSpec:
+    def test_paper_testbed_composition(self):
+        sys_ = paper_testbed()
+        assert len(sys_) == 4
+        assert sys_.total_cores == 4 + 512 + 1536 + 1536 == 3588
+        assert len(sys_.gpus()) == 3
+        assert len(sys_.cpus()) == 1
+
+    def test_lookup(self):
+        sys_ = paper_testbed()
+        assert sys_.device("gtx580-0").name == "GeForce GTX 580"
+        with pytest.raises(DeviceError):
+            sys_.device("nope")
+
+    def test_subset(self):
+        sub = paper_testbed().subset(["cpu-0", "gtx580-0"])
+        assert sub.device_ids == ["cpu-0", "gtx580-0"]
+        assert sub.total_cores == 516
+
+    def test_duplicate_ids_rejected(self):
+        d = paper_gtx580()
+        with pytest.raises(DeviceError):
+            make_system("bad", [d, d])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DeviceError):
+            make_system("bad", [])
+
+    def test_synthetic_system(self):
+        sys_ = synthetic_system(num_gpus=3, num_cpus=2, gpu_speedup=2.0)
+        assert len(sys_) == 5
+        fast = sys_.device("gpu-0")
+        base = paper_gtx580()
+        assert fast.time(Step.UE, 16) < base.time(Step.UE, 16)
+
+    def test_synthetic_needs_devices(self):
+        with pytest.raises(DeviceError):
+            synthetic_system(num_gpus=0, num_cpus=0)

@@ -1,0 +1,57 @@
+"""Smoke-run every example script as a subprocess.
+
+Examples are user-facing documentation; a broken one is a broken
+promise.  Each runs with the repository's interpreter and must exit 0
+within its budget.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "least_squares_regression.py",
+    "dag_visualization.py",
+    "online_regression.py",
+    "low_rank_compression.py",
+    "execution_traces.py",
+]
+
+SLOW_EXAMPLES = [
+    "heterogeneous_planning.py",
+    "custom_system_simulation.py",
+    "cluster_and_memory_planning.py",
+]
+
+
+def _run(name: str, timeout: int) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    proc = _run(name, timeout=120)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{name} produced no output"
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name):
+    proc = _run(name, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), f"{name} produced no output"
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)

@@ -1,0 +1,96 @@
+"""Tests for the TiledQR facade (plan + simulate + numeric execute)."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import TASK_LEVEL_GRID_LIMIT, TiledQR
+from repro.errors import PlanError
+
+
+class TestSimulate:
+    def test_auto_uses_task_level_for_small(self, system):
+        qr = TiledQR(system)
+        run = qr.simulate(matrix_size=320)
+        assert run.report.meta["fidelity"] == "task-level"
+        assert "trace" in run.report.meta
+
+    def test_auto_uses_iteration_for_large(self, system):
+        qr = TiledQR(system)
+        run = qr.simulate(matrix_size=TASK_LEVEL_GRID_LIMIT * 16 + 16)
+        assert run.report.meta["fidelity"] == "iteration-level"
+
+    def test_explicit_fidelity(self, system):
+        qr = TiledQR(system)
+        assert (
+            qr.simulate(matrix_size=320, fidelity="iteration").report.meta["fidelity"]
+            == "iteration-level"
+        )
+
+    def test_invalid_fidelity(self, system):
+        with pytest.raises(PlanError):
+            TiledQR(system).simulate(matrix_size=320, fidelity="bogus")
+
+    def test_invalid_size(self, system):
+        with pytest.raises(PlanError):
+            TiledQR(system).simulate(matrix_size=0)
+
+    def test_plan_override_respected(self, system):
+        qr = TiledQR(system)
+        plan = qr.plan(matrix_size=320, num_devices=2)
+        run = qr.simulate(matrix_size=320, plan=plan)
+        assert run.plan is plan
+
+    def test_simulated_seconds_property(self, system):
+        run = TiledQR(system).simulate(matrix_size=160)
+        assert run.simulated_seconds == run.report.makespan > 0
+
+
+class TestFactorize:
+    def test_numeric_plus_simulation(self, system, rng):
+        qr = TiledQR(system)
+        a = rng.standard_normal((96, 96))
+        run = qr.factorize(a)
+        f = run.factorization
+        assert f is not None
+        assert f.reconstruction_error(a) < 1e-10
+        assert run.report.makespan > 0
+
+    def test_without_simulation(self, system, rng):
+        qr = TiledQR(system)
+        run = qr.factorize(rng.standard_normal((48, 48)), simulate=False)
+        assert run.report.makespan == 0.0
+        assert run.factorization is not None
+
+    def test_rejects_bad_input(self, system):
+        with pytest.raises(PlanError):
+            TiledQR(system).factorize(np.zeros(5))
+
+    def test_tt_elimination_mode(self, system, rng):
+        qr = TiledQR(system, elimination="TT")
+        a = rng.standard_normal((64, 64))
+        run = qr.factorize(a)
+        assert run.factorization.reconstruction_error(a) < 1e-10
+
+
+class TestRectangularSimulation:
+    def test_tall_matrix_simulates(self, system):
+        qr = TiledQR(system)
+        run = qr.simulate(matrix_size=(640, 160))
+        assert run.report.makespan > 0
+        assert run.report.meta.get("grid", run.plan.notes.get("grid")) is not None
+
+    def test_tall_costs_less_than_square(self, system):
+        qr = TiledQR(system)
+        t_tall = qr.simulate(matrix_size=(640, 160)).report.makespan
+        t_square = qr.simulate(matrix_size=640).report.makespan
+        assert t_tall < t_square
+
+    def test_wide_rejected(self, system):
+        with pytest.raises(PlanError):
+            TiledQR(system).simulate(matrix_size=(160, 640))
+
+    def test_rect_iteration_fidelity(self, system):
+        qr = TiledQR(system)
+        run = qr.simulate(matrix_size=(3200, 320), fidelity="iteration")
+        assert run.report.meta["fidelity"] == "iteration-level"
+        assert run.report.makespan > 0

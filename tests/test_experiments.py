@@ -1,0 +1,92 @@
+"""Smoke + shape tests for every experiment driver (quick mode)."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_experiment_runs_and_formats(name):
+    result = ALL_EXPERIMENTS[name].run(quick=True)
+    assert result.rows, f"{name} produced no rows"
+    assert len(result.headers) == len(result.rows[0])
+    text = result.to_text()
+    assert result.title.split(":")[0] in text
+
+
+class TestTable1:
+    def test_paper_vs_exact_relationship(self):
+        res = ALL_EXPERIMENTS["table1"].run(quick=True)
+        for row in res.rows:
+            _panel, t, e, ut, ue, t_x, e_x, ut_x, ue_x = row
+            assert t >= t_x and e >= e_x
+            assert ut_x + ue_x == ut  # update totals agree
+
+
+class TestFig4:
+    def test_model_orderings(self):
+        res = ALL_EXPERIMENTS["fig4"].run(quick=True)
+        by_dev = {}
+        for dev, b, t, e, ut, ue, *_ in res.rows:
+            by_dev.setdefault(dev, {})[b] = (t, e, ut, ue)
+        for dev, per_b in by_dev.items():
+            for b, (t, e, ut, ue) in per_b.items():
+                assert t > ut and e > ue, f"{dev} b={b}"
+        # 580 faster per tile than 680 at b=16.
+        assert by_dev["gtx580"][16][0] < by_dev["gtx680"][16][0]
+
+
+class TestFig5:
+    def test_comm_share_decreases(self):
+        res = ALL_EXPERIMENTS["fig5"].run(quick=True)
+        shares = [row[2] for row in res.rows]
+        assert shares[0] > shares[-1]
+
+
+class TestFig6AndTable3:
+    def test_small_sizes_prefer_one_gpu(self):
+        res = ALL_EXPERIMENTS["fig6"].run(quick=True)
+        assert res.rows[0][-1] == "1G"
+        assert res.rows[-1][-1] == "3G"
+
+    def test_table3_full_agreement(self):
+        res = ALL_EXPERIMENTS["table3"].run(quick=True)
+        assert res.extra["agreements"] == res.extra["total"]
+
+
+class TestFig8:
+    def test_monotone(self):
+        res = ALL_EXPERIMENTS["fig8"].run(quick=True)
+        assert res.extra["monotone"]
+
+
+class TestFig9:
+    def test_gtx580_selected_and_fastest(self):
+        res = ALL_EXPERIMENTS["fig9"].run(quick=True)
+        assert res.extra["selected_main"] == "gtx580-0"
+        for row in res.rows:
+            _n, t580, t680, _tnone, tcpu, *_ = row
+            assert t580 < t680 < tcpu
+
+
+class TestFig10:
+    def test_guide_beats_even(self):
+        res = ALL_EXPERIMENTS["fig10"].run(quick=True)
+        for row in res.rows:
+            even_over_guide = row[4]
+            assert even_over_guide > 1.05
+
+
+class TestAblations:
+    def test_elimination_numeric_equivalence(self):
+        res = ALL_EXPERIMENTS["ablation-elimination"].run(quick=True)
+        assert res.extra["r_equivalence_max_diff"] < 1e-8
+
+    def test_lookahead_never_slower(self):
+        res = ALL_EXPERIMENTS["ablation-lookahead"].run(quick=True)
+        for row in res.rows:
+            assert row[4] >= 0.95  # paper-iter >= lookahead (within noise)
+
+    def test_fig3_dag_stats(self):
+        res = ALL_EXPERIMENTS["fig3"].run(quick=True)
+        assert "digraph" in res.extra["dot_3x3"]

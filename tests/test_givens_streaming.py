@@ -1,0 +1,170 @@
+"""Tests for Givens rotations, QR updating and streaming least squares."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KernelError, ShapeError
+from repro.kernels.givens import GivensRotation, make_givens, qr_delete_row, qr_insert_row
+from repro.linalg.streaming import StreamingLeastSquares
+
+
+class TestGivens:
+    def test_zeroes_second_component(self):
+        g = make_givens(3.0, 4.0)
+        v = np.array([[3.0], [4.0]])
+        g.apply_rows(v, 0, 1)
+        assert v[0, 0] == pytest.approx(5.0)
+        assert v[1, 0] == pytest.approx(0.0, abs=1e-15)
+        assert g.r == pytest.approx(5.0)
+
+    def test_orthogonality(self):
+        g = make_givens(1.2, -0.7)
+        m = np.array([[g.c, g.s], [-g.s, g.c]])
+        np.testing.assert_allclose(m @ m.T, np.eye(2), atol=1e-15)
+
+    def test_degenerate_cases(self):
+        assert make_givens(5.0, 0.0) == GivensRotation(1.0, 0.0, 5.0)
+        g = make_givens(0.0, 5.0)
+        assert g.c == 0.0 and g.s == 1.0
+
+    @given(st.floats(-1e8, 1e8), st.floats(-1e8, 1e8))
+    @settings(max_examples=60, deadline=None)
+    def test_property_rotation(self, a, b):
+        g = make_givens(a, b)
+        # Unit determinant and correct action.
+        assert g.c * g.c + g.s * g.s == pytest.approx(1.0, rel=1e-12)
+        assert g.c * a + g.s * b == pytest.approx(g.r, rel=1e-9, abs=1e-9)
+        assert -g.s * a + g.c * b == pytest.approx(0.0, abs=1e-6 * max(abs(a), abs(b), 1.0))
+
+
+class TestQRInsertDelete:
+    def test_insert_matches_refactorization(self, rng):
+        a = rng.standard_normal((20, 6))
+        r = np.linalg.qr(a, mode="r")
+        v = rng.standard_normal(6)
+        r2, rots = qr_insert_row(r, v)
+        r_ref = np.linalg.qr(np.vstack([a, v]), mode="r")
+        np.testing.assert_allclose(np.abs(r2), np.abs(r_ref), atol=1e-10)
+        assert len(rots) == 6
+
+    @pytest.mark.parametrize("i", [0, 7, 19])
+    def test_delete_matches_refactorization(self, rng, i):
+        a = rng.standard_normal((20, 6))
+        r = np.linalg.qr(a, mode="r")
+        r2, _ = qr_delete_row(r, a[i])
+        r_ref = np.linalg.qr(np.delete(a, i, axis=0), mode="r")
+        np.testing.assert_allclose(np.abs(r2), np.abs(r_ref), atol=1e-9)
+
+    def test_insert_delete_roundtrip(self, rng):
+        a = rng.standard_normal((15, 5))
+        r = np.linalg.qr(a, mode="r")
+        v = rng.standard_normal(5)
+        r2, _ = qr_insert_row(r, v)
+        r3, _ = qr_delete_row(r2, v)
+        np.testing.assert_allclose(np.abs(r3), np.abs(np.triu(r)), atol=1e-9)
+
+    def test_delete_impossible_raises(self, rng):
+        # Removing a row that carries all rank in some direction.
+        a = np.vstack([np.eye(3), np.zeros((2, 3))])
+        a[3:] = 1e-13
+        r = np.linalg.qr(a, mode="r")
+        with pytest.raises(np.linalg.LinAlgError):
+            qr_delete_row(r, np.array([1.0, 0.0, 0.0]))
+
+    def test_shape_validation(self, rng):
+        r = np.linalg.qr(rng.standard_normal((8, 4)), mode="r")
+        with pytest.raises(KernelError):
+            qr_insert_row(r, np.zeros(3))
+        with pytest.raises(KernelError):
+            qr_delete_row(r, np.zeros(5))
+        with pytest.raises(KernelError):
+            qr_insert_row(rng.standard_normal((3, 4)), np.zeros(4))
+
+    @given(st.integers(2, 10), st.integers(0, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_property_insert_consistency(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n + 4, n))
+        r = np.linalg.qr(a, mode="r")
+        v = rng.standard_normal(n)
+        r2, _ = qr_insert_row(r, v)
+        # R'^T R' == A'^T A' exactly characterizes a valid update.
+        lhs = r2.T @ r2
+        rhs = a.T @ a + np.outer(v, v)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-8, atol=1e-8)
+
+
+class TestStreamingLeastSquares:
+    def _stream(self, rng, n=4, m=30, noise=0.01):
+        beta = rng.standard_normal(n)
+        x = rng.standard_normal((m, n))
+        y = x @ beta + noise * rng.standard_normal(m)
+        return x, y, beta
+
+    def test_growing_matches_batch(self, rng):
+        x, y, _ = self._stream(rng)
+        sls = StreamingLeastSquares(4)
+        for i in range(len(y)):
+            sls.add(x[i], y[i])
+        ref, *_ = np.linalg.lstsq(x, y, rcond=None)
+        np.testing.assert_allclose(sls.coefficients(), ref, atol=1e-9)
+
+    def test_rss_matches_batch(self, rng):
+        x, y, _ = self._stream(rng)
+        sls = StreamingLeastSquares.from_batch(x, y)
+        _, res, *_ = np.linalg.lstsq(x, y, rcond=None)
+        assert sls.residual_sum_of_squares == pytest.approx(float(res[0]), rel=1e-8)
+
+    def test_from_batch_equals_streamed(self, rng):
+        x, y, _ = self._stream(rng)
+        a = StreamingLeastSquares.from_batch(x, y)
+        b = StreamingLeastSquares(4)
+        for i in range(len(y)):
+            b.add(x[i], y[i])
+        np.testing.assert_allclose(a.coefficients(), b.coefficients(), atol=1e-9)
+
+    def test_sliding_window_tracks_recent_data(self, rng):
+        n, w = 3, 12
+        sls = StreamingLeastSquares(n, window=w)
+        xs, ys = [], []
+        beta1, beta2 = np.array([1.0, -2.0, 3.0]), np.array([-4.0, 0.5, 2.0])
+        for i in range(40):
+            beta = beta1 if i < 20 else beta2
+            x = rng.standard_normal(n)
+            y = float(x @ beta)
+            xs.append(x)
+            ys.append(y)
+            sls.add(x, y)
+        # After the regime change leaves the window, the fit is exact
+        # for the new coefficients.
+        np.testing.assert_allclose(sls.coefficients(), beta2, atol=1e-8)
+        assert sls.num_observations == w
+
+    def test_remove_explicit(self, rng):
+        x, y, _ = self._stream(rng, m=20)
+        sls = StreamingLeastSquares.from_batch(x, y)
+        sls.remove(x[0], y[0])
+        ref, *_ = np.linalg.lstsq(x[1:], y[1:], rcond=None)
+        np.testing.assert_allclose(sls.coefficients(), ref, atol=1e-8)
+
+    def test_predict(self, rng):
+        x, y, beta = self._stream(rng, noise=0.0)
+        sls = StreamingLeastSquares.from_batch(x, y)
+        x_new = rng.standard_normal(4)
+        assert sls.predict(x_new) == pytest.approx(float(x_new @ beta), abs=1e-8)
+
+    def test_underdetermined_raises(self):
+        sls = StreamingLeastSquares(5)
+        sls.add(np.ones(5), 1.0)
+        with pytest.raises(KernelError):
+            sls.coefficients()
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            StreamingLeastSquares(0)
+        with pytest.raises(ShapeError):
+            StreamingLeastSquares(5, window=3)
+        sls = StreamingLeastSquares(3)
+        with pytest.raises(ShapeError):
+            sls.add(np.zeros(2), 0.0)

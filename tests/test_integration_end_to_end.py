@@ -1,0 +1,139 @@
+"""End-to-end integration tests crossing all subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import TiledQR, paper_testbed, synthetic_system, tiled_qr
+from repro.core.optimizer import Optimizer
+from repro.dag import build_dag
+from repro.sim import simulate_iteration_level, simulate_task_level
+
+
+class TestFullPipeline:
+    def test_plan_simulate_execute_consistent(self, rng, system):
+        """The same plan drives the simulator and the numeric executor."""
+        qr = TiledQR(system)
+        a = rng.standard_normal((160, 160))
+        run = qr.factorize(a)
+        assert run.factorization.reconstruction_error(a) < 1e-10
+        assert run.report.makespan > 0
+        assert run.plan.main_device == "gtx580-0"
+
+    def test_solve_linear_system_through_facade(self, rng, system):
+        qr = TiledQR(system)
+        a = rng.standard_normal((96, 96)) + 6 * np.eye(96)
+        x_true = rng.standard_normal(96)
+        run = qr.factorize(a, simulate=False)
+        x = run.factorization.solve(a @ x_true)
+        np.testing.assert_allclose(x, x_true, atol=1e-8)
+
+    def test_synthetic_system_pipeline(self, rng):
+        sys_ = synthetic_system(num_gpus=2, num_cpus=1, gpu_speedup=1.5)
+        qr = TiledQR(sys_)
+        run = qr.simulate(matrix_size=640)
+        assert run.report.makespan > 0
+        assert run.plan.main_device in sys_.device_ids
+
+    def test_numeric_result_independent_of_plan(self, rng, system):
+        """Distribution is a scheduling concern; numbers never change."""
+        a = rng.standard_normal((128, 128))
+        qr = TiledQR(system)
+        opt = Optimizer(system)
+        r1 = qr.factorize(a, plan=opt.plan(matrix_size=128, num_devices=1),
+                          simulate=False).factorization.r_dense()
+        r2 = qr.factorize(a, plan=opt.plan(matrix_size=128, num_devices=4),
+                          simulate=False).factorization.r_dense()
+        np.testing.assert_array_equal(r1, r2)
+
+    def test_simulator_counts_every_task(self, system, topology, optimizer):
+        g = 10
+        dag = build_dag(g, g)
+        plan = optimizer.plan(matrix_size=160, num_devices=3)
+        trace = simulate_task_level(dag, plan, system, topology)
+        rep = trace.report()
+        assert rep.num_tasks == len(dag)
+        busy = sum(rep.compute_busy.values())
+        # Busy time equals the sum of each task's modelled duration.
+        expected = sum(
+            system.device(r.device_id).time(r.task.step, 16) for r in trace.tasks
+        )
+        assert busy == pytest.approx(expected)
+
+
+class TestNumericalProperties:
+    """Property-based invariants of the whole numeric stack."""
+
+    @given(
+        st.integers(8, 96),
+        st.sampled_from([4, 8, 16]),
+        st.sampled_from(["TS", "TT"]),
+        st.integers(0, 50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_qr_invariants(self, n, b, elim, seed):
+        a = np.random.default_rng(seed).standard_normal((n, n))
+        f = tiled_qr(a, tile_size=b, elimination=elim)
+        r = f.r_dense()
+        scale = max(np.linalg.norm(a), 1.0)
+        # 1. Reconstruction.
+        assert np.linalg.norm(f.apply_q(r) - a) < 1e-9 * scale
+        # 2. R upper triangular.
+        assert np.max(np.abs(np.tril(r, -1))) < 1e-9 * scale
+        # 3. Q^T Q = I via the implicit operator.
+        x = np.random.default_rng(seed + 1).standard_normal((n, 4))
+        assert np.linalg.norm(f.apply_qt(f.apply_q(x)) - x) < 1e-9 * np.linalg.norm(x)
+        # 4. |det(A)| preserved as product of |R| diagonal.
+        sign, logdet = np.linalg.slogdet(a)
+        if sign != 0:
+            logdet_r = np.sum(np.log(np.abs(np.diag(r))))
+            assert logdet_r == pytest.approx(logdet, rel=1e-6, abs=1e-6)
+
+    @given(st.integers(4, 40), st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_orthogonal_input_gives_identity_like_r(self, n, seed):
+        """QR of an orthogonal matrix has |R| = I."""
+        a = np.linalg.qr(np.random.default_rng(seed).standard_normal((n, n)))[0]
+        f = tiled_qr(a, tile_size=8)
+        np.testing.assert_allclose(np.abs(np.diag(f.r_dense())), np.ones(n), atol=1e-9)
+
+    @given(st.integers(8, 64), st.integers(0, 30))
+    @settings(max_examples=15, deadline=None)
+    def test_column_norm_preservation(self, n, seed):
+        """Each column of R has the same norm as the matching column of A."""
+        a = np.random.default_rng(seed).standard_normal((n, n))
+        f = tiled_qr(a, tile_size=16)
+        r = f.r_dense()
+        np.testing.assert_allclose(
+            np.linalg.norm(r, axis=0), np.linalg.norm(a, axis=0), rtol=1e-9
+        )
+
+
+class TestSimulationProperties:
+    @given(st.integers(2, 14), st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_property_makespan_bounds(self, g, p):
+        system = paper_testbed()
+        from repro.comm.topology import pcie_star
+
+        top = pcie_star(system.devices)
+        opt = Optimizer(system, top)
+        plan = opt.plan(grid_rows=g, grid_cols=g, num_devices=p)
+        rep = simulate_iteration_level(plan, g, g, system, top)
+        # Makespan at least the busiest device, at most total work + comm.
+        assert rep.makespan >= max(rep.compute_busy.values()) - 1e-12
+        assert rep.makespan <= sum(rep.compute_busy.values()) + rep.comm_time + 1e-9
+
+    @given(st.integers(2, 10), st.integers(1, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_property_des_vs_iteration_ordering(self, g, p):
+        system = paper_testbed()
+        from repro.comm.topology import pcie_star
+
+        top = pcie_star(system.devices)
+        opt = Optimizer(system, top)
+        plan = opt.plan(grid_rows=g, grid_cols=g, num_devices=p)
+        dag = build_dag(g, g)
+        t_des = simulate_task_level(dag, plan, system, top).report().makespan
+        t_iter = simulate_iteration_level(plan, g, g, system, top).makespan
+        assert t_iter >= 0.9 * t_des

@@ -1,0 +1,88 @@
+"""Tests for compact-WY accumulation and application."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.blockreflector import apply_block_reflector, build_t_factor
+from repro.kernels.householder import apply_reflector, make_reflector
+
+
+def _factor_columns(a):
+    """Unblocked QR of ``a`` returning (V, taus) with unit-lower V."""
+    m, n = a.shape
+    r = a.astype(float).copy()
+    v = np.zeros((m, n))
+    taus = np.zeros(n)
+    for k in range(min(m - 1, n)):
+        refl = make_reflector(r[k:, k])
+        v[k:, k] = refl.v
+        taus[k] = refl.tau
+        apply_reflector(refl, r[k:, k:])
+    for k in range(min(m - 1, n), n):
+        v[k, k] = 1.0
+    return v, taus, r
+
+
+class TestBuildTFactor:
+    def test_upper_triangular_with_tau_diagonal(self, rng):
+        v, taus, _ = _factor_columns(rng.standard_normal((10, 6)))
+        tf = build_t_factor(v, taus)
+        assert np.allclose(np.tril(tf, -1), 0.0)
+        np.testing.assert_allclose(np.diag(tf), taus)
+
+    def test_product_matches_sequential_reflectors(self, rng):
+        m, n = 12, 5
+        v, taus, _ = _factor_columns(rng.standard_normal((m, n)))
+        tf = build_t_factor(v, taus)
+        # H1 H2 ... Hn  ==  I - V Tf V^T
+        h = np.eye(m)
+        for k in range(n):
+            hk = np.eye(m) - taus[k] * np.outer(v[:, k], v[:, k])
+            h = h @ hk
+        np.testing.assert_allclose(np.eye(m) - v @ tf @ v.T, h, atol=1e-10)
+
+    def test_zero_columns(self):
+        tf = build_t_factor(np.zeros((4, 0)), np.zeros(0))
+        assert tf.shape == (0, 0)
+
+    def test_tau_zero_column_contributes_identity(self, rng):
+        v = np.zeros((5, 2))
+        v[0, 0] = 1.0
+        v[1, 1] = 1.0
+        taus = np.array([0.0, 0.0])
+        tf = build_t_factor(v, taus)
+        assert np.allclose(tf, 0.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(KernelError):
+            build_t_factor(np.zeros(3), np.zeros(3))
+        with pytest.raises(KernelError):
+            build_t_factor(np.zeros((4, 2)), np.zeros(3))
+
+
+class TestApplyBlockReflector:
+    def test_transpose_pair_roundtrip(self, rng):
+        v, taus, _ = _factor_columns(rng.standard_normal((9, 4)))
+        tf = build_t_factor(v, taus)
+        c0 = rng.standard_normal((9, 7))
+        c = c0.copy()
+        apply_block_reflector(v, tf, c, transpose=True)
+        apply_block_reflector(v, tf, c, transpose=False)
+        np.testing.assert_allclose(c, c0, atol=1e-10)
+
+    def test_matches_densified_q(self, rng):
+        v, taus, _ = _factor_columns(rng.standard_normal((8, 8)))
+        tf = build_t_factor(v, taus)
+        q = np.eye(8) - v @ tf @ v.T
+        c0 = rng.standard_normal((8, 3))
+        got = apply_block_reflector(v, tf, c0.copy(), transpose=True)
+        np.testing.assert_allclose(got, q.T @ c0, atol=1e-10)
+
+    def test_incompatible_shapes(self, rng):
+        v = rng.standard_normal((6, 3))
+        tf = np.eye(3)
+        with pytest.raises(KernelError):
+            apply_block_reflector(v, tf, rng.standard_normal((5, 2)), transpose=True)
+        with pytest.raises(KernelError):
+            apply_block_reflector(v, np.eye(2), rng.standard_normal((6, 2)), transpose=True)

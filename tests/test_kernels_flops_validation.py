@@ -1,0 +1,84 @@
+"""Tests for the flop models and numerical validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    check_orthogonality,
+    check_reconstruction,
+    check_upper_triangular,
+    flops_dense_qr,
+    flops_geqrt,
+    flops_tiled_qr,
+    flops_tsmqr,
+    flops_tsqrt,
+    flops_ttmqr,
+    flops_ttqrt,
+    flops_unmqr,
+)
+
+
+class TestFlops:
+    def test_all_positive_and_cubic(self):
+        for fn in (flops_geqrt, flops_unmqr, flops_tsqrt, flops_tsmqr,
+                   flops_ttqrt, flops_ttmqr):
+            assert fn(16) > 0
+            # Cubic growth: doubling b multiplies by ~8.
+            assert fn(32) / fn(16) == pytest.approx(8.0, rel=0.01)
+
+    def test_tt_cheaper_than_ts(self):
+        assert flops_ttqrt(16) < flops_tsqrt(16)
+        assert flops_ttmqr(16) < flops_tsmqr(16)
+
+    def test_update_heavier_than_panel_per_tile(self):
+        # Per tile, the UE GEMMs outweigh the panel factorization.
+        assert flops_tsmqr(16) > flops_geqrt(16)
+
+    def test_dense_qr_square(self):
+        n = 100
+        assert flops_dense_qr(n) == pytest.approx((4.0 / 3.0) * n**3, rel=1e-12)
+
+    def test_dense_qr_rectangular(self):
+        assert flops_dense_qr(10, 100) == pytest.approx(
+            2 * 100 * 100 - (2 / 3) * 1000, rel=1e-12
+        )
+
+    def test_tiled_total_close_to_dense(self):
+        # The tiled algorithm does more flops than dense QR but within a
+        # small constant factor (the TS update overhead).
+        p, b = 20, 16
+        n = p * b
+        tiled = flops_tiled_qr(p, p, b)
+        dense = flops_dense_qr(n)
+        assert 1.0 < tiled / dense < 2.5
+
+    def test_tiled_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            flops_tiled_qr(4, 4, 16, elimination="XX")
+
+    def test_tiled_single_tile(self):
+        assert flops_tiled_qr(1, 1, 16) == pytest.approx(flops_geqrt(16))
+
+
+class TestValidationHelpers:
+    def test_check_reconstruction_passes(self, rng):
+        a = rng.standard_normal((10, 10))
+        q, r = np.linalg.qr(a)
+        assert check_reconstruction(a, q, r) < 1e-12
+
+    def test_check_reconstruction_fails(self, rng):
+        a = rng.standard_normal((10, 10))
+        q, r = np.linalg.qr(a)
+        with pytest.raises(AssertionError):
+            check_reconstruction(a + 1.0, q, r)
+
+    def test_check_orthogonality(self, rng):
+        q, _ = np.linalg.qr(rng.standard_normal((8, 8)))
+        check_orthogonality(q)
+        with pytest.raises(AssertionError):
+            check_orthogonality(q * 1.5)
+
+    def test_check_upper_triangular(self, rng):
+        check_upper_triangular(np.triu(rng.standard_normal((6, 6))))
+        with pytest.raises(AssertionError):
+            check_upper_triangular(rng.standard_normal((6, 6)) + 10 * np.eye(6))

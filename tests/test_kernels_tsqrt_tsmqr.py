@@ -1,0 +1,165 @@
+"""Tests for TS/TT elimination kernels and their updates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KernelError
+from repro.kernels import geqrt, tsmqr, tsqrt, ttmqr, ttqrt
+
+
+def _random_triangular(rng, b):
+    return np.triu(rng.standard_normal((b, b)))
+
+
+class TestTSQRT:
+    @pytest.mark.parametrize("b", [1, 2, 4, 8, 16])
+    def test_stacked_reconstruction(self, rng, b):
+        r1 = _random_triangular(rng, b)
+        a2 = rng.standard_normal((b, b))
+        f = tsqrt(r1, a2)
+        q = f.q_dense()
+        stacked = np.vstack([r1, a2])
+        rebuilt = q @ np.vstack([f.r, np.zeros_like(a2)])
+        np.testing.assert_allclose(rebuilt, stacked, atol=1e-9 * max(b, 1))
+
+    def test_q_orthogonal(self, rng):
+        f = tsqrt(_random_triangular(rng, 8), rng.standard_normal((8, 8)))
+        q = f.q_dense()
+        np.testing.assert_allclose(q.T @ q, np.eye(16), atol=1e-10)
+
+    def test_result_upper_triangular(self, rng):
+        f = tsqrt(_random_triangular(rng, 8), rng.standard_normal((8, 8)))
+        assert np.allclose(np.tril(f.r, -1), 0.0)
+
+    def test_rectangular_bottom(self, rng):
+        r1 = _random_triangular(rng, 6)
+        a2 = rng.standard_normal((10, 6))
+        f = tsqrt(r1, a2)
+        q = f.q_dense()
+        stacked = np.vstack([r1, a2])
+        rebuilt = q @ np.vstack([f.r, np.zeros((10, 6))])
+        np.testing.assert_allclose(rebuilt, stacked, atol=1e-9)
+
+    def test_kind_is_ts(self, rng):
+        f = tsqrt(_random_triangular(rng, 4), rng.standard_normal((4, 4)))
+        assert f.kind == "TS"
+
+    def test_zero_bottom_tile_is_noop(self, rng):
+        r1 = _random_triangular(rng, 5)
+        f = tsqrt(r1, np.zeros((5, 5)))
+        np.testing.assert_allclose(f.r, r1, atol=1e-12)
+        assert np.allclose(f.taus, 0.0)
+
+    def test_inputs_not_modified(self, rng):
+        r1 = _random_triangular(rng, 5)
+        a2 = rng.standard_normal((5, 5))
+        r1c, a2c = r1.copy(), a2.copy()
+        tsqrt(r1, a2)
+        np.testing.assert_array_equal(r1, r1c)
+        np.testing.assert_array_equal(a2, a2c)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(KernelError):
+            tsqrt(rng.standard_normal((4, 5)), rng.standard_normal((4, 4)))
+        with pytest.raises(KernelError):
+            tsqrt(rng.standard_normal((4, 4)), rng.standard_normal((4, 3)))
+
+    @given(st.integers(1, 12), st.integers(0, 300))
+    @settings(max_examples=25, deadline=None)
+    def test_property_elimination_zeroes_bottom(self, b, seed):
+        rng = np.random.default_rng(seed)
+        r1 = np.triu(rng.standard_normal((b, b)))
+        a2 = rng.standard_normal((b, b))
+        f = tsqrt(r1, a2)
+        c1, c2 = r1.copy(), a2.copy()
+        tsmqr(f, c1, c2)
+        scale = max(np.linalg.norm(np.vstack([r1, a2])), 1.0)
+        assert np.linalg.norm(c2) <= 1e-9 * scale
+        assert np.linalg.norm(c1 - f.r) <= 1e-9 * scale
+
+
+class TestTSMQR:
+    def test_transpose_roundtrip(self, rng):
+        f = tsqrt(_random_triangular(rng, 8), rng.standard_normal((8, 8)))
+        c1, c2 = rng.standard_normal((8, 6)), rng.standard_normal((8, 6))
+        o1, o2 = c1.copy(), c2.copy()
+        tsmqr(f, c1, c2, transpose=True)
+        tsmqr(f, c1, c2, transpose=False)
+        np.testing.assert_allclose(c1, o1, atol=1e-10)
+        np.testing.assert_allclose(c2, o2, atol=1e-10)
+
+    def test_matches_dense_q(self, rng):
+        b = 6
+        f = tsqrt(_random_triangular(rng, b), rng.standard_normal((b, b)))
+        q = f.q_dense()
+        c1, c2 = rng.standard_normal((b, 4)), rng.standard_normal((b, 4))
+        stacked = np.vstack([c1, c2])
+        expected = q.T @ stacked
+        tsmqr(f, c1, c2)
+        np.testing.assert_allclose(np.vstack([c1, c2]), expected, atol=1e-10)
+
+    def test_column_count_mismatch(self, rng):
+        f = tsqrt(_random_triangular(rng, 4), rng.standard_normal((4, 4)))
+        with pytest.raises(KernelError):
+            tsmqr(f, rng.standard_normal((4, 3)), rng.standard_normal((4, 2)))
+
+    def test_row_mismatch(self, rng):
+        f = tsqrt(_random_triangular(rng, 4), rng.standard_normal((4, 4)))
+        with pytest.raises(KernelError):
+            tsmqr(f, rng.standard_normal((5, 3)), rng.standard_normal((4, 3)))
+
+
+class TestTTQRT:
+    @pytest.mark.parametrize("b", [1, 2, 5, 8, 16])
+    def test_reconstruction(self, rng, b):
+        r1 = _random_triangular(rng, b)
+        r2 = _random_triangular(rng, b)
+        f = ttqrt(r1, r2)
+        q = f.q_dense()
+        stacked = np.vstack([r1, r2])
+        rebuilt = q @ np.vstack([f.r, np.zeros_like(r2)])
+        np.testing.assert_allclose(rebuilt, stacked, atol=1e-9 * max(b, 1))
+
+    def test_v2_upper_triangular(self, rng):
+        f = ttqrt(_random_triangular(rng, 8), _random_triangular(rng, 8))
+        assert np.allclose(np.tril(f.v2, -1), 0.0)
+        assert f.kind == "TT"
+
+    def test_garbage_below_diagonal_ignored(self, rng):
+        r1 = _random_triangular(rng, 6)
+        r2 = _random_triangular(rng, 6)
+        noisy = r2 + np.tril(rng.standard_normal((6, 6)), -1)
+        f_clean = ttqrt(r1, r2)
+        f_noisy = ttqrt(r1, noisy)
+        np.testing.assert_allclose(f_clean.r, f_noisy.r, atol=1e-12)
+
+    def test_rejects_rectangular_bottom(self, rng):
+        with pytest.raises(KernelError):
+            ttqrt(_random_triangular(rng, 4), rng.standard_normal((6, 4)))
+
+
+class TestTTMQR:
+    def test_eliminates_pair(self, rng):
+        b = 8
+        r1, r2 = _random_triangular(rng, b), _random_triangular(rng, b)
+        f = ttqrt(r1, r2)
+        c1, c2 = r1.copy(), r2.copy()
+        ttmqr(f, c1, c2)
+        assert np.linalg.norm(c2) < 1e-9
+        np.testing.assert_allclose(c1, f.r, atol=1e-9)
+
+    def test_rejects_ts_factors(self, rng):
+        f = tsqrt(_random_triangular(rng, 4), rng.standard_normal((4, 4)))
+        with pytest.raises(KernelError):
+            ttmqr(f, rng.standard_normal((4, 2)), rng.standard_normal((4, 2)))
+
+    def test_matches_tsmqr_application(self, rng):
+        b = 5
+        f = ttqrt(_random_triangular(rng, b), _random_triangular(rng, b))
+        c1, c2 = rng.standard_normal((b, 3)), rng.standard_normal((b, 3))
+        d1, d2 = c1.copy(), c2.copy()
+        ttmqr(f, c1, c2)
+        tsmqr(f, d1, d2)
+        np.testing.assert_array_equal(c1, d1)
+        np.testing.assert_array_equal(c2, d2)

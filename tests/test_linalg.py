@@ -1,0 +1,226 @@
+"""Tests for the QR-based linear algebra operations layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import workloads
+from repro.errors import ShapeError
+from repro.linalg import (
+    condition_estimate,
+    det,
+    inv,
+    lstsq,
+    orth_basis,
+    qr_solve,
+    slogdet,
+    solve_triangular,
+)
+
+
+class TestQrSolve:
+    def test_matches_numpy(self, rng):
+        a = rng.standard_normal((48, 48)) + 6 * np.eye(48)
+        b = rng.standard_normal(48)
+        np.testing.assert_allclose(qr_solve(a, b), np.linalg.solve(a, b), atol=1e-8)
+
+    def test_multiple_rhs(self, rng):
+        a = rng.standard_normal((32, 32)) + 5 * np.eye(32)
+        b = rng.standard_normal((32, 3))
+        x = qr_solve(a, b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-8)
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(ShapeError):
+            qr_solve(rng.standard_normal((10, 5)), np.zeros(10))
+
+    def test_singular_raises(self):
+        a = workloads.near_singular(20, rank=5, noise=0.0)
+        with pytest.raises(np.linalg.LinAlgError):
+            qr_solve(a, np.ones(20))
+
+
+class TestLstsq:
+    def test_matches_numpy(self, rng):
+        a = rng.standard_normal((80, 12))
+        b = rng.standard_normal(80)
+        x, res = lstsq(a, b)
+        x_ref, res_ref, *_ = np.linalg.lstsq(a, b, rcond=None)
+        np.testing.assert_allclose(x, x_ref, atol=1e-8)
+        np.testing.assert_allclose(res**2, res_ref if res_ref.size else 0.0, atol=1e-8)
+
+    def test_square_system_zero_residual(self, rng):
+        a = rng.standard_normal((24, 24)) + 5 * np.eye(24)
+        b = rng.standard_normal(24)
+        x, res = lstsq(a, b)
+        assert res == pytest.approx(0.0, abs=1e-10)
+        np.testing.assert_allclose(a @ x, b, atol=1e-8)
+
+    def test_vandermonde_workload(self):
+        v = workloads.vandermonde(120, 5)
+        y = v @ np.arange(6, dtype=float)
+        x, res = lstsq(v, y)
+        np.testing.assert_allclose(x, np.arange(6), atol=1e-8)
+        assert res < 1e-9
+
+    def test_multiple_rhs_shapes(self, rng):
+        a = rng.standard_normal((40, 8))
+        b = rng.standard_normal((40, 2))
+        x, res = lstsq(a, b)
+        assert x.shape == (8, 2)
+        assert res.shape == (2,)
+
+    def test_rejects_wide(self, rng):
+        with pytest.raises(ShapeError):
+            lstsq(rng.standard_normal((5, 10)), np.zeros(5))
+
+    def test_b_row_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            lstsq(rng.standard_normal((10, 4)), np.zeros(9))
+
+
+class TestInvDet:
+    def test_inv_matches_numpy(self, rng):
+        a = rng.standard_normal((24, 24)) + 5 * np.eye(24)
+        np.testing.assert_allclose(inv(a), np.linalg.inv(a), atol=1e-8)
+
+    def test_inv_roundtrip(self, rng):
+        a = rng.standard_normal((32, 32)) + 6 * np.eye(32)
+        np.testing.assert_allclose(a @ inv(a), np.eye(32), atol=1e-8)
+
+    def test_det_matches_numpy(self, rng):
+        a = rng.standard_normal((16, 16))
+        assert det(a) == pytest.approx(np.linalg.det(a), rel=1e-8)
+
+    def test_slogdet_matches_numpy(self, rng):
+        for seed in range(5):
+            a = np.random.default_rng(seed).standard_normal((20, 20))
+            s, l = slogdet(a)
+            s_ref, l_ref = np.linalg.slogdet(a)
+            assert s == pytest.approx(s_ref)
+            assert l == pytest.approx(l_ref, rel=1e-9)
+
+    def test_det_identity(self):
+        assert det(np.eye(10)) == pytest.approx(1.0)
+
+    def test_det_singular(self):
+        a = workloads.near_singular(12, rank=6, noise=0.0)
+        s, l = slogdet(a)
+        assert s == 0.0 and l == float("-inf")
+        assert det(a) == 0.0
+
+    @given(st.integers(2, 16), st.integers(0, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_property_det_sign(self, n, seed):
+        a = np.random.default_rng(seed).standard_normal((n, n))
+        s, _ = slogdet(a)
+        s_ref, _ = np.linalg.slogdet(a)
+        assert s == pytest.approx(s_ref)
+
+
+class TestOrthAndCondition:
+    def test_orth_basis_spans_range(self, rng):
+        a = rng.standard_normal((48, 8))
+        q = orth_basis(a)
+        assert q.shape == (48, 8)
+        np.testing.assert_allclose(q.T @ q, np.eye(8), atol=1e-9)
+        # Projection of A onto the basis reproduces A.
+        np.testing.assert_allclose(q @ (q.T @ a), a, atol=1e-8)
+
+    def test_condition_estimate_orders_of_magnitude(self):
+        from repro.experiments.stability import matrix_with_condition
+
+        easy = matrix_with_condition(64, 16, 1e1, seed=1)
+        hard = matrix_with_condition(64, 16, 1e8, seed=1)
+        assert condition_estimate(hard) > 1e4 * condition_estimate(easy) / 1e2
+
+    def test_condition_identity(self):
+        assert condition_estimate(np.eye(20)) == pytest.approx(1.0)
+
+    def test_condition_singular(self):
+        assert condition_estimate(workloads.near_singular(12, 4, noise=0.0)) == float("inf")
+
+
+class TestSolveTriangular:
+    def test_upper(self, rng):
+        r = np.triu(rng.standard_normal((10, 10))) + 5 * np.eye(10)
+        b = rng.standard_normal(10)
+        np.testing.assert_allclose(r @ solve_triangular(r, b), b, atol=1e-10)
+
+    def test_lower(self, rng):
+        l = np.tril(rng.standard_normal((10, 10))) + 5 * np.eye(10)
+        b = rng.standard_normal((10, 2))
+        np.testing.assert_allclose(l @ solve_triangular(l, b, lower=True), b, atol=1e-10)
+
+
+class TestWorkloads:
+    def test_shapes_and_reproducibility(self):
+        a1 = workloads.random_gaussian(10, 6, seed=3)
+        a2 = workloads.random_gaussian(10, 6, seed=3)
+        np.testing.assert_array_equal(a1, a2)
+        assert workloads.random_uniform(5).shape == (5, 5)
+
+    def test_graded_scales_decay(self):
+        a = workloads.graded(50, 10, decay=0.5, seed=0)
+        norms = np.linalg.norm(a, axis=0)
+        assert norms[0] > norms[-1] * 100
+
+    def test_spd_is_positive_definite(self):
+        g = workloads.spd(12, seed=1)
+        assert np.all(np.linalg.eigvalsh(g) > 0)
+        np.testing.assert_allclose(g, g.T)
+
+    def test_orthogonal_is_orthogonal(self):
+        q = workloads.orthogonal(16, seed=2)
+        np.testing.assert_allclose(q.T @ q, np.eye(16), atol=1e-10)
+
+    def test_near_singular_rank(self):
+        a = workloads.near_singular(16, rank=4, noise=0.0)
+        assert np.linalg.matrix_rank(a) == 4
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            workloads.random_gaussian(0)
+        with pytest.raises(ValueError):
+            workloads.graded(5, decay=0.0)
+        with pytest.raises(ValueError):
+            workloads.near_singular(5, rank=9)
+        with pytest.raises(ShapeError):
+            workloads.vandermonde(3, 5)
+
+
+class TestLQ:
+    def test_wide_reconstruction(self, rng):
+        from repro.linalg import lq
+
+        a = rng.standard_normal((8, 24))
+        l, q = lq(a)
+        np.testing.assert_allclose(l @ q, a, atol=1e-10)
+        assert np.allclose(np.triu(l, 1), 0.0)
+        np.testing.assert_allclose(q @ q.T, np.eye(8), atol=1e-10)
+
+    def test_square(self, rng):
+        from repro.linalg import lq
+
+        a = rng.standard_normal((16, 16))
+        l, q = lq(a)
+        np.testing.assert_allclose(l @ q, a, atol=1e-10)
+
+    def test_rejects_tall(self, rng):
+        from repro.linalg import lq
+
+        with pytest.raises(ShapeError):
+            lq(rng.standard_normal((20, 5)))
+
+    def test_underdetermined_min_norm_solve(self, rng):
+        """LQ gives the minimum-norm solution of a wide system."""
+        from repro.linalg import lq, solve_triangular
+
+        a = rng.standard_normal((6, 15))
+        b = rng.standard_normal(6)
+        l, q = lq(a)
+        y = solve_triangular(l, b, lower=True)
+        x = q.T @ y
+        np.testing.assert_allclose(a @ x, b, atol=1e-9)
+        x_ref = np.linalg.pinv(a) @ b  # the min-norm solution
+        np.testing.assert_allclose(x, x_ref, atol=1e-8)

@@ -1,0 +1,219 @@
+"""The paper's headline claims, asserted end to end.
+
+These are the reproduction's acceptance tests: each corresponds to a
+table or figure and checks the *shape* — who wins, by roughly what
+factor, where the crossovers fall.
+"""
+
+import pytest
+
+from repro.baselines import cores_based_plan, even_plan, forced_main_plan, no_main_plan
+from repro.core.main_device import select_main_device
+from repro.sim import simulate_iteration_level
+
+
+def _makespan(qr_sys, optimizer, topology, n, **kw):
+    plan = optimizer.plan(matrix_size=n, **kw)
+    g = -(-n // 16)
+    return simulate_iteration_level(plan, g, g, qr_sys, topology).makespan
+
+
+class TestTable3Crossovers:
+    """1 GPU optimal small, 2 mid, 3 large; predictor agrees (Table III)."""
+
+    def test_one_gpu_wins_small(self, system, topology, optimizer):
+        for n in (160, 320, 480):
+            times = {
+                p: _makespan(system, optimizer, topology, n, num_devices=p)
+                for p in (1, 2, 3)
+            }
+            assert min(times, key=times.get) == 1, f"n={n}: {times}"
+
+    def test_two_gpus_win_midrange(self, system, topology, optimizer):
+        for n in (800, 1600, 2400):
+            times = {
+                p: _makespan(system, optimizer, topology, n, num_devices=p)
+                for p in (1, 2, 3)
+            }
+            assert min(times, key=times.get) == 2, f"n={n}: {times}"
+
+    def test_three_gpus_win_large(self, system, topology, optimizer):
+        for n in (2880, 3200, 4000):
+            times = {
+                p: _makespan(system, optimizer, topology, n, num_devices=p)
+                for p in (1, 2, 3)
+            }
+            assert min(times, key=times.get) == 3, f"n={n}: {times}"
+
+    def test_predictor_agrees_with_actual(self, system, topology, optimizer):
+        for n in (320, 800, 1600, 3200):
+            plans = {p: optimizer.plan(matrix_size=n, num_devices=p) for p in (1, 2, 3)}
+            actual = {
+                p: _makespan(system, optimizer, topology, n, num_devices=p)
+                for p in (1, 2, 3)
+            }
+            predicted = {
+                p: plans[p].notes["predicted"][p - 1].total for p in (1, 2, 3)
+            }
+            assert min(actual, key=actual.get) == min(predicted, key=predicted.get), n
+
+
+class TestFig9MainSelection:
+    """GTX580 is selected and beats the alternatives (Fig. 9)."""
+
+    def test_alg2_selects_gtx580(self, system):
+        assert select_main_device(system, 200, 200, 16) == "gtx580-0"
+
+    @pytest.mark.parametrize("n", [3200, 6400])
+    def test_gtx580_beats_gtx680_as_main(self, system, topology, n):
+        g = n // 16
+        t580 = simulate_iteration_level(
+            forced_main_plan(system, "gtx580-0", g, g, 16), g, g, system, topology
+        ).makespan
+        t680 = simulate_iteration_level(
+            forced_main_plan(system, "gtx680-0", g, g, 16), g, g, system, topology
+        ).makespan
+        assert t580 < t680
+        # Paper: ~13% at 16000; we accept a 3%..40% band.
+        assert 1.03 < t680 / t580 < 1.40
+
+    def test_cpu_as_main_is_catastrophic(self, system, topology):
+        g = 200
+        t580 = simulate_iteration_level(
+            forced_main_plan(system, "gtx580-0", g, g, 16), g, g, system, topology
+        ).makespan
+        tcpu = simulate_iteration_level(
+            forced_main_plan(system, "cpu-0", g, g, 16), g, g, system, topology
+        ).makespan
+        assert tcpu > 4.0 * t580
+
+    def test_no_main_not_better_than_selected_by_much(self, system, topology):
+        g = 400
+        t580 = simulate_iteration_level(
+            forced_main_plan(system, "gtx580-0", g, g, 16), g, g, system, topology
+        ).makespan
+        tnone = simulate_iteration_level(
+            no_main_plan(system, g, g, 16), g, g, system, topology
+        ).makespan
+        # Paper: no-main is ~5% slower; our model shows a tie. Either
+        # way the optimized selection must not lose meaningfully.
+        assert tnone > 0.9 * t580
+
+
+class TestFig10Distribution:
+    """Guide array beats the even distribution clearly (Fig. 10)."""
+
+    @pytest.mark.parametrize("n", [3200, 6400])
+    def test_guide_beats_even(self, system, topology, optimizer, n):
+        g = n // 16
+        gpus = [d.device_id for d in system.gpus()]
+        t_guide = simulate_iteration_level(
+            optimizer.plan(matrix_size=n, num_devices=4), g, g, system, topology
+        ).makespan
+        t_even = simulate_iteration_level(
+            even_plan(system, "gtx580-0", participants=gpus), g, g, system, topology
+        ).makespan
+        # Paper: 21% at 16000. Require at least 10%.
+        assert t_even > 1.10 * t_guide
+
+    def test_guide_not_worse_than_cores(self, system, topology, optimizer):
+        n, g = 6400, 400
+        t_guide = simulate_iteration_level(
+            optimizer.plan(matrix_size=n, num_devices=4), g, g, system, topology
+        ).makespan
+        t_cores = simulate_iteration_level(
+            cores_based_plan(system, "gtx580-0"), g, g, system, topology
+        ).makespan
+        assert t_guide < 1.05 * t_cores
+
+
+class TestFig8Scalability:
+    """Adding devices reduces time for every size (Fig. 8)."""
+
+    @pytest.mark.parametrize("n", [3200, 6400])
+    def test_monotone_speedup(self, system, topology, n):
+        from repro.core.optimizer import Optimizer
+
+        g = n // 16
+        times = []
+        for ids in (
+            ["cpu-0"],
+            ["cpu-0", "gtx580-0"],
+            ["cpu-0", "gtx580-0", "gtx680-0"],
+            ["cpu-0", "gtx580-0", "gtx680-0", "gtx680-1"],
+        ):
+            sub = system.subset(ids)
+            from repro.comm.topology import pcie_star
+
+            top = pcie_star(sub.devices)
+            plan = Optimizer(sub, top).plan(matrix_size=n, num_devices=len(ids))
+            times.append(simulate_iteration_level(plan, g, g, sub, top).makespan)
+        assert all(a > b for a, b in zip(times, times[1:])), times
+
+    def test_cpu_only_3200_magnitude(self, system, topology):
+        """Paper: 19.9 s. Our calibration lands within a small factor."""
+        from repro.comm.topology import pcie_star
+        from repro.core.optimizer import Optimizer
+
+        sub = system.subset(["cpu-0"])
+        top = pcie_star(sub.devices)
+        plan = Optimizer(sub, top).plan(matrix_size=3200, num_devices=1)
+        t = simulate_iteration_level(plan, 200, 200, sub, top).makespan
+        assert 10.0 < t < 80.0
+
+
+class TestFig5CommFraction:
+    """Communication share shrinks with matrix size (Fig. 5)."""
+
+    def test_small_matrices_comm_heavy(self, system, topology, optimizer):
+        plan = optimizer.plan(matrix_size=320, num_devices=4)
+        rep = simulate_iteration_level(plan, 20, 20, system, topology)
+        assert rep.comm_fraction > 0.20
+
+    def test_large_matrices_comm_light(self, system, topology, optimizer):
+        plan = optimizer.plan(matrix_size=3840, num_devices=4)
+        rep = simulate_iteration_level(plan, 240, 240, system, topology)
+        assert rep.comm_fraction < 0.10
+
+    def test_fraction_monotone_decreasing_overall(self, system, topology, optimizer):
+        fracs = []
+        for n in (320, 960, 1920, 3840):
+            plan = optimizer.plan(matrix_size=n, num_devices=4)
+            g = n // 16
+            fracs.append(
+                simulate_iteration_level(plan, g, g, system, topology).comm_fraction
+            )
+        assert all(a > b for a, b in zip(fracs, fracs[1:])), fracs
+
+
+class TestGoldenCrossovers:
+    """The exact Table III crossover positions — the reproduction's
+    flagship result. Full 25-size sweep (a few seconds)."""
+
+    def test_exact_crossovers_640_and_2720(self, system, topology, optimizer):
+        best = {}
+        for n in range(160, 4001, 160):
+            times = {
+                p: _makespan(system, optimizer, topology, n, num_devices=p)
+                for p in (1, 2, 3)
+            }
+            best[n] = min(times, key=times.get)
+        switches = [
+            n for n in sorted(best) if n > 160 and best[n] != best[n - 160]
+        ]
+        assert switches == [640, 2720], f"crossovers moved: {switches}"
+        assert best[160] == 1 and best[4000] == 3
+
+    def test_predictor_agrees_at_all_25_sizes(self, system, topology, optimizer):
+        for n in range(160, 4001, 160):
+            actual = {
+                p: _makespan(system, optimizer, topology, n, num_devices=p)
+                for p in (1, 2, 3)
+            }
+            plans = {
+                p: optimizer.plan(matrix_size=n, num_devices=p) for p in (1, 2, 3)
+            }
+            predicted = {
+                p: plans[p].notes["predicted"][p - 1].total for p in (1, 2, 3)
+            }
+            assert min(actual, key=actual.get) == min(predicted, key=predicted.get), n

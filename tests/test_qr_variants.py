@@ -1,0 +1,158 @@
+"""Tests for Cholesky-family QR baselines and TSQR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.cholesky_qr import (
+    cholesky_factor,
+    cholesky_qr,
+    cholesky_qr2,
+    modified_gram_schmidt,
+)
+from repro.errors import KernelError
+from repro.kernels.tsqr import tsqr
+
+
+class TestCholeskyFactor:
+    def test_reconstruction(self, rng):
+        a = rng.standard_normal((8, 8))
+        g = a.T @ a + 8 * np.eye(8)
+        r = cholesky_factor(g)
+        np.testing.assert_allclose(r.T @ r, g, atol=1e-10)
+        assert np.allclose(np.tril(r, -1), 0.0)
+
+    def test_matches_numpy(self, rng):
+        a = rng.standard_normal((6, 6))
+        g = a @ a.T + 6 * np.eye(6)
+        r = cholesky_factor(g)
+        r_np = np.linalg.cholesky(g).T
+        np.testing.assert_allclose(np.abs(r), np.abs(r_np), atol=1e-10)
+
+    def test_rejects_indefinite(self):
+        g = np.diag([1.0, -1.0, 1.0])
+        with pytest.raises(np.linalg.LinAlgError):
+            cholesky_factor(g)
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(KernelError):
+            cholesky_factor(rng.standard_normal((3, 4)))
+
+    def test_identity(self):
+        np.testing.assert_allclose(cholesky_factor(np.eye(5)), np.eye(5))
+
+
+class TestCholeskyQR:
+    def test_well_conditioned_factors(self, rng):
+        a = rng.standard_normal((40, 10))
+        q, r = cholesky_qr(a)
+        np.testing.assert_allclose(q @ r, a, atol=1e-10)
+        np.testing.assert_allclose(q.T @ q, np.eye(10), atol=1e-8)
+        assert np.allclose(np.tril(r, -1), 0.0)
+
+    def test_qr2_improves_orthogonality(self):
+        from repro.experiments.stability import matrix_with_condition
+
+        a = matrix_with_condition(80, 16, 1e6, seed=1)
+        _q1, _ = cholesky_qr(a)
+        q2, r2 = cholesky_qr2(a)
+        e1 = np.linalg.norm(_q1.T @ _q1 - np.eye(16))
+        e2 = np.linalg.norm(q2.T @ q2 - np.eye(16))
+        assert e2 < e1 / 10
+        np.testing.assert_allclose(q2 @ r2, a, atol=1e-8 * np.linalg.norm(a))
+
+    def test_fails_on_extreme_conditioning(self):
+        from repro.experiments.stability import matrix_with_condition
+
+        a = matrix_with_condition(60, 12, 1e12, seed=2)
+        with pytest.raises(np.linalg.LinAlgError):
+            q, _ = cholesky_qr(a)
+            # Some BLAS roundings let the factorization squeak through;
+            # then the orthogonality itself must be garbage.
+            if np.linalg.norm(q.T @ q - np.eye(12)) < 1e-3:
+                raise AssertionError("unexpectedly accurate")
+            raise np.linalg.LinAlgError("degenerate as expected")
+
+    def test_rejects_wide(self, rng):
+        with pytest.raises(KernelError):
+            cholesky_qr(rng.standard_normal((4, 8)))
+
+
+class TestMGS:
+    def test_factors(self, rng):
+        a = rng.standard_normal((30, 8))
+        q, r = modified_gram_schmidt(a)
+        np.testing.assert_allclose(q @ r, a, atol=1e-10)
+        np.testing.assert_allclose(q.T @ q, np.eye(8), atol=1e-8)
+
+    def test_rank_deficient_detected(self):
+        a = np.ones((10, 3))
+        with pytest.raises(np.linalg.LinAlgError):
+            modified_gram_schmidt(a)
+
+
+class TestTSQR:
+    @pytest.mark.parametrize("m,n,p", [(64, 8, 4), (100, 10, 3), (200, 16, 8), (48, 16, 1)])
+    def test_reconstruction(self, rng, m, n, p):
+        a = rng.standard_normal((m, n))
+        f = tsqr(a, num_blocks=p)
+        q = f.q_dense()
+        np.testing.assert_allclose(q @ f.r, a, atol=1e-9)
+        np.testing.assert_allclose(q.T @ q, np.eye(n), atol=1e-9)
+
+    def test_r_matches_flat_qr_up_to_signs(self, rng):
+        a = rng.standard_normal((128, 12))
+        f = tsqr(a, num_blocks=4)
+        r_ref = np.linalg.qr(a, mode="r")
+        np.testing.assert_allclose(np.abs(f.r), np.abs(r_ref), atol=1e-9)
+
+    def test_block_count_clipped(self, rng):
+        a = rng.standard_normal((40, 16))  # at most 2 blocks of >= 16 rows
+        f = tsqr(a, num_blocks=10)
+        assert len(f.row_blocks) <= 2
+
+    def test_blocks_partition_rows(self, rng):
+        f = tsqr(rng.standard_normal((97, 8)), num_blocks=5)
+        spans = f.row_blocks
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 97
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 == s2
+
+    def test_tree_is_binary_reduction(self, rng):
+        f = tsqr(rng.standard_normal((64, 8)), num_blocks=4)
+        assert len(f.tree) == 3  # p - 1 merges
+        assert f.tree[-1][0] == 0  # everything folds into block 0
+
+    def test_apply_roundtrip(self, rng):
+        a = rng.standard_normal((80, 10))
+        f = tsqr(a, num_blocks=4)
+        x = rng.standard_normal((80, 3))
+        np.testing.assert_allclose(f.apply_q(f.apply_qt(x)), x, atol=1e-9)
+
+    def test_input_validation(self, rng):
+        with pytest.raises(KernelError):
+            tsqr(rng.standard_normal((4, 8)))
+        with pytest.raises(KernelError):
+            tsqr(np.zeros(5))
+        with pytest.raises(KernelError):
+            tsqr(rng.standard_normal((8, 4)), num_blocks=0)
+        with pytest.raises(KernelError):
+            tsqr(rng.standard_normal((8, 4)).T[:, :0].reshape(8, 0))
+
+    def test_shape_check_on_apply(self, rng):
+        f = tsqr(rng.standard_normal((40, 8)), num_blocks=2)
+        with pytest.raises(KernelError):
+            f.apply_qt(np.zeros(39))
+
+    @given(st.integers(16, 120), st.integers(2, 12), st.integers(1, 6), st.integers(0, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_property_tsqr_invariants(self, m, n, p, seed):
+        if m < n:
+            m = n
+        a = np.random.default_rng(seed).standard_normal((m, n))
+        f = tsqr(a, num_blocks=p)
+        q = f.q_dense()
+        scale = max(np.linalg.norm(a), 1.0)
+        assert np.linalg.norm(q @ f.r - a) < 1e-9 * scale
+        assert np.max(np.abs(np.tril(f.r, -1))) < 1e-9 * scale

@@ -1,0 +1,218 @@
+"""Tests for pivoted QR, randomized range finding, and the tiled solve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import workloads
+from repro.errors import KernelError, ShapeError
+from repro.linalg.rank_revealing import (
+    low_rank_approx,
+    numerical_rank,
+    qr_column_pivoting,
+    randomized_range,
+)
+from repro.runtime import tiled_qr
+from repro.runtime.trisolve import solve_factorized_tiled, tiled_back_substitution
+from repro.tiles import TiledMatrix
+
+
+class TestQRColumnPivoting:
+    def test_reconstruction_with_permutation(self, rng):
+        a = rng.standard_normal((20, 12))
+        res = qr_column_pivoting(a)
+        np.testing.assert_allclose(res.q @ res.r, a[:, res.perm], atol=1e-10)
+        np.testing.assert_allclose(res.q.T @ res.q, np.eye(20), atol=1e-10)
+
+    def test_diagonal_non_increasing(self, rng):
+        a = rng.standard_normal((16, 16))
+        res = qr_column_pivoting(a)
+        d = np.abs(np.diag(res.r))
+        assert np.all(np.diff(d) <= 1e-9 * d[0])
+
+    def test_full_rank_detected(self, rng):
+        a = rng.standard_normal((20, 10))
+        assert qr_column_pivoting(a).rank == 10
+
+    @pytest.mark.parametrize("true_rank", [1, 3, 7])
+    def test_low_rank_detected(self, rng, true_rank):
+        u = rng.standard_normal((30, true_rank))
+        v = rng.standard_normal((true_rank, 15))
+        assert numerical_rank(u @ v) == true_rank
+
+    def test_zero_matrix(self):
+        res = qr_column_pivoting(np.zeros((5, 5)))
+        assert res.rank == 0
+
+    def test_wide_matrix(self, rng):
+        a = rng.standard_normal((6, 14))
+        res = qr_column_pivoting(a)
+        np.testing.assert_allclose(res.q @ res.r, a[:, res.perm], atol=1e-10)
+        assert res.rank == 6
+
+    def test_graded_matrix_pivots_large_first(self):
+        a = workloads.graded(40, 12, decay=0.3, seed=5)
+        res = qr_column_pivoting(a)
+        # The biggest original columns (small indices) are pivoted first.
+        assert res.perm[0] in (0, 1)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            qr_column_pivoting(np.zeros(4))
+
+    @given(st.integers(2, 14), st.integers(2, 14), st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_property_permuted_reconstruction(self, m, n, seed):
+        a = np.random.default_rng(seed).standard_normal((m, n))
+        res = qr_column_pivoting(a)
+        assert np.linalg.norm(res.q @ res.r - a[:, res.perm]) < 1e-9 * max(
+            np.linalg.norm(a), 1.0
+        )
+        assert sorted(res.perm.tolist()) == list(range(n))
+
+
+class TestRandomizedRange:
+    def test_basis_orthonormal(self, rng):
+        a = rng.standard_normal((50, 30))
+        q = randomized_range(a, k=5)
+        np.testing.assert_allclose(q.T @ q, np.eye(q.shape[1]), atol=1e-9)
+
+    def test_captures_low_rank_exactly(self, rng):
+        u = rng.standard_normal((60, 4))
+        v = rng.standard_normal((4, 25))
+        a = u @ v
+        q, b = low_rank_approx(a, k=4, oversample=4)
+        assert np.linalg.norm(a - q @ b) < 1e-9 * np.linalg.norm(a)
+
+    def test_decaying_spectrum_near_optimal(self, rng):
+        s = np.logspace(0, -6, 20)
+        a = rng.standard_normal((80, 20)) * s
+        q, b = low_rank_approx(a, k=6, power_iters=2, seed=3)
+        err = np.linalg.norm(a - q @ b) / np.linalg.norm(a)
+        assert err < 1e-3
+
+    def test_power_iterations_help(self, rng):
+        s = np.logspace(0, -2, 30)  # slow decay: power iterations matter
+        a = rng.standard_normal((100, 30)) * s
+        e0 = np.linalg.norm(a - np.linalg.multi_dot(low_rank_approx(a, 5, 2, 0, seed=7)))
+        e2 = np.linalg.norm(a - np.linalg.multi_dot(low_rank_approx(a, 5, 2, 3, seed=7)))
+        assert e2 <= e0 * 1.05
+
+    def test_rank_bounds_validated(self, rng):
+        a = rng.standard_normal((10, 8))
+        with pytest.raises(KernelError):
+            randomized_range(a, k=0)
+        with pytest.raises(KernelError):
+            randomized_range(a, k=9)
+
+
+class TestTiledBackSubstitution:
+    def test_matches_dense_solve(self, rng):
+        n = 64
+        r_dense = np.triu(rng.standard_normal((n, n))) + 6 * np.eye(n)
+        r_tiled = TiledMatrix.from_dense(r_dense, 16)
+        b = rng.standard_normal(n)
+        x = tiled_back_substitution(r_tiled, b)
+        np.testing.assert_allclose(r_dense @ x, b, atol=1e-9)
+
+    def test_padded_grid(self, rng):
+        n = 50
+        r_dense = np.triu(rng.standard_normal((n, n))) + 6 * np.eye(n)
+        r_tiled = TiledMatrix.from_dense(r_dense, 16)
+        b = rng.standard_normal((n, 2))
+        x = tiled_back_substitution(r_tiled, b)
+        np.testing.assert_allclose(r_dense @ x, b, atol=1e-9)
+
+    def test_full_solve_path(self, rng):
+        a = rng.standard_normal((96, 96)) + 8 * np.eye(96)
+        f = tiled_qr(a, 16)
+        x_true = rng.standard_normal(96)
+        x = solve_factorized_tiled(f, a @ x_true)
+        np.testing.assert_allclose(x, x_true, atol=1e-8)
+        # Agrees with the dense solve path.
+        np.testing.assert_allclose(x, f.solve(a @ x_true), atol=1e-10)
+
+    def test_rejects_rectangular(self, rng):
+        r = TiledMatrix.from_dense(np.triu(rng.standard_normal((32, 16))), 16)
+        with pytest.raises(ShapeError):
+            tiled_back_substitution(r, np.zeros(32))
+
+    def test_rhs_shape_check(self, rng):
+        r = TiledMatrix.from_dense(np.eye(32), 16)
+        with pytest.raises(ShapeError):
+            tiled_back_substitution(r, np.zeros(31))
+
+
+class TestJacobiSVD:
+    def test_reconstruction_and_orthogonality(self, rng):
+        from repro.linalg import svd_jacobi
+
+        a = rng.standard_normal((24, 10))
+        u, s, vt = svd_jacobi(a)
+        np.testing.assert_allclose(u @ np.diag(s) @ vt, a, atol=1e-10)
+        np.testing.assert_allclose(u.T @ u, np.eye(10), atol=1e-8)
+        np.testing.assert_allclose(vt @ vt.T, np.eye(10), atol=1e-10)
+
+    def test_singular_values_match_numpy(self, rng):
+        from repro.linalg import svd_jacobi
+
+        a = rng.standard_normal((30, 14))
+        _, s, _ = svd_jacobi(a)
+        np.testing.assert_allclose(s, np.linalg.svd(a, compute_uv=False), atol=1e-10)
+
+    def test_descending_order(self, rng):
+        from repro.linalg import svd_jacobi
+
+        _, s, _ = svd_jacobi(rng.standard_normal((20, 8)))
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_rank_deficient(self, rng):
+        from repro.linalg import svd_jacobi
+
+        u = rng.standard_normal((20, 3))
+        v = rng.standard_normal((3, 8))
+        _, s, _ = svd_jacobi(u @ v)
+        assert np.sum(s > 1e-10 * s[0]) == 3
+
+    def test_rejects_wide(self, rng):
+        from repro.errors import ShapeError
+        from repro.linalg import svd_jacobi
+
+        with pytest.raises(ShapeError):
+            svd_jacobi(rng.standard_normal((4, 9)))
+
+    def test_diagonal_matrix_exact(self):
+        from repro.linalg import svd_jacobi
+
+        a = np.diag([5.0, 3.0, 1.0])
+        _, s, _ = svd_jacobi(a)
+        np.testing.assert_allclose(s, [5.0, 3.0, 1.0], atol=1e-14)
+
+
+class TestRandomizedSVD:
+    def test_truncated_values_match(self, rng):
+        from repro.linalg import randomized_svd
+
+        a = rng.standard_normal((80, 30)) * np.logspace(0, -5, 30)
+        u, s, vt = randomized_svd(a, k=5, seed=2)
+        s_ref = np.linalg.svd(a, compute_uv=False)[:5]
+        np.testing.assert_allclose(s, s_ref, rtol=1e-6)
+        assert u.shape == (80, 5) and vt.shape == (5, 30)
+
+    def test_approximation_near_optimal(self, rng):
+        from repro.linalg import randomized_svd
+
+        a = rng.standard_normal((60, 25)) * np.logspace(0, -4, 25)
+        k = 4
+        u, s, vt = randomized_svd(a, k=k, power_iters=3, seed=1)
+        err = np.linalg.norm(a - u @ np.diag(s) @ vt)
+        s_full = np.linalg.svd(a, compute_uv=False)
+        optimal = np.sqrt(np.sum(s_full[k:] ** 2))
+        assert err < 1.6 * optimal
+
+    def test_exact_on_low_rank(self, rng):
+        from repro.linalg import randomized_svd
+
+        base = rng.standard_normal((40, 5)) @ rng.standard_normal((5, 20))
+        u, s, vt = randomized_svd(base, k=5, seed=3)
+        np.testing.assert_allclose(u @ np.diag(s) @ vt, base, atol=1e-9)

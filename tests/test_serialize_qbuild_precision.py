@@ -1,0 +1,147 @@
+"""Tests for plan serialization, tiled Q generation, and float32 support."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import (
+    device_from_dict,
+    device_to_dict,
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_json,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.dag.tasks import Step
+from repro.devices import paper_gtx580, paper_testbed
+from repro.errors import PlanError
+from repro.kernels.flops import flops_orgqr
+from repro.runtime import tiled_qr
+
+
+class TestDeviceSerialization:
+    def test_roundtrip(self):
+        dev = paper_gtx580()
+        restored = device_from_dict(device_to_dict(dev))
+        assert restored == dev
+        for s in Step:
+            assert restored.timing.time(s, 16) == dev.timing.time(s, 16)
+
+    def test_memory_preserved(self):
+        dev = paper_gtx580()
+        assert device_from_dict(device_to_dict(dev)).memory_bytes == dev.memory_bytes
+
+    def test_malformed_rejected(self):
+        with pytest.raises(PlanError):
+            device_from_dict({"device_id": "x"})
+
+
+class TestSystemSerialization:
+    def test_roundtrip(self, system):
+        restored = system_from_dict(system_to_dict(system))
+        assert restored.device_ids == system.device_ids
+        assert restored.total_cores == system.total_cores
+
+    def test_missing_key(self):
+        with pytest.raises(PlanError):
+            system_from_dict({"name": "x"})
+
+
+class TestPlanSerialization:
+    def test_dict_roundtrip(self, optimizer):
+        plan = optimizer.plan(matrix_size=640)
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert restored.main_device == plan.main_device
+        assert restored.participants == plan.participants
+        assert restored.guide_array == plan.guide_array
+        assert restored.tile_size == plan.tile_size
+        # Ownership function identical.
+        for j in range(50):
+            assert restored.column_owner(j) == plan.column_owner(j)
+
+    def test_json_roundtrip(self, optimizer):
+        plan = optimizer.plan(matrix_size=640, panel_follows_column=False)
+        text = plan_to_json(plan)
+        json.loads(text)  # valid JSON
+        restored = plan_from_json(text)
+        assert restored.describe().split(":")[1] == plan.describe().split(":")[1]
+
+    def test_restored_plan_simulates(self, optimizer, system, topology):
+        from repro.sim import simulate_iteration_level
+
+        plan = optimizer.plan(matrix_size=320, num_devices=3)
+        restored = plan_from_json(plan_to_json(plan))
+        t1 = simulate_iteration_level(plan, 20, 20, system, topology).makespan
+        t2 = simulate_iteration_level(restored, 20, 20, restored.system, topology).makespan
+        assert t1 == pytest.approx(t2)
+
+    def test_invalid_json(self):
+        with pytest.raises(PlanError):
+            plan_from_json("{not json")
+
+    def test_missing_field(self, optimizer):
+        d = plan_to_dict(optimizer.plan(matrix_size=160))
+        del d["guide_array"]
+        with pytest.raises(PlanError):
+            plan_from_dict(d)
+
+    def test_tampered_plan_validated(self, optimizer):
+        d = plan_to_dict(optimizer.plan(matrix_size=160))
+        d["main_device"] = "bogus"
+        with pytest.raises(PlanError):
+            plan_from_dict(d)
+
+
+class TestTiledQBuild:
+    def test_matches_dense_q(self, rng):
+        a = rng.standard_normal((64, 64))
+        f = tiled_qr(a, 16)
+        np.testing.assert_allclose(f.q_tiled().to_dense(), f.q_dense(), atol=1e-12)
+
+    def test_padded(self, rng):
+        a = rng.standard_normal((50, 50))
+        f = tiled_qr(a, 16)
+        np.testing.assert_allclose(f.q_tiled().to_dense(), f.q_dense(), atol=1e-12)
+
+    def test_rectangular(self, rng):
+        a = rng.standard_normal((48, 24))
+        f = tiled_qr(a, 8)
+        q = f.q_tiled().to_dense()
+        assert q.shape == (48, 48)
+        np.testing.assert_allclose(q @ f.r_dense(), a, atol=1e-9)
+
+    def test_orgqr_flops_positive_and_cubic(self):
+        assert flops_orgqr(10, 10, 16) > 0
+        assert flops_orgqr(20, 20, 16) / flops_orgqr(10, 10, 16) > 6.0
+
+
+class TestFloat32:
+    def test_factorization_stays_f32(self, rng):
+        a = rng.standard_normal((64, 64)).astype(np.float32)
+        f = tiled_qr(a, 16)
+        assert f.r.dtype == np.float32
+        assert f.r_dense().dtype == np.float32
+
+    def test_f32_accuracy_at_machine_eps(self, rng):
+        a = rng.standard_normal((96, 96)).astype(np.float32)
+        f = tiled_qr(a, 16)
+        err = np.linalg.norm(f.apply_q(f.r_dense()) - a) / np.linalg.norm(a)
+        assert err < 5e-6
+        assert err > 1e-9  # genuinely single precision, not silently f64
+
+    def test_f32_tt_elimination(self, rng):
+        a = rng.standard_normal((64, 64)).astype(np.float32)
+        f = tiled_qr(a, 16, elimination="TT")
+        assert f.r.dtype == np.float32
+        err = np.linalg.norm(f.apply_q(f.r_dense()) - a) / np.linalg.norm(a)
+        assert err < 5e-6
+
+    def test_f32_solve(self, rng):
+        a = (rng.standard_normal((48, 48)) + 8 * np.eye(48)).astype(np.float32)
+        x = rng.standard_normal(48).astype(np.float32)
+        f = tiled_qr(a, 16)
+        got = f.solve(a @ x)
+        assert np.linalg.norm(got - x) / np.linalg.norm(x) < 1e-4

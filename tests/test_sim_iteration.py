@@ -1,0 +1,121 @@
+"""Tests for the iteration-level simulator and DES cross-validation."""
+
+import pytest
+
+from repro.baselines import no_main_plan
+from repro.dag import build_dag
+from repro.dag.tasks import Step
+from repro.errors import SimulationError
+from repro.sim import simulate_iteration_level, simulate_task_level
+
+
+class TestIterationSimulator:
+    def test_report_structure(self, system, topology, optimizer):
+        plan = optimizer.plan(matrix_size=320, num_devices=3)
+        rep = simulate_iteration_level(plan, 20, 20, system, topology)
+        assert rep.makespan > 0
+        assert rep.meta["fidelity"] == "iteration-level"
+        assert set(rep.compute_busy) <= set(plan.participants)
+
+    def test_single_device_no_comm(self, system, topology, optimizer):
+        plan = optimizer.plan(matrix_size=320, num_devices=1)
+        rep = simulate_iteration_level(plan, 20, 20, system, topology)
+        assert rep.comm_time == 0.0
+        assert rep.num_transfers == 0
+
+    def test_multi_device_has_comm(self, system, topology, optimizer):
+        plan = optimizer.plan(matrix_size=320, num_devices=3)
+        rep = simulate_iteration_level(plan, 20, 20, system, topology)
+        assert rep.comm_time > 0.0
+
+    def test_makespan_bounded_below_by_chain(self, system, topology, optimizer):
+        plan = optimizer.plan(matrix_size=640, num_devices=3)
+        rep = simulate_iteration_level(plan, 40, 40, system, topology)
+        main = system.device(plan.main_device)
+        chain = sum(main.panel_chain_time(40 - k, 16) for k in range(40))
+        assert rep.makespan >= chain
+
+    def test_busy_conservation(self, system, topology, optimizer):
+        """Total busy time equals the plan's work at the device models."""
+        g = 12
+        plan = optimizer.plan(matrix_size=g * 16, num_devices=2)
+        rep = simulate_iteration_level(plan, g, g, system, topology)
+        expected = {d: 0.0 for d in plan.participants}
+        for k in range(g):
+            m_k = g - k
+            owner = plan.panel_owner(k)
+            dev = system.device(owner)
+            expected[owner] += dev.panel_chain_time(m_k, 16)
+            for d in plan.participants:
+                spec = system.device(d)
+                cols = plan.columns_of(d, g, k + 1)
+                per_col = (
+                    spec.time(Step.UT, 16) + (m_k - 1) * spec.time(Step.UE, 16)
+                ) / spec.slots
+                expected[d] += len(cols) * per_col
+        for d in plan.participants:
+            assert rep.compute_busy.get(d, 0.0) == pytest.approx(expected[d])
+
+    def test_makespan_at_least_max_busy(self, system, topology, optimizer):
+        plan = optimizer.plan(matrix_size=640, num_devices=4)
+        rep = simulate_iteration_level(plan, 40, 40, system, topology)
+        assert rep.makespan >= max(rep.compute_busy.values()) - 1e-12
+
+    def test_grid_scaling_superlinear(self, system, topology, optimizer):
+        plan = optimizer.plan(matrix_size=320, num_devices=2)
+        t_small = simulate_iteration_level(plan, 20, 20, system, topology).makespan
+        t_large = simulate_iteration_level(plan, 40, 40, system, topology).makespan
+        assert t_large > 2.0 * t_small
+
+    def test_no_main_mode_runs(self, system, topology):
+        plan = no_main_plan(system, 30, 30, 16)
+        rep = simulate_iteration_level(plan, 30, 30, system, topology)
+        assert rep.makespan > 0
+
+    def test_invalid_grid(self, system, topology, optimizer):
+        plan = optimizer.plan(matrix_size=160, num_devices=1)
+        with pytest.raises(SimulationError):
+            simulate_iteration_level(plan, 0, 5, system, topology)
+
+    def test_single_panel(self, system, topology, optimizer):
+        plan = optimizer.plan(matrix_size=16, num_devices=1)
+        rep = simulate_iteration_level(plan, 1, 1, system, topology)
+        main = system.device(plan.main_device)
+        assert rep.makespan == pytest.approx(main.time(Step.T, 16))
+
+
+class TestCrossValidation:
+    """The two fidelities must agree on regime and ordering."""
+
+    @pytest.mark.parametrize("n,p", [(160, 1), (160, 2), (320, 2), (640, 2), (640, 4)])
+    def test_iteration_bounds_des_from_above(self, system, topology, optimizer, n, p):
+        """Lookahead scheduling (DES) can only improve on the paper's
+        per-iteration runtime; the gap stays bounded."""
+        g = n // 16
+        plan = optimizer.plan(matrix_size=n, num_devices=p)
+        dag = build_dag(g, g)
+        t_des = simulate_task_level(dag, plan, system, topology).report().makespan
+        t_iter = simulate_iteration_level(plan, g, g, system, topology).makespan
+        assert t_iter >= t_des * 0.95
+        assert t_iter <= t_des * 2.5
+
+    def test_both_agree_on_distribution_ordering(self, system, topology, optimizer):
+        """Even distribution must lose to the guide array in both models
+        once the matrix is large enough for distribution to matter (the
+        paper notes small sizes barely react to the distribution)."""
+        from repro.baselines import even_plan
+
+        even = even_plan(system, "gtx580-0")
+        # Iteration model at 3200 (the Fig. 10 regime).
+        g = 200
+        guide = optimizer.plan(matrix_size=3200, num_devices=4)
+        t_g = simulate_iteration_level(guide, g, g, system, topology).makespan
+        t_e = simulate_iteration_level(even, g, g, system, topology).makespan
+        assert t_e > t_g * 1.1, "even should lose under the iteration model"
+        # Task-level DES at 960 (largest grid that stays fast).
+        g = 60
+        guide = optimizer.plan(matrix_size=960, num_devices=4)
+        dag = build_dag(g, g)
+        t_g = simulate_task_level(dag, guide, system, topology).report().makespan
+        t_e = simulate_task_level(dag, even, system, topology).report().makespan
+        assert t_e > t_g, "even should lose under the DES"

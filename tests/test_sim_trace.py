@@ -1,0 +1,118 @@
+"""Tests for trace records and simulation reports."""
+
+import pytest
+
+from repro.dag.tasks import Step, Task, TaskKind
+from repro.errors import SimulationError
+from repro.sim.trace import ExecutionTrace, SimulationReport, TaskRecord, TransferRecord
+
+
+def rec(kind, k, row, row2, col, dev, start, end):
+    return TaskRecord(task=Task(kind, k, row, row2, col), device_id=dev, start=start, end=end)
+
+
+class TestRecords:
+    def test_durations(self):
+        r = rec(TaskKind.GEQRT, 0, 0, 0, 0, "d", 1.0, 3.5)
+        assert r.duration == 2.5
+        t = TransferRecord(src="a", dst="b", num_bytes=10, start=0.0, end=0.1)
+        assert t.duration == pytest.approx(0.1)
+
+
+class TestSimulationReport:
+    def test_comm_fraction(self):
+        rep = SimulationReport(makespan=1.0, compute_busy={"a": 3.0}, comm_time=1.0)
+        assert rep.comm_fraction == pytest.approx(0.25)
+        assert rep.total_compute == 3.0
+
+    def test_comm_fraction_empty(self):
+        rep = SimulationReport(makespan=0.0, compute_busy={}, comm_time=0.0)
+        assert rep.comm_fraction == 0.0
+
+    def test_utilization(self):
+        rep = SimulationReport(makespan=2.0, compute_busy={"a": 2.0, "b": 1.0}, comm_time=0.0)
+        util = rep.utilization({"a": 1, "b": 2})
+        assert util["a"] == pytest.approx(1.0)
+        assert util["b"] == pytest.approx(0.25)
+
+
+class TestExecutionTrace:
+    def test_makespan_includes_transfers(self):
+        tr = ExecutionTrace(
+            tasks=[rec(TaskKind.GEQRT, 0, 0, 0, 0, "d", 0.0, 1.0)],
+            transfers=[TransferRecord("a", "b", 8, 0.5, 2.0)],
+        )
+        assert tr.makespan == 2.0
+
+    def test_busy_and_comm_accounting(self):
+        tr = ExecutionTrace(
+            tasks=[
+                rec(TaskKind.GEQRT, 0, 0, 0, 0, "d", 0.0, 1.0),
+                rec(TaskKind.UNMQR, 0, 0, 0, 1, "d", 1.0, 1.5),
+                rec(TaskKind.UNMQR, 0, 0, 0, 2, "e", 0.0, 2.0),
+            ],
+            transfers=[TransferRecord("d", "e", 8, 0.0, 0.25)],
+        )
+        assert tr.compute_busy() == {"d": 1.5, "e": 2.0}
+        assert tr.comm_time() == 0.25
+        by_step = tr.step_time()
+        assert by_step[Step.T] == 1.0
+        assert by_step[Step.UT] == 2.5
+
+    def test_report_conversion(self):
+        tr = ExecutionTrace(tasks=[rec(TaskKind.GEQRT, 0, 0, 0, 0, "d", 0.0, 1.0)])
+        rep = tr.report(extra_key=1)
+        assert rep.makespan == 1.0
+        assert rep.num_tasks == 1
+        assert rep.meta["fidelity"] == "task-level"
+
+    def test_overlap_validation_passes_at_capacity(self):
+        tr = ExecutionTrace(
+            tasks=[
+                rec(TaskKind.UNMQR, 0, 0, 0, 1, "d", 0.0, 1.0),
+                rec(TaskKind.UNMQR, 0, 0, 0, 2, "d", 0.0, 1.0),
+            ]
+        )
+        tr.validate_no_overlap({"d": 2})
+
+    def test_overlap_validation_detects_overcommit(self):
+        tr = ExecutionTrace(
+            tasks=[
+                rec(TaskKind.UNMQR, 0, 0, 0, 1, "d", 0.0, 1.0),
+                rec(TaskKind.UNMQR, 0, 0, 0, 2, "d", 0.5, 1.5),
+            ]
+        )
+        with pytest.raises(SimulationError):
+            tr.validate_no_overlap({"d": 1})
+
+    def test_panel_unit_checked_separately(self):
+        # One panel task + one update task may overlap even with 1 slot.
+        tr = ExecutionTrace(
+            tasks=[
+                rec(TaskKind.GEQRT, 0, 0, 0, 0, "d", 0.0, 1.0),
+                rec(TaskKind.UNMQR, 0, 0, 0, 1, "d", 0.0, 1.0),
+            ]
+        )
+        tr.validate_no_overlap({"d": 1}, panel_unit=True)
+        with pytest.raises(SimulationError):
+            tr.validate_no_overlap({"d": 1}, panel_unit=False)
+
+    def test_two_panel_tasks_cannot_overlap(self):
+        tr = ExecutionTrace(
+            tasks=[
+                rec(TaskKind.GEQRT, 0, 0, 0, 0, "d", 0.0, 1.0),
+                rec(TaskKind.TSQRT, 0, 1, 0, 0, "d", 0.5, 1.5),
+            ]
+        )
+        with pytest.raises(SimulationError):
+            tr.validate_no_overlap({"d": 4}, panel_unit=True)
+
+    def test_gantt_rows_sorted(self):
+        tr = ExecutionTrace(
+            tasks=[
+                rec(TaskKind.UNMQR, 0, 0, 0, 2, "d", 1.0, 2.0),
+                rec(TaskKind.GEQRT, 0, 0, 0, 0, "d", 0.0, 1.0),
+            ]
+        )
+        rows = tr.gantt_rows()
+        assert rows[0][2] <= rows[1][2]

@@ -1,0 +1,98 @@
+"""Tests for the solve-phase DAG and its simulation."""
+
+import pytest
+
+from repro.dag import Step, build_dag
+from repro.dag.solve import build_solve_dag
+from repro.dag.tasks import Task, TaskKind
+from repro.errors import DAGError
+from repro.sim.engine import simulate_task_level
+from repro.sim.validation import validate_dependencies, validate_ports
+
+
+class TestSolveDagStructure:
+    def test_task_count(self):
+        # Phase 1: sum_k (p-k) tasks; phase 2: sum_i (1+i) tasks.
+        p = 8
+        dag = build_solve_dag(p, 1)
+        expected = sum(p - k for k in range(p)) + sum(1 + i for i in range(p))
+        assert len(dag) == expected
+        dag.validate()
+
+    def test_multiple_rhs_scales_tasks(self):
+        d1 = build_solve_dag(6, 1)
+        d3 = build_solve_dag(6, 3)
+        assert len(d3) == 3 * len(d1)
+
+    def test_qt_phase_is_serial_per_column(self):
+        dag = build_solve_dag(5, 1)
+        col = 5  # the RHS column
+        first = Task(TaskKind.UNMQR, 0, 0, 0, col)
+        second = Task(TaskKind.TSMQR, 0, 1, 0, col)
+        assert first in dag.preds[second]
+
+    def test_substitutions_parallel_across_rows(self):
+        """After the access fix, x_i substitutions into different rows
+        must NOT be chained."""
+        p = 6
+        dag = build_solve_dag(p, 1)
+        col = p
+        i = p - 1
+        g1 = Task(TaskKind.TSMQR, p + i, i, 0, col)
+        g2 = Task(TaskKind.TSMQR, p + i, i, 1, col)
+        assert g1 not in dag.preds[g2]
+        assert g2 not in dag.preds[g1]
+
+    def test_trsm_waits_for_substitutions_from_below(self):
+        p = 4
+        dag = build_solve_dag(p, 1)
+        col = p
+        trsm_2 = Task(TaskKind.UNMQR, p + 2, 2, 2, col)
+        sub_from_3 = Task(TaskKind.TSMQR, p + 3, 3, 2, col)
+        assert sub_from_3 in dag.preds[trsm_2]
+
+    def test_invalid_args(self):
+        with pytest.raises(DAGError):
+            build_solve_dag(0, 1)
+        with pytest.raises(DAGError):
+            build_solve_dag(5, 0)
+
+
+class TestSolveDagSimulation:
+    def test_simulates_cleanly(self, system, topology, optimizer):
+        plan = optimizer.plan(matrix_size=160, num_devices=3)
+        dag = build_solve_dag(10, 1)
+        trace = simulate_task_level(dag, plan, system, topology)
+        assert len(trace.tasks) == len(dag)
+        validate_dependencies(trace, dag)
+        validate_ports(trace)
+
+    def test_factor_preseed_used(self, system, topology, optimizer):
+        """Solve consumes factorization factors that were never produced
+        in this DAG — they must be fetched from the main device."""
+        plan = optimizer.plan(matrix_size=160, num_devices=3)
+        dag = build_solve_dag(10, 1)
+        trace = simulate_task_level(dag, plan, system, topology)
+        # The RHS column owner differs from main, so factor transfers
+        # must appear.
+        if plan.column_owner(10) != plan.main_device:
+            assert len(trace.transfers) > 0
+
+    def test_solve_cheaper_than_factorization_at_scale(self, system, topology, optimizer):
+        g = 24
+        plan = optimizer.plan(matrix_size=g * 16, num_devices=3)
+        t_solve = simulate_task_level(
+            build_solve_dag(g, 1), plan, system, topology
+        ).makespan
+        t_factor = simulate_task_level(
+            build_dag(g, g), plan, system, topology
+        ).makespan
+        assert t_solve < t_factor
+
+    def test_batched_rhs_rides_along(self, system, topology, optimizer):
+        """Two RHS tile columns cost well under 2x one column."""
+        g = 12
+        plan = optimizer.plan(matrix_size=g * 16, num_devices=2)
+        t1 = simulate_task_level(build_solve_dag(g, 1), plan, system, topology).makespan
+        t2 = simulate_task_level(build_solve_dag(g, 2), plan, system, topology).makespan
+        assert t2 < 1.7 * t1

@@ -1,0 +1,123 @@
+"""Tests for utilities, configuration helpers and the error hierarchy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.errors as errors
+from repro.config import reconstruction_rtol, validate_tile_size
+from repro.errors import ConfigError, ReproError
+from repro.utils import (
+    as_square_matrix,
+    chunked,
+    frobenius_relative_error,
+    geometric_sizes,
+    human_time,
+    is_upper_triangular,
+    orthogonality_error,
+    require_2d,
+    require_same_shape,
+)
+
+
+class TestConfig:
+    def test_validate_tile_size(self):
+        assert validate_tile_size(16) == 16
+        assert validate_tile_size(np.int64(8)) == 8
+        with pytest.raises(ConfigError):
+            validate_tile_size(0)
+        with pytest.raises(ConfigError):
+            validate_tile_size(2.5)
+        with pytest.raises(ConfigError):
+            validate_tile_size(True)
+
+    def test_reconstruction_rtol(self):
+        assert reconstruction_rtol(np.float64) < reconstruction_rtol(np.float32)
+        with pytest.raises(ConfigError):
+            reconstruction_rtol(np.int32)
+
+
+class TestErrors:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not ReproError:
+                if obj.__module__ == "repro.errors":
+                    assert issubclass(obj, ReproError), name
+
+    def test_value_error_compatibility(self):
+        assert issubclass(errors.TilingError, ValueError)
+        assert issubclass(errors.PlanError, ValueError)
+
+
+class TestShapeHelpers:
+    def test_as_square_matrix(self, rng):
+        a = rng.standard_normal((4, 4))
+        assert as_square_matrix(a) is not None
+        with pytest.raises(errors.ShapeError):
+            as_square_matrix(rng.standard_normal((4, 5)))
+        with pytest.raises(errors.ShapeError):
+            as_square_matrix(np.zeros(3))
+
+    def test_require_2d(self):
+        with pytest.raises(errors.ShapeError):
+            require_2d(np.zeros(3))
+
+    def test_require_same_shape(self):
+        require_same_shape(np.zeros((2, 2)), np.ones((2, 2)))
+        with pytest.raises(errors.ShapeError):
+            require_same_shape(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestNumericHelpers:
+    def test_frobenius_relative_error(self):
+        a = np.eye(3)
+        assert frobenius_relative_error(a, a) == 0.0
+        assert frobenius_relative_error(2 * a, a) == pytest.approx(1.0)
+
+    def test_frobenius_zero_reference(self):
+        assert frobenius_relative_error(np.ones((2, 2)), np.zeros((2, 2))) == 2.0
+
+    def test_is_upper_triangular(self):
+        assert is_upper_triangular(np.triu(np.ones((4, 4))))
+        assert not is_upper_triangular(np.ones((4, 4)))
+        assert is_upper_triangular(np.tril(np.full((3, 3), 1e-12), -1), atol=1e-10)
+
+    def test_orthogonality_error(self):
+        q = np.eye(5)
+        assert orthogonality_error(q) == 0.0
+        assert orthogonality_error(2 * q) > 1.0
+
+
+class TestMisc:
+    def test_human_time(self):
+        assert human_time(2e-9).endswith("ns")
+        assert human_time(3e-6).endswith("us")
+        assert human_time(5e-3).endswith("ms")
+        assert human_time(2.0).endswith("s")
+        assert human_time(300.0).endswith("min")
+        assert human_time(-1.0).startswith("-")
+        assert human_time(float("nan")) == "nan"
+
+    def test_geometric_sizes(self):
+        sizes = geometric_sizes(100, 1000, 2.0)
+        assert sizes[0] == 100
+        assert sizes[-1] == 1000
+        assert sizes == sorted(set(sizes))
+        with pytest.raises(ValueError):
+            geometric_sizes(0, 10, 2.0)
+        with pytest.raises(ValueError):
+            geometric_sizes(10, 5, 2.0)
+
+    def test_chunked(self):
+        assert list(chunked([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+    @given(st.integers(1, 100), st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_property_chunked_covers(self, n, size):
+        data = list(range(n))
+        chunks = list(chunked(data, size))
+        assert sum(chunks, []) == data
+        assert all(len(c) <= size for c in chunks)

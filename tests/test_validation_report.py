@@ -1,0 +1,104 @@
+"""Tests for the trace validators and the report generator."""
+
+import pytest
+
+from repro.dag import build_dag
+from repro.dag.tasks import Task, TaskKind
+from repro.errors import SimulationError
+from repro.sim.engine import simulate_task_level
+from repro.sim.trace import ExecutionTrace, TaskRecord, TransferRecord
+from repro.sim.validation import (
+    validate_assignment,
+    validate_dependencies,
+    validate_ports,
+    validate_trace,
+)
+
+
+@pytest.fixture
+def valid_setup(system, topology, optimizer):
+    plan = optimizer.plan(matrix_size=96, num_devices=3)
+    dag = build_dag(6, 6)
+    trace = simulate_task_level(dag, plan, system, topology)
+    return trace, dag, plan
+
+
+class TestValidators:
+    def test_real_trace_passes_everything(self, valid_setup, system):
+        trace, dag, plan = valid_setup
+        validate_trace(trace, dag, plan, system)
+
+    def test_missing_task_detected(self, valid_setup):
+        trace, dag, plan = valid_setup
+        broken = ExecutionTrace(tasks=trace.tasks[:-1], transfers=trace.transfers)
+        with pytest.raises(SimulationError, match="never executed"):
+            validate_dependencies(broken, dag)
+
+    def test_dependency_violation_detected(self, valid_setup):
+        trace, dag, plan = valid_setup
+        # Move the *last* task to start at time 0 — before its preds.
+        last = max(trace.tasks, key=lambda r: r.start)
+        hacked = [
+            r if r is not last else TaskRecord(r.task, r.device_id, 0.0, 1e-9)
+            for r in trace.tasks
+        ]
+        broken = ExecutionTrace(tasks=hacked, transfers=trace.transfers)
+        with pytest.raises(SimulationError, match="dependency violated"):
+            validate_dependencies(broken, dag)
+
+    def test_wrong_device_detected(self, valid_setup):
+        trace, dag, plan = valid_setup
+        rec = trace.tasks[0]
+        wrong_dev = next(
+            d for d in plan.participants if d != rec.device_id
+        )
+        hacked = [
+            TaskRecord(r.task, wrong_dev, r.start, r.end) if r is rec else r
+            for r in trace.tasks
+        ]
+        broken = ExecutionTrace(tasks=hacked, transfers=trace.transfers)
+        with pytest.raises(SimulationError, match="plan says"):
+            validate_assignment(broken, plan)
+
+    def test_port_overlap_detected(self):
+        trace = ExecutionTrace(
+            transfers=[
+                TransferRecord("a", "b", 8, 0.0, 1.0),
+                TransferRecord("a", "c", 8, 0.5, 1.5),
+            ]
+        )
+        with pytest.raises(SimulationError, match="overlapping transfers"):
+            validate_ports(trace)
+
+    def test_port_back_to_back_ok(self):
+        trace = ExecutionTrace(
+            transfers=[
+                TransferRecord("a", "b", 8, 0.0, 1.0),
+                TransferRecord("a", "c", 8, 1.0, 2.0),
+            ]
+        )
+        validate_ports(trace)
+
+
+class TestReportGenerator:
+    def test_writes_markdown(self, tmp_path):
+        from repro.experiments.report import generate_report
+
+        out = generate_report(tmp_path / "r.md", quick=True, only=["table1"])
+        text = out.read_text()
+        assert "# Tiled QR reproduction" in text
+        assert "## table1" in text
+        assert "| panel |" in text
+
+    def test_unknown_experiment(self, tmp_path):
+        from repro.experiments.report import generate_report
+
+        with pytest.raises(KeyError):
+            generate_report(tmp_path / "r.md", only=["nope"])
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "rep.md"
+        assert main(["report", "--out", str(out), "--only", "table1"]) == 0
+        assert out.exists()
