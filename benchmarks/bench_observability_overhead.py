@@ -1,0 +1,75 @@
+"""Tracing overhead: a disabled tracer must be free on the hot path.
+
+Acceptance gate for the observability layer: ``ThreadedRuntime.factorize``
+on a 512 x 512 matrix with a *disabled* tracer attached stays within 3%
+of the untraced wall-time (best-of-N to damp scheduler noise, plus a
+small absolute epsilon so the gate is meaningful on fast machines).
+The enabled-tracer cost is measured too and reported via
+``extra_info`` — it is allowed to cost something, disabled tracing is not.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from repro.observability import Tracer
+from repro.runtime.threaded import ThreadedRuntime
+
+N = 512
+TILE = 32
+WORKERS = 4
+ROUNDS = 5
+#: Relative + absolute tolerance of the disabled-tracer gate.
+MAX_OVERHEAD = 0.03
+ABS_EPS_SECONDS = 0.005
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    times = []
+    for _ in range(rounds):
+        t0 = perf_counter()
+        fn()
+        times.append(perf_counter() - t0)
+    return min(times)
+
+
+def test_disabled_tracer_overhead(benchmark):
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((N, N))
+    untraced = ThreadedRuntime(WORKERS)
+    disabled = ThreadedRuntime(WORKERS, tracer=Tracer(enabled=False))
+    enabled_tracer = Tracer()
+    enabled = ThreadedRuntime(WORKERS, tracer=enabled_tracer)
+
+    # Warm NumPy/BLAS and the thread machinery before timing anything.
+    untraced.factorize(a, TILE)
+    disabled.factorize(a, TILE)
+
+    t_untraced = _best_of(lambda: untraced.factorize(a, TILE))
+    t_disabled = _best_of(lambda: disabled.factorize(a, TILE))
+    t_enabled = _best_of(lambda: enabled.factorize(a, TILE))
+    overhead = t_disabled / t_untraced - 1.0
+
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["tile_size"] = TILE
+    benchmark.extra_info["untraced_seconds"] = t_untraced
+    benchmark.extra_info["disabled_tracer_seconds"] = t_disabled
+    benchmark.extra_info["enabled_tracer_seconds"] = t_enabled
+    benchmark.extra_info["disabled_overhead"] = overhead
+    benchmark.extra_info["enabled_overhead"] = t_enabled / t_untraced - 1.0
+    print(
+        f"\nuntraced {t_untraced * 1e3:.1f} ms | disabled tracer "
+        f"{t_disabled * 1e3:.1f} ms ({overhead:+.2%}) | enabled tracer "
+        f"{t_enabled * 1e3:.1f} ms ({t_enabled / t_untraced - 1.0:+.2%})"
+    )
+
+    benchmark.pedantic(
+        lambda: disabled.factorize(a, TILE), rounds=1, iterations=1
+    )
+
+    assert t_disabled <= t_untraced * (1.0 + MAX_OVERHEAD) + ABS_EPS_SECONDS, (
+        f"disabled tracer costs {overhead:+.2%} "
+        f"(budget {MAX_OVERHEAD:.0%} + {ABS_EPS_SECONDS * 1e3:.0f} ms)"
+    )

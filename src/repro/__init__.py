@@ -36,8 +36,9 @@ Planning for the paper's heterogeneous testbed:
 'gtx580-0'
 """
 
-from . import linalg, workloads
+from . import linalg, observability, workloads
 from .config import DEFAULT_TILE_SIZE
+from .observability import MetricsRegistry, Tracer
 from .core.executor import TiledQR, TiledQRRun
 from .core.optimizer import Optimizer
 from .core.plan import DistributionPlan
@@ -63,7 +64,10 @@ __all__ = [
     "TiledQRFactorization",
     "TiledMatrix",
     "tiled_qr",
+    "Tracer",
+    "MetricsRegistry",
     "linalg",
+    "observability",
     "workloads",
     "__version__",
 ]

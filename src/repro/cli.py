@@ -9,6 +9,10 @@ Subcommands:
   matrix on the paper testbed.
 * ``factorize <n>`` — run a real numeric tiled QR and report the
   residual plus the simulated heterogeneous-system time.
+* ``trace <n|file.jsonl>`` — record a traced real run (or summarize a
+  saved JSONL trace): per-kernel time share, critical path, worker
+  utilization; ``--diff`` reports per-kernel sim-vs-real prediction
+  error.
 * ``list`` — list available experiments.
 """
 
@@ -145,6 +149,101 @@ def _cmd_gantt(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from pathlib import Path
+
+    from .observability import (
+        MetricsRegistry,
+        Tracer,
+        diff_traces,
+        load_jsonl,
+        summarize_trace,
+        write_jsonl,
+    )
+
+    from .errors import ObservabilityError
+
+    target = args.target
+    if Path(target).is_file():
+        try:
+            trace = load_jsonl(Path(target))
+        except ObservabilityError as exc:
+            print(f"cannot load {target}: {exc}", file=sys.stderr)
+            return 2
+        print(f"trace: {target}")
+        print(summarize_trace(trace).to_text())
+        if args.diff is not None:
+            if args.diff is True:
+                print("--diff with a trace file needs a second file to compare against",
+                      file=sys.stderr)
+                return 2
+            try:
+                other = load_jsonl(Path(args.diff))
+            except ObservabilityError as exc:
+                print(f"cannot load {args.diff}: {exc}", file=sys.stderr)
+                return 2
+            print()
+            print(diff_traces(trace, other).to_text())
+        return 0
+
+    try:
+        n = int(target)
+    except ValueError:
+        print(f"target {target!r} is neither a trace file nor a matrix size",
+              file=sys.stderr)
+        return 2
+    if n > 2048:
+        print("numeric factorization is NumPy-bound; use n <= 2048", file=sys.stderr)
+        return 2
+
+    metrics = MetricsRegistry()
+    tracer = Tracer(metrics=metrics)
+    rng = np.random.default_rng(args.seed)
+    a = rng.standard_normal((n, n))
+    if args.runtime == "serial":
+        from .runtime.serial import SerialRuntime
+
+        SerialRuntime(tracer=tracer).factorize(a, args.tile_size)
+    elif args.runtime == "threaded":
+        from .runtime.threaded import ThreadedRuntime
+
+        ThreadedRuntime(num_workers=args.workers, tracer=tracer).factorize(a, args.tile_size)
+    else:
+        from .core.optimizer import Optimizer
+        from .devices.registry import paper_testbed
+        from .runtime.multiprocess import MultiprocessRuntime
+
+        plan = Optimizer(paper_testbed()).plan(matrix_size=n, tile_size=args.tile_size)
+        MultiprocessRuntime(plan, tracer=tracer).factorize(a, args.tile_size)
+    trace = tracer.to_trace()
+    print(f"traced real run: {args.runtime} runtime, n={n}, b={args.tile_size}")
+    print(summarize_trace(trace).to_text())
+    rates = metrics.kernel_rates()
+    if rates:
+        print("achieved GFLOP/s (flops-model rate per call):")
+        for kern in sorted(rates):
+            s = rates[kern]
+            print(
+                f"  {kern:6s} mean {s['mean']:8.2f}  p50 {s['p50']:8.2f}  "
+                f"p95 {s['p95']:8.2f}  p99 {s['p99']:8.2f}"
+            )
+    if args.out:
+        path = write_jsonl(
+            trace, args.out, meta={"runtime": args.runtime, "n": n, "b": args.tile_size}
+        )
+        print(f"trace written to {path}")
+    if args.diff is not None:
+        from .core.executor import TiledQR
+        from .devices.registry import paper_testbed
+
+        run = TiledQR(paper_testbed()).simulate(n, args.tile_size, fidelity="task")
+        sim_trace = run.report.meta["trace"]
+        print()
+        print(f"simulated on {run.plan.describe()}")
+        print(diff_traces(trace, sim_trace).to_text())
+    return 0
+
+
 def _cmd_report(args) -> int:
     from .experiments.report import generate_report
 
@@ -195,6 +294,38 @@ def main(argv: list[str] | None = None) -> int:
     p_gantt.add_argument("--width", type=int, default=100)
     p_gantt.add_argument("--out", help="also write a Chrome trace JSON here")
     p_gantt.set_defaults(func=_cmd_gantt)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="record/summarize execution traces; --diff checks sim vs real",
+    )
+    p_trace.add_argument(
+        "target",
+        nargs="?",
+        default="512",
+        help="matrix size to record a traced real run of, or a JSONL trace file "
+        "to summarize (default: 512)",
+    )
+    p_trace.add_argument(
+        "--runtime",
+        choices=["serial", "threaded", "multiprocess"],
+        default="threaded",
+        help="real executor to trace (default: threaded)",
+    )
+    p_trace.add_argument("--workers", type=int, default=4, help="threaded worker count")
+    p_trace.add_argument("--tile-size", type=int, default=16)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", help="write the recorded trace to this JSONL path")
+    p_trace.add_argument(
+        "--diff",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="OTHER.jsonl",
+        help="report per-kernel sim-vs-real prediction error (against a fresh "
+        "simulation of the same problem, or against OTHER.jsonl)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_check = sub.add_parser("selfcheck", help="quick install sanity battery")
     p_check.set_defaults(func=_cmd_selfcheck)

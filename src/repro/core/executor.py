@@ -144,6 +144,7 @@ class TiledQR:
         plan: DistributionPlan | None = None,
         simulate: bool = True,
         coexecute: bool = False,
+        tracer=None,
     ) -> TiledQRRun:
         """Numerically factorize ``a`` under an optimized plan.
 
@@ -157,6 +158,12 @@ class TiledQR:
             simulator — every kernel executes at its simulated
             completion event, so the factorization provably follows the
             reported schedule (small grids only; implies ``simulate``).
+        tracer:
+            Optional :class:`repro.observability.Tracer` recording the
+            real kernel execution; the resulting measured trace is also
+            attached to ``run.report.meta["real_trace"]``, alongside the
+            simulated ``meta["trace"]`` — the pair :func:`
+            repro.observability.diff_traces` consumes.
         """
         arr = np.asarray(a)
         if arr.ndim != 2:
@@ -180,9 +187,12 @@ class TiledQR:
             report = trace.report(grid=tiled.grid_shape, plan=p.describe())
             report.meta["trace"] = trace
             return TiledQRRun(plan=p, report=report, factorization=fact)
-        fact = SerialRuntime(self.elimination).factorize(arr, p.tile_size)
+        fact = SerialRuntime(self.elimination, tracer=tracer).factorize(arr, p.tile_size)
         if simulate:
             run = self.simulate(n, p.tile_size, plan=p)
-            return TiledQRRun(plan=p, report=run.report, factorization=fact)
-        empty = SimulationReport(makespan=0.0, compute_busy={}, comm_time=0.0)
-        return TiledQRRun(plan=p, report=empty, factorization=fact)
+            report = run.report
+        else:
+            report = SimulationReport(makespan=0.0, compute_busy={}, comm_time=0.0)
+        if tracer is not None and tracer.enabled:
+            report.meta["real_trace"] = tracer.to_trace()
+        return TiledQRRun(plan=p, report=report, factorization=fact)

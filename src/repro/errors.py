@@ -46,3 +46,7 @@ class PlanError(ReproError, ValueError):
 
 class ConfigError(ReproError, ValueError):
     """A configuration value is out of range or inconsistent."""
+
+
+class ObservabilityError(ReproError):
+    """Tracing/metrics misuse (mis-nested spans, malformed trace files)."""

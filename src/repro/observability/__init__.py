@@ -1,0 +1,56 @@
+"""Runtime observability: tracing, metrics, exporters, trace analysis.
+
+The real runtimes and the simulators share one trace schema
+(:class:`~repro.sim.trace.ExecutionTrace`), so everything here works on
+both.  Typical use::
+
+    from repro import ThreadedRuntime
+    from repro.observability import MetricsRegistry, Tracer
+
+    metrics = MetricsRegistry()
+    tracer = Tracer(metrics=metrics)
+    f = ThreadedRuntime(num_workers=4, tracer=tracer).factorize(a)
+    trace = tracer.to_trace()          # same schema the simulator emits
+
+See ``docs/OBSERVABILITY.md`` for the span API, metric names, the JSONL
+schema, and the ``tiledqr trace`` CLI.
+"""
+
+from .analysis import (
+    KernelDiff,
+    TraceDiff,
+    TraceSummary,
+    device_utilization,
+    diff_traces,
+    kernel_counts,
+    kernel_times,
+    summarize_trace,
+    trace_critical_path,
+)
+from .export import dump_jsonl, load_jsonl, trace_lines, write_jsonl
+from .metrics import KERNEL_FLOPS, Counter, Gauge, Histogram, MetricsRegistry, kernel_flops
+from .tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "Tracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KERNEL_FLOPS",
+    "kernel_flops",
+    "dump_jsonl",
+    "write_jsonl",
+    "load_jsonl",
+    "trace_lines",
+    "summarize_trace",
+    "diff_traces",
+    "TraceSummary",
+    "TraceDiff",
+    "KernelDiff",
+    "kernel_times",
+    "kernel_counts",
+    "device_utilization",
+    "trace_critical_path",
+]

@@ -1,0 +1,222 @@
+"""Trace summaries and real-vs-simulated prediction-error reports.
+
+Works on any :class:`~repro.sim.trace.ExecutionTrace` — simulated or
+recorded from a real runtime via :class:`~repro.observability.Tracer` —
+and powers the ``tiledqr trace`` CLI:
+
+* :func:`summarize_trace` — per-kernel time share, device utilization,
+  and the trace's weighted critical path (the makespan lower bound the
+  schedule could not have beaten);
+* :func:`diff_traces` — per-kernel and makespan prediction error of a
+  simulated trace against a real one, the paper's model-validation loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dag import build_dag
+from ..dag.analysis import critical_path_length
+from ..dag.tasks import TaskKind
+from ..sim.trace import ExecutionTrace
+
+
+def kernel_times(trace: ExecutionTrace) -> dict[str, float]:
+    """Total seconds per kernel kind (e.g. ``{"GEQRT": 0.01, ...}``)."""
+    out: dict[str, float] = {}
+    for rec in trace.tasks:
+        name = rec.task.kind.value
+        out[name] = out.get(name, 0.0) + rec.duration
+    return out
+
+
+def kernel_counts(trace: ExecutionTrace) -> dict[str, int]:
+    """Number of executed tasks per kernel kind."""
+    out: dict[str, int] = {}
+    for rec in trace.tasks:
+        name = rec.task.kind.value
+        out[name] = out.get(name, 0) + 1
+    return out
+
+
+def device_utilization(trace: ExecutionTrace) -> dict[str, float]:
+    """Per-device busy fraction of the trace's makespan."""
+    makespan = trace.makespan
+    if makespan <= 0.0:
+        return {d: 0.0 for d in trace.compute_busy()}
+    return {d: busy / makespan for d, busy in trace.compute_busy().items()}
+
+
+def infer_grid(trace: ExecutionTrace) -> tuple[int, int]:
+    """Tile-grid shape implied by the trace's task coordinates."""
+    if not trace.tasks:
+        return (0, 0)
+    p = max(r.task.row for r in trace.tasks) + 1
+    q = max(r.task.col for r in trace.tasks) + 1
+    return (p, q)
+
+
+def trace_critical_path(trace: ExecutionTrace) -> float:
+    """Duration-weighted critical path of the factorization DAG.
+
+    Rebuilds the task DAG implied by the trace (grid inferred from the
+    task coordinates, TT if any TT kernels appear) and weights each task
+    with its recorded duration — the schedule-independent lower bound on
+    makespan with unlimited devices.  Tasks missing from the trace (a
+    partial recording) weigh zero.
+    """
+    p, q = infer_grid(trace)
+    if p == 0 or q == 0:
+        return 0.0
+    elimination = (
+        "TT"
+        if any(r.task.kind in (TaskKind.TTQRT, TaskKind.TTMQR) for r in trace.tasks)
+        else "TS"
+    )
+    durations: dict = {}
+    for rec in trace.tasks:
+        durations[rec.task] = durations.get(rec.task, 0.0) + rec.duration
+    dag = build_dag(p, q, elimination)
+    return critical_path_length(dag, weight=lambda t: durations.get(t, 0.0))
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates :func:`summarize_trace` reports (all times in seconds)."""
+
+    makespan: float
+    total_compute: float
+    comm_time: float
+    num_tasks: int
+    num_transfers: int
+    grid: tuple[int, int]
+    kernel_seconds: dict[str, float]
+    kernel_counts: dict[str, int]
+    utilization: dict[str, float]
+    critical_path: float
+    meta: dict = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        lines = [
+            f"tasks={self.num_tasks} transfers={self.num_transfers} "
+            f"grid={self.grid[0]}x{self.grid[1]}",
+            f"makespan          {self.makespan * 1e3:10.3f} ms",
+            f"critical path     {self.critical_path * 1e3:10.3f} ms "
+            f"({_ratio(self.critical_path, self.makespan):.1%} of makespan)",
+            f"total compute     {self.total_compute * 1e3:10.3f} ms",
+            f"communication     {self.comm_time * 1e3:10.3f} ms",
+            "per-kernel time share:",
+        ]
+        for name in sorted(self.kernel_seconds, key=self.kernel_seconds.get, reverse=True):
+            secs = self.kernel_seconds[name]
+            lines.append(
+                f"  {name:6s} {secs * 1e3:10.3f} ms  "
+                f"{_ratio(secs, self.total_compute):6.1%}  "
+                f"({self.kernel_counts.get(name, 0)} calls)"
+            )
+        lines.append("device utilization:")
+        for dev in sorted(self.utilization):
+            lines.append(f"  {dev:12s} {self.utilization[dev]:6.1%}")
+        return "\n".join(lines)
+
+
+def _ratio(num: float, denom: float) -> float:
+    return num / denom if denom > 0.0 else 0.0
+
+
+def summarize_trace(trace: ExecutionTrace, **meta) -> TraceSummary:
+    """Build a :class:`TraceSummary` from any execution trace."""
+    return TraceSummary(
+        makespan=trace.makespan,
+        total_compute=sum(trace.compute_busy().values()),
+        comm_time=trace.comm_time(),
+        num_tasks=len(trace.tasks),
+        num_transfers=len(trace.transfers),
+        grid=infer_grid(trace),
+        kernel_seconds=kernel_times(trace),
+        kernel_counts=kernel_counts(trace),
+        utilization=device_utilization(trace),
+        critical_path=trace_critical_path(trace),
+        meta=meta,
+    )
+
+
+@dataclass
+class KernelDiff:
+    """Per-kernel comparison row of :func:`diff_traces`."""
+
+    kernel: str
+    real_seconds: float
+    sim_seconds: float
+    real_calls: int
+    sim_calls: int
+
+    @property
+    def relative_error(self) -> float:
+        """``(sim - real) / real``; ``inf`` when the kernel never ran for real."""
+        if self.real_seconds <= 0.0:
+            return float("inf") if self.sim_seconds > 0.0 else 0.0
+        return (self.sim_seconds - self.real_seconds) / self.real_seconds
+
+
+@dataclass
+class TraceDiff:
+    """Prediction-error report: simulated trace vs a real recorded one."""
+
+    real_makespan: float
+    sim_makespan: float
+    kernels: list[KernelDiff]
+    task_sets_match: bool
+
+    @property
+    def makespan_error(self) -> float:
+        if self.real_makespan <= 0.0:
+            return float("inf") if self.sim_makespan > 0.0 else 0.0
+        return (self.sim_makespan - self.real_makespan) / self.real_makespan
+
+    def to_text(self) -> str:
+        lines = [
+            "sim-vs-real prediction error (positive = simulator overestimates):",
+            f"  makespan  real {self.real_makespan * 1e3:10.3f} ms   "
+            f"sim {self.sim_makespan * 1e3:10.3f} ms   "
+            f"error {self.makespan_error:+8.1%}",
+            f"  task sets {'match' if self.task_sets_match else 'DIFFER'}",
+            "  per-kernel total seconds:",
+        ]
+        for kd in self.kernels:
+            lines.append(
+                f"    {kd.kernel:6s} real {kd.real_seconds * 1e3:10.3f} ms "
+                f"({kd.real_calls:5d} calls)   sim {kd.sim_seconds * 1e3:10.3f} ms "
+                f"({kd.sim_calls:5d} calls)   error {kd.relative_error:+8.1%}"
+            )
+        return "\n".join(lines)
+
+
+def diff_traces(real: ExecutionTrace, sim: ExecutionTrace) -> TraceDiff:
+    """Compare a real recorded trace against a simulated prediction.
+
+    Kernels are matched by kind; ``task_sets_match`` additionally checks
+    that both traces executed the same ``(kind, k, row, row2, col)``
+    multiset, i.e. that they describe the same factorization.
+    """
+    real_t, sim_t = kernel_times(real), kernel_times(sim)
+    real_c, sim_c = kernel_counts(real), kernel_counts(sim)
+    names = sorted(set(real_t) | set(sim_t))
+    kernels = [
+        KernelDiff(
+            kernel=name,
+            real_seconds=real_t.get(name, 0.0),
+            sim_seconds=sim_t.get(name, 0.0),
+            real_calls=real_c.get(name, 0),
+            sim_calls=sim_c.get(name, 0),
+        )
+        for name in names
+    ]
+    real_set = sorted(r.task.sort_key() + (r.task.kind.value,) for r in real.tasks)
+    sim_set = sorted(r.task.sort_key() + (r.task.kind.value,) for r in sim.tasks)
+    return TraceDiff(
+        real_makespan=real.makespan,
+        sim_makespan=sim.makespan,
+        kernels=kernels,
+        task_sets_match=real_set == sim_set,
+    )

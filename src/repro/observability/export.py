@@ -1,0 +1,137 @@
+"""JSON/JSONL serialization of execution traces.
+
+One line per event, schema version 1::
+
+    {"type": "meta", "schema": 1, ...}                         # optional header
+    {"type": "task", "kind": "GEQRT", "k": 0, "row": 0,
+     "row2": 0, "col": 0, "device": "cpu0",
+     "start": 0.0, "end": 0.0012}
+    {"type": "transfer", "src": "cpu0", "dst": "gpu0",
+     "bytes": 2048.0, "start": 0.0, "end": 0.0003, "tag": "col3"}
+
+Both the simulators' traces and the real runtimes' traced runs share
+:class:`~repro.sim.trace.ExecutionTrace`, so one exporter/loader pair
+covers everything and ``load_jsonl(dump_jsonl(t))`` round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..dag.tasks import Task, TaskKind
+from ..errors import ObservabilityError
+from ..sim.trace import ExecutionTrace, TaskRecord, TransferRecord
+
+SCHEMA_VERSION = 1
+
+
+def task_record_to_dict(rec: TaskRecord) -> dict:
+    t = rec.task
+    return {
+        "type": "task",
+        "kind": t.kind.value,
+        "k": t.k,
+        "row": t.row,
+        "row2": t.row2,
+        "col": t.col,
+        "device": rec.device_id,
+        "start": rec.start,
+        "end": rec.end,
+    }
+
+
+def transfer_record_to_dict(rec: TransferRecord) -> dict:
+    return {
+        "type": "transfer",
+        "src": rec.src,
+        "dst": rec.dst,
+        "bytes": rec.num_bytes,
+        "start": rec.start,
+        "end": rec.end,
+        "tag": rec.tag,
+    }
+
+
+def _task_record_from_dict(d: dict) -> TaskRecord:
+    task = Task(TaskKind(d["kind"]), int(d["k"]), int(d["row"]), int(d["row2"]), int(d["col"]))
+    return TaskRecord(task=task, device_id=str(d["device"]), start=float(d["start"]), end=float(d["end"]))
+
+
+def _transfer_record_from_dict(d: dict) -> TransferRecord:
+    return TransferRecord(
+        src=str(d["src"]),
+        dst=str(d["dst"]),
+        num_bytes=float(d["bytes"]),
+        start=float(d["start"]),
+        end=float(d["end"]),
+        tag=str(d.get("tag", "")),
+    )
+
+
+def trace_lines(trace: ExecutionTrace, meta: dict | None = None) -> Iterable[str]:
+    """Yield the JSONL lines for ``trace`` (header first)."""
+    header = {"type": "meta", "schema": SCHEMA_VERSION}
+    if meta:
+        header.update(meta)
+    yield json.dumps(header)
+    for rec in trace.tasks:
+        yield json.dumps(task_record_to_dict(rec))
+    for rec in trace.transfers:
+        yield json.dumps(transfer_record_to_dict(rec))
+
+
+def dump_jsonl(trace: ExecutionTrace, meta: dict | None = None) -> str:
+    """Serialize a trace to one JSONL string."""
+    return "\n".join(trace_lines(trace, meta)) + "\n"
+
+
+def write_jsonl(trace: ExecutionTrace, path: str | Path, meta: dict | None = None) -> Path:
+    """Write a trace to ``path``; parent directories are created."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(dump_jsonl(trace, meta))
+    return p
+
+
+def load_jsonl(source: str | Path | Iterable[str]) -> ExecutionTrace:
+    """Load a trace from a JSONL file path or an iterable of lines.
+
+    A string argument is treated as a filesystem path if such a file
+    exists, otherwise as JSONL text.
+    """
+    if isinstance(source, Path):
+        lines = source.read_text().splitlines()
+    elif isinstance(source, str):
+        if "\n" in source:  # JSONL text (never a valid path)
+            lines = source.splitlines()
+        else:
+            p = Path(source)
+            lines = p.read_text().splitlines() if p.is_file() else source.splitlines()
+    else:
+        lines = list(source)
+    tasks: list[TaskRecord] = []
+    transfers: list[TransferRecord] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            d = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(f"trace line {lineno} is not valid JSON: {exc}") from None
+        kind = d.get("type")
+        if kind == "meta":
+            schema = d.get("schema")
+            if schema != SCHEMA_VERSION:
+                raise ObservabilityError(
+                    f"unsupported trace schema {schema!r} (expected {SCHEMA_VERSION})"
+                )
+        elif kind == "task":
+            tasks.append(_task_record_from_dict(d))
+        elif kind == "transfer":
+            transfers.append(_transfer_record_from_dict(d))
+        else:
+            raise ObservabilityError(f"trace line {lineno} has unknown type {kind!r}")
+    return ExecutionTrace(tasks=tasks, transfers=transfers)

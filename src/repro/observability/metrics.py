@@ -1,0 +1,217 @@
+"""Counters, gauges, and quantile histograms for runtime metrics.
+
+A deliberately small, dependency-free metrics layer: the runtimes (and
+anything else) register named instruments in a :class:`MetricsRegistry`
+and the ``trace`` CLI / tests read snapshots out.  The kernel-aware
+entry point is :meth:`MetricsRegistry.observe_kernel`, which converts a
+measured kernel duration into achieved GFLOP/s using the
+:mod:`repro.kernels.flops` arithmetic models — the same models the
+device calibration and the analysis layer use, so "achieved rate" here
+is directly comparable with the paper's model numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import insort
+from dataclasses import dataclass, field
+
+from ..dag.tasks import TaskKind
+from ..kernels.flops import (
+    flops_geqrt,
+    flops_tsmqr,
+    flops_tsqrt,
+    flops_ttmqr,
+    flops_ttqrt,
+    flops_unmqr,
+)
+
+#: Arithmetic model per kernel, shared with the analysis layer.
+KERNEL_FLOPS = {
+    TaskKind.GEQRT: flops_geqrt,
+    TaskKind.UNMQR: flops_unmqr,
+    TaskKind.TSQRT: flops_tsqrt,
+    TaskKind.TSMQR: flops_tsmqr,
+    TaskKind.TTQRT: flops_ttqrt,
+    TaskKind.TTMQR: flops_ttmqr,
+}
+
+
+def kernel_flops(kind: TaskKind | str, b: int) -> float:
+    """Model flop count of one ``kind`` kernel call on ``b x b`` tiles."""
+    if isinstance(kind, str):
+        kind = TaskKind[kind.upper()]
+    return KERNEL_FLOPS[kind](b)
+
+
+@dataclass
+class Counter:
+    """Monotone event counter."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-value-wins instantaneous measurement."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Exact-quantile histogram (keeps a sorted sample list).
+
+    Sized for per-kernel timing at tiled-QR scale (thousands to a few
+    million observations per run); quantiles interpolate linearly
+    between order statistics, so ``quantile`` is monotone in ``q`` by
+    construction.
+    """
+
+    name: str
+    _sorted: list[float] = field(default_factory=list)
+    total: float = 0.0
+
+    def observe(self, value: float) -> None:
+        insort(self._sorted, float(value))
+        self.total += float(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def min(self) -> float:
+        return self._sorted[0] if self._sorted else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._sorted[-1] if self._sorted else 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._sorted) if self._sorted else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile, ``0 <= q <= 1``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        vals = self._sorted
+        if not vals:
+            return 0.0
+        pos = q * (len(vals) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(vals) - 1)
+        frac = pos - lo
+        return vals[lo] * (1.0 - frac) + vals[hi] * frac
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics (thread-safe).
+
+    Naming convention used by the built-in instrumentation::
+
+        kernel.<KIND>.calls      Counter   kernel invocations
+        kernel.<KIND>.flops      Counter   model flops executed
+        kernel.<KIND>.seconds    Histogram per-call wall time
+        kernel.<KIND>.gflops     Histogram per-call achieved GFLOP/s
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name)
+            return self._histograms[name]
+
+    # -- kernel accounting -------------------------------------------------
+
+    def observe_kernel(self, kind: TaskKind, b: int, seconds: float) -> None:
+        """Record one kernel call: duration + flops-model GFLOP/s."""
+        flops = kernel_flops(kind, b)
+        prefix = f"kernel.{kind.value}"
+        with self._lock:
+            for store, cls, name in (
+                (self._counters, Counter, f"{prefix}.calls"),
+                (self._counters, Counter, f"{prefix}.flops"),
+                (self._histograms, Histogram, f"{prefix}.seconds"),
+                (self._histograms, Histogram, f"{prefix}.gflops"),
+            ):
+                if name not in store:
+                    store[name] = cls(name)
+            self._counters[f"{prefix}.calls"].inc()
+            self._counters[f"{prefix}.flops"].inc(flops)
+            self._histograms[f"{prefix}.seconds"].observe(seconds)
+            if seconds > 0.0:
+                self._histograms[f"{prefix}.gflops"].observe(flops / seconds / 1e9)
+
+    # -- reading -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of every instrument."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self._counters.items()},
+                "gauges": {n: g.value for n, g in self._gauges.items()},
+                "histograms": {n: h.summary() for n, h in self._histograms.items()},
+            }
+
+    def kernel_rates(self) -> dict[str, dict]:
+        """Per-kernel achieved-rate summaries (empty if nothing recorded)."""
+        with self._lock:
+            return {
+                name.split(".")[1]: hist.summary()
+                for name, hist in self._histograms.items()
+                if name.startswith("kernel.") and name.endswith(".gflops")
+            }

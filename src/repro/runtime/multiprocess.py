@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -34,6 +35,40 @@ from ..kernels import geqrt, tsmqr, tsqrt, unmqr
 from ..tiles import TiledMatrix
 from .factorization import TiledQRFactorization
 from ..dag.tasks import Task, TaskKind
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _EventTimer:
+    """Times one worker-side kernel call into the event buffer."""
+
+    __slots__ = ("events", "key", "clock", "start")
+
+    def __init__(self, events, kind, k, row, row2, col, clock):
+        self.events = events
+        self.key = (kind, k, row, row2, col)
+        self.clock = clock
+        self.start = 0.0
+
+    def __enter__(self):
+        self.start = self.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None:
+            self.events.append(self.key + (self.start, self.clock()))
+        return False
 
 
 # ---------------------------------------------------------------------------
@@ -86,13 +121,31 @@ class Collect:
 
 
 @dataclass
+class CollectEvents:
+    """Return the worker's kernel-event buffer (traced runs only).
+
+    Events are ``(kind, k, row, row2, col, start, end)`` tuples stamped
+    with the worker's ``perf_counter`` — on Linux a system-wide
+    monotonic clock, so the manager can merge buffers from every
+    process into one coherent timeline.
+    """
+
+
+@dataclass
 class Shutdown:
     pass
 
 
-def _worker_main(conn, grid_rows: int, grid_cols: int) -> None:
+def _worker_main(conn, grid_rows: int, grid_cols: int, trace: bool = False) -> None:
     """Worker process body: owns columns, executes kernels on demand."""
     columns: dict[int, list[np.ndarray]] = {}
+    events: list[tuple] = []
+
+    def timed(kind: str, k: int, row: int, row2: int, col: int):
+        if not trace:
+            return _NULL_TIMER
+        return _EventTimer(events, kind, k, row, row2, col, perf_counter)
+
     try:
         while True:
             msg = conn.recv()
@@ -111,11 +164,13 @@ def _worker_main(conn, grid_rows: int, grid_cols: int) -> None:
                 k = msg.k
                 col = columns[k]
                 out = []
-                fg = geqrt(col[k])
+                with timed("GEQRT", k, k, k, k):
+                    fg = geqrt(col[k])
                 col[k] = fg.r.copy()
                 out.append((("G", k, k), fg.v, fg.tf, fg.taus))
                 for i in range(k + 1, grid_rows):
-                    fe = tsqrt(col[k], col[i])
+                    with timed("TSQRT", k, i, k, k):
+                        fe = tsqrt(col[k], col[i])
                     col[k] = fe.r.copy()
                     col[i][...] = 0.0
                     out.append((("E", k, i), fe.v2, fe.tf, fe.taus))
@@ -131,7 +186,8 @@ def _worker_main(conn, grid_rows: int, grid_cols: int) -> None:
                             from ..kernels.geqrt import GEQRTResult
 
                             f = GEQRTResult(r=np.empty(0), v=v, tf=tf, taus=taus)
-                            unmqr(f, col[row])
+                            with timed("UNMQR", kk, row, row, col_idx):
+                                unmqr(f, col[row])
                         else:
                             from ..kernels.tsqrt import TSQRTResult
 
@@ -139,10 +195,13 @@ def _worker_main(conn, grid_rows: int, grid_cols: int) -> None:
                                 r=np.empty((v.shape[1], v.shape[1])),
                                 v2=v, tf=tf, taus=taus,
                             )
-                            tsmqr(f, col[kk], col[row])
+                            with timed("TSMQR", kk, row, kk, col_idx):
+                                tsmqr(f, col[kk], col[row])
                 conn.send(("ok", None))
             elif isinstance(msg, Collect):
                 conn.send(("ok", columns))
+            elif isinstance(msg, CollectEvents):
+                conn.send(("ok", events))
             else:  # pragma: no cover - protocol guard
                 conn.send(("error", f"unknown message {type(msg).__name__}"))
                 return
@@ -162,6 +221,12 @@ class MultiprocessRuntime:
     ----------
     plan:
         Column/panel ownership (one worker is spawned per participant).
+    tracer:
+        Optional :class:`repro.observability.Tracer`.  Workers buffer
+        per-kernel events locally (zero IPC on the hot path) and the
+        manager merges the buffers at join, under each worker's device
+        id; column migrations and factor broadcasts are recorded as
+        transfers with their real pickled byte counts.
 
     Notes
     -----
@@ -170,8 +235,9 @@ class MultiprocessRuntime:
     remaining columns, migrate column ``k+1`` to the next panel owner.
     """
 
-    def __init__(self, plan: DistributionPlan):
+    def __init__(self, plan: DistributionPlan, tracer=None):
         self.plan = plan
+        self.tracer = tracer
 
     def factorize(self, a: np.ndarray, tile_size: int | None = None) -> TiledQRFactorization:
         arr = np.asarray(a, dtype=np.float64)
@@ -183,21 +249,33 @@ class MultiprocessRuntime:
         tiled = TiledMatrix.from_dense(arr, b)
         p, q = tiled.grid_rows, tiled.grid_cols
 
+        tracer = self.tracer if self.tracer is not None and self.tracer.enabled else None
         ctx = mp.get_context("fork" if hasattr(mp, "get_context") else None)
         workers: dict[str, tuple] = {}
         try:
             for dev in self.plan.participants:
                 parent, child = ctx.Pipe()
                 proc = ctx.Process(
-                    target=_worker_main, args=(child, p, q), daemon=True
+                    target=_worker_main,
+                    args=(child, p, q, tracer is not None),
+                    daemon=True,
                 )
                 proc.start()
                 child.close()
                 workers[dev] = (parent, proc)
 
-            def ask(dev: str, msg):
+            def ask(dev: str, msg, xfer: tuple[str, float, str] | None = None):
+                """Round-trip one message; ``xfer=(src, bytes, tag)`` records
+                the send leg (pickle + pipe write) as a transfer."""
                 conn = workers[dev][0]
+                t0 = perf_counter()
                 conn.send(msg)
+                if tracer is not None and xfer is not None:
+                    src, nbytes, tag = xfer
+                    tracer.record_transfer(
+                        src=src, dst=dev, num_bytes=nbytes,
+                        start=t0, end=perf_counter(), tag=tag,
+                    )
                 status, payload = conn.recv()
                 if status != "ok":
                     raise SimulationError(f"worker {dev} failed: {payload}")
@@ -220,22 +298,37 @@ class MultiprocessRuntime:
             for k in range(n_panels):
                 owner_p = self.plan.panel_owner(k)
                 if col_home[k] != owner_p:
+                    t0 = perf_counter()
                     tiles = ask(col_home[k], SendColumn(col=k))
                     ask(owner_p, ReceiveColumn(col=k, tiles=tiles))
+                    if tracer is not None:
+                        tracer.record_transfer(
+                            src=col_home[k], dst=owner_p,
+                            num_bytes=float(sum(t.nbytes for t in tiles)),
+                            start=t0, end=perf_counter(), tag=f"col{k}",
+                        )
                     col_home[k] = owner_p
                 factors = ask(owner_p, FactorPanel(k=k))
+                bcast_bytes = float(sum(a.nbytes for f in factors for a in f[1:]))
                 # Broadcast to every device still holding columns > k.
                 for dev in self.plan.participants:
                     if any(j > k and col_home[j] == dev for j in range(q)):
-                        ask(dev, Update(k=k, factors=factors))
+                        xfer = (owner_p, bcast_bytes, f"bcast{k}") if dev != owner_p else None
+                        ask(dev, Update(k=k, factors=factors), xfer=xfer)
                 log.extend(_deserialize_log(factors, b))
 
-            # --- gather the R factor --------------------------------------
+            # --- gather the R factor (and traced worker event buffers) ----
             for dev in self.plan.participants:
                 cols = ask(dev, Collect())
                 for j, tiles in cols.items():
                     for i in range(p):
                         tiled.set_tile(i, j, tiles[i])
+                if tracer is not None:
+                    for kind, k, row, row2, col, start, end in ask(dev, CollectEvents()):
+                        tracer.record_task(
+                            Task(TaskKind[kind], k, row, row2, col),
+                            device=dev, start=start, end=end, tile_size=b,
+                        )
                 ask(dev, Shutdown())
         finally:
             for parent, proc in workers.values():

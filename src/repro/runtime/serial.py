@@ -23,11 +23,16 @@ class SerialRuntime:
         Optional callback ``(tasks_done, tasks_total, task)`` invoked
         after every kernel — hook for progress bars or cancellation
         (raise inside the callback to abort).
+    tracer:
+        Optional :class:`repro.observability.Tracer`; every kernel runs
+        inside a span (device id ``"serial"``), so a traced run emits
+        the same trace schema the simulators produce.
     """
 
-    def __init__(self, elimination: str = "TS", progress=None):
+    def __init__(self, elimination: str = "TS", progress=None, tracer=None):
         self.elimination = elimination
         self.progress = progress
+        self.tracer = tracer
 
     def factorize(self, a, tile_size: int = DEFAULT_TILE_SIZE) -> TiledQRFactorization:
         """Tiled QR factorization of a dense or tiled matrix.
@@ -59,8 +64,14 @@ class SerialRuntime:
         factors: dict[tuple, Factors] = {}
         log = []
         total = len(dag.tasks)
+        tracer = self.tracer if self.tracer is not None and self.tracer.enabled else None
+        b = tiled.tile_size
         for done, task in enumerate(dag.tasks, start=1):
-            produced = apply_task(task, tiled, factors)
+            if tracer is not None:
+                with tracer.task_span(task, device="serial", tile_size=b):
+                    produced = apply_task(task, tiled, factors)
+            else:
+                produced = apply_task(task, tiled, factors)
             if produced is not None:
                 log.append((task, produced))
             if self.progress is not None:

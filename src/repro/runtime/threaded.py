@@ -38,13 +38,22 @@ class ThreadedRuntime:
         Worker thread count (the paper's "computing threads").
     elimination:
         ``"TS"`` or ``"TT"`` DAG flavour.
+    tracer:
+        Optional :class:`repro.observability.Tracer`; each worker emits
+        kernel spans under device id ``"worker-<i>"`` into its own
+        thread-local buffer (no hot-path contention).
+
+    A kernel exception in any worker aborts the factorization and
+    re-raises in the calling thread, annotated with the failing task;
+    remaining workers drain and exit rather than hanging.
     """
 
-    def __init__(self, num_workers: int = 4, elimination: str = "TS"):
+    def __init__(self, num_workers: int = 4, elimination: str = "TS", tracer=None):
         if num_workers < 1:
             raise ValueError(f"need at least one worker, got {num_workers}")
         self.num_workers = num_workers
         self.elimination = elimination
+        self.tracer = tracer
 
     def factorize(self, a, tile_size: int = DEFAULT_TILE_SIZE) -> TiledQRFactorization:
         """Factorize ``a``; same contract as :meth:`SerialRuntime.factorize`."""
@@ -77,14 +86,24 @@ class ThreadedRuntime:
         if total == 0:
             all_done.set()
 
-        def worker() -> None:
+        tracer = self.tracer if self.tracer is not None and self.tracer.enabled else None
+        b = tiled.tile_size
+
+        def worker(index: int) -> None:
+            device = f"worker-{index}"
             while True:
                 task = ready.get()
                 if task is None:
                     return
                 try:
-                    produced = apply_task(task, tiled, factors)
+                    if tracer is not None:
+                        with tracer.task_span(task, device=device, tile_size=b):
+                            produced = apply_task(task, tiled, factors)
+                    else:
+                        produced = apply_task(task, tiled, factors)
                 except BaseException as exc:  # propagate to the caller
+                    if hasattr(exc, "add_note"):  # 3.11+
+                        exc.add_note(f"while executing task {task.label()} on {device}")
                     with lock:
                         errors.append(exc)
                     all_done.set()
@@ -105,7 +124,9 @@ class ThreadedRuntime:
                     all_done.set()
 
         threads = [
-            threading.Thread(target=worker, name=f"tiledqr-worker-{i}", daemon=True)
+            threading.Thread(
+                target=worker, args=(i,), name=f"tiledqr-worker-{i}", daemon=True
+            )
             for i in range(self.num_workers)
         ]
         for th in threads:

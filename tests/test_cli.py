@@ -62,3 +62,44 @@ class TestCLI:
         data = json.loads(out.read_text())
         assert data[0]["name"] == "table1"
         assert data[0]["rows"]
+
+
+class TestTraceCLI:
+    def test_trace_record_and_summarize(self, capsys, tmp_path):
+        out = tmp_path / "real.jsonl"
+        assert main(["trace", "96", "--runtime", "serial", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "per-kernel time share" in text
+        assert "critical path" in text
+        assert "device utilization" in text
+        assert "achieved GFLOP/s" in text
+        assert out.exists()
+        # summarize the file we just wrote
+        assert main(["trace", str(out)]) == 0
+        assert "per-kernel time share" in capsys.readouterr().out
+
+    def test_trace_diff_against_simulation(self, capsys):
+        assert main(["trace", "96", "--runtime", "threaded", "--diff"]) == 0
+        text = capsys.readouterr().out
+        assert "sim-vs-real prediction error" in text
+        assert "task sets match" in text
+        assert "GEQRT" in text
+
+    def test_trace_diff_two_files(self, capsys, tmp_path):
+        out = tmp_path / "real.jsonl"
+        assert main(["trace", "64", "--runtime", "serial", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(out), "--diff", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "task sets match" in text
+
+    def test_trace_file_diff_needs_operand(self, tmp_path, capsys):
+        out = tmp_path / "real.jsonl"
+        assert main(["trace", "64", "--runtime", "serial", "--out", str(out)]) == 0
+        assert main(["trace", str(out), "--diff"]) == 2
+
+    def test_trace_rejects_bad_target(self):
+        assert main(["trace", "not-a-thing.jsonl"]) == 2
+
+    def test_trace_rejects_huge_n(self):
+        assert main(["trace", "99999"]) == 2

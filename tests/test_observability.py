@@ -1,0 +1,313 @@
+"""Property-based tests for the observability layer (tracer + metrics).
+
+Uses hypothesis when available; a parametrized fallback covers the same
+properties on fixed cases so the file passes without it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dag.tasks import Task, TaskKind
+from repro.errors import ObservabilityError
+from repro.kernels import flops as flops_mod
+from repro.observability import (
+    KERNEL_FLOPS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    kernel_flops,
+)
+from repro.observability.tracer import NULL_SPAN
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is an optional test dep
+    HAVE_HYPOTHESIS = False
+
+needs_hypothesis = pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+
+#: flops.py reference, by kernel name — the formulas the metrics layer
+#: must agree with exactly.
+FLOPS_REFERENCE = {
+    "GEQRT": flops_mod.flops_geqrt,
+    "UNMQR": flops_mod.flops_unmqr,
+    "TSQRT": flops_mod.flops_tsqrt,
+    "TSMQR": flops_mod.flops_tsmqr,
+    "TTQRT": flops_mod.flops_ttqrt,
+    "TTMQR": flops_mod.flops_ttmqr,
+}
+
+
+def make_clock(times: list[float]):
+    """Deterministic clock yielding the given timestamps in order."""
+    it = iter(times)
+    return lambda: next(it)
+
+
+class TestSpanNesting:
+    def test_simple_span_records_task(self):
+        tracer = Tracer(clock=make_clock([1.0, 2.5]))
+        with tracer.span("GEQRT", k=0, i=0, device="d"):
+            pass
+        recs = tracer.task_records()
+        assert len(recs) == 1
+        assert recs[0].task == Task(TaskKind.GEQRT, 0, 0, 0, 0)
+        assert recs[0].device_id == "d"
+        assert recs[0].duration == pytest.approx(1.5)
+
+    def test_span_coordinate_defaults(self):
+        tracer = Tracer()
+        with tracer.span("TSQRT", k=1, i=3):
+            pass  # row2/col default to k for eliminations
+        with tracer.span("UNMQR", k=1, i=1, j=4):
+            pass  # row2 follows row for single-tile kernels
+        tasks = [r.task for r in tracer.task_records()]
+        assert Task(TaskKind.TSQRT, 1, 3, 1, 1) in tasks
+        assert Task(TaskKind.UNMQR, 1, 1, 1, 4) in tasks
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Tracer().span("DGEMM", k=0)
+
+    def test_nested_spans_unwind_lifo(self):
+        tracer = Tracer()
+        with tracer.span("GEQRT", k=0, i=0):
+            with tracer.span("UNMQR", k=0, i=0, j=1):
+                assert tracer.open_spans == 2
+            assert tracer.open_spans == 1
+        assert tracer.open_spans == 0
+        assert len(tracer.task_records()) == 2
+
+    def test_mis_nested_exit_raises(self):
+        tracer = Tracer()
+        outer = tracer.span("GEQRT", k=0, i=0)
+        inner = tracer.span("UNMQR", k=0, i=0, j=1)
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(ObservabilityError):
+            outer.__exit__(None, None, None)  # inner is still open
+
+    def test_failed_span_is_not_a_completed_kernel(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("GEQRT", k=0, i=0):
+                raise RuntimeError("kernel blew up")
+        assert tracer.open_spans == 0
+        assert tracer.task_records() == []
+
+    @pytest.mark.parametrize("depths", [[1], [3], [1, 2, 1], [4, 1, 4]])
+    def test_balanced_nesting_is_well_formed(self, depths):
+        tracer = Tracer()
+        expected = 0
+        for depth in depths:
+            spans = [tracer.span("TSMQR", k=0, i=d + 1, j=1) for d in range(depth)]
+            for s in spans:
+                s.__enter__()
+            for s in reversed(spans):
+                s.__exit__(None, None, None)
+            expected += depth
+            assert tracer.open_spans == 0
+        assert len(tracer.task_records()) == expected
+
+    if HAVE_HYPOTHESIS:
+
+        @given(depths=st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=10))
+        @settings(max_examples=30, deadline=None)
+        def test_property_balanced_nesting(self, depths):
+            tracer = Tracer()
+            for depth in depths:
+                spans = [tracer.span("TSMQR", k=0, i=d + 1, j=1) for d in range(depth)]
+                for s in spans:
+                    s.__enter__()
+                for s in reversed(spans):
+                    s.__exit__(None, None, None)
+                assert tracer.open_spans == 0
+            assert len(tracer.task_records()) == sum(depths)
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        s1 = tracer.span("GEQRT", k=0, i=0)
+        s2 = tracer.task_span(Task(TaskKind.GEQRT, 0, 0, 0, 0))
+        assert s1 is NULL_SPAN and s2 is NULL_SPAN
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("GEQRT", k=0, i=0):
+            pass
+        tracer.record_task(Task(TaskKind.GEQRT, 0, 0, 0, 0), "d", 0.0, 1.0)
+        tracer.record_transfer("a", "b", 8.0, 0.0, 1.0)
+        assert len(tracer) == 0
+        assert tracer.to_trace().tasks == []
+        assert tracer.to_trace().transfers == []
+
+    def test_disabled_tracer_in_runtime_adds_no_events(self, rng):
+        from repro.runtime.serial import SerialRuntime
+
+        tracer = Tracer(enabled=False)
+        a = rng.standard_normal((48, 48))
+        f = SerialRuntime(tracer=tracer).factorize(a, 16)
+        assert len(tracer) == 0
+        assert f.reconstruction_error(a) < 1e-12
+
+
+class TestHistogramQuantiles:
+    @pytest.mark.parametrize(
+        "values",
+        [[1.0], [1.0, 2.0, 3.0], [5.0, -1.0, 5.0, 0.0], list(np.linspace(0, 1, 37))],
+    )
+    def test_quantiles_monotone(self, values):
+        h = Histogram("h")
+        for v in values:
+            h.observe(v)
+        qs = np.linspace(0.0, 1.0, 21)
+        out = [h.quantile(q) for q in qs]
+        assert out == sorted(out)
+        assert out[0] == h.min and out[-1] == h.max
+        assert h.p50 <= h.p95 <= h.p99
+
+    if HAVE_HYPOTHESIS:
+
+        @given(
+            values=st.lists(
+                st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+                min_size=1,
+                max_size=200,
+            ),
+            qs=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=20),
+        )
+        @settings(max_examples=60, deadline=None)
+        def test_property_quantiles_monotone(self, values, qs):
+            h = Histogram("h")
+            for v in values:
+                h.observe(v)
+            qs = sorted(qs)
+            out = [h.quantile(q) for q in qs]
+            assert out == sorted(out)
+            assert h.min <= out[0] and out[-1] <= h.max
+
+    def test_empty_histogram(self):
+        h = Histogram("h")
+        assert h.count == 0 and h.quantile(0.5) == 0.0 and h.mean == 0.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_summary_fields(self):
+        h = Histogram("h")
+        for v in (1.0, 3.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 2 and s["total"] == 4.0 and s["mean"] == 2.0
+        assert s["min"] == 1.0 and s["max"] == 3.0 and s["p50"] == 2.0
+
+
+class TestKernelFlopsAccounting:
+    @pytest.mark.parametrize("name", sorted(FLOPS_REFERENCE))
+    @pytest.mark.parametrize("b", [4, 16, 48])
+    def test_kernel_flops_match_formulas(self, name, b):
+        kind = TaskKind[name]
+        assert kernel_flops(kind, b) == FLOPS_REFERENCE[name](b)
+        assert kernel_flops(name, b) == FLOPS_REFERENCE[name](b)
+        assert KERNEL_FLOPS[kind](b) == FLOPS_REFERENCE[name](b)
+
+    if HAVE_HYPOTHESIS:
+
+        @given(b=st.integers(min_value=1, max_value=512))
+        @settings(max_examples=40, deadline=None)
+        def test_property_registry_flops_counters(self, b):
+            reg = MetricsRegistry()
+            for name, ref in FLOPS_REFERENCE.items():
+                reg.observe_kernel(TaskKind[name], b, seconds=0.5)
+                assert reg.counter(f"kernel.{name}.flops").value == pytest.approx(ref(b))
+
+    def test_observe_kernel_wires_all_instruments(self):
+        reg = MetricsRegistry()
+        reg.observe_kernel(TaskKind.GEQRT, 16, seconds=0.001)
+        snap = reg.snapshot()
+        assert snap["counters"]["kernel.GEQRT.calls"] == 1
+        assert snap["counters"]["kernel.GEQRT.flops"] == pytest.approx(
+            flops_mod.flops_geqrt(16)
+        )
+        assert snap["histograms"]["kernel.GEQRT.seconds"]["count"] == 1
+        gflops = snap["histograms"]["kernel.GEQRT.gflops"]["p50"]
+        assert gflops == pytest.approx(flops_mod.flops_geqrt(16) / 0.001 / 1e9)
+
+    def test_traced_run_flop_totals_match_model(self, rng):
+        """End to end: trace a real run, check total flops == closed form."""
+        from repro.kernels.flops import flops_tiled_qr
+        from repro.runtime.serial import SerialRuntime
+
+        reg = MetricsRegistry()
+        tracer = Tracer(metrics=reg)
+        SerialRuntime(tracer=tracer).factorize(rng.standard_normal((80, 80)), 16)
+        snap = reg.snapshot()
+        total = sum(
+            v for name, v in snap["counters"].items() if name.endswith(".flops")
+        )
+        assert total == pytest.approx(flops_tiled_qr(5, 5, 16))
+
+    def test_counter_monotone(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_registry_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("y") is reg.histogram("y")
+        reg.gauge("g").set(7)
+        assert reg.gauge("g").value == 7.0
+
+
+class TestTracerMerging:
+    def test_thread_buffers_merge_sorted(self):
+        import threading
+
+        tracer = Tracer()
+
+        def emit(worker: int):
+            with tracer.span("TSMQR", k=0, i=worker + 1, j=1, device=f"w{worker}"):
+                pass
+
+        threads = [threading.Thread(target=emit, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        recs = tracer.task_records()
+        assert len(recs) == 8
+        assert [r.start for r in recs] == sorted(r.start for r in recs)
+        assert {r.device_id for r in recs} == {f"w{i}" for i in range(8)}
+
+    def test_to_trace_rebases_to_zero(self):
+        tracer = Tracer(clock=make_clock([100.0, 101.0, 102.0, 104.0]))
+        with tracer.span("GEQRT", k=0, i=0):
+            pass
+        with tracer.span("UNMQR", k=0, i=0, j=1):
+            pass
+        trace = tracer.to_trace()
+        assert min(r.start for r in trace.tasks) == 0.0
+        assert trace.makespan == pytest.approx(4.0)
+        raw = tracer.to_trace(rebase=False)
+        assert min(r.start for r in raw.tasks) == 100.0
+
+    def test_clear_drops_events(self):
+        tracer = Tracer()
+        with tracer.span("GEQRT", k=0, i=0):
+            pass
+        tracer.record_transfer("a", "b", 1.0, 0.0, 1.0)
+        assert len(tracer) == 2
+        tracer.clear()
+        assert len(tracer) == 0

@@ -116,3 +116,72 @@ class TestExecutionTrace:
         )
         rows = tr.gantt_rows()
         assert rows[0][2] <= rows[1][2]
+
+
+class TestTraceSchemaRoundTrip:
+    """The shared trace schema: export to JSONL, reload, equal aggregates.
+
+    This is the contract that lets real-runtime traces and simulator
+    traces flow through the same exporters and the ``trace`` CLI.
+    """
+
+    def trace(self):
+        return ExecutionTrace(
+            tasks=[
+                rec(TaskKind.GEQRT, 0, 0, 0, 0, "d", 0.0, 1.0),
+                rec(TaskKind.TSQRT, 0, 1, 0, 0, "d", 1.0, 2.5),
+                rec(TaskKind.TSMQR, 0, 1, 0, 1, "e", 2.5, 3.25),
+            ],
+            transfers=[
+                TransferRecord("d", "e", 2048.0, 0.5, 0.75, tag="bcast0"),
+                TransferRecord("e", "d", 64.0, 3.25, 3.5),
+            ],
+        )
+
+    def test_string_round_trip_preserves_aggregates(self):
+        from repro.observability import dump_jsonl, load_jsonl
+
+        original = self.trace()
+        reloaded = load_jsonl(dump_jsonl(original, meta={"source": "test"}))
+        assert reloaded.tasks == original.tasks
+        assert reloaded.transfers == original.transfers
+        r0, r1 = original.report(), reloaded.report()
+        assert r1.makespan == r0.makespan
+        assert r1.compute_busy == r0.compute_busy
+        assert r1.comm_time == r0.comm_time
+        assert r1.num_tasks == r0.num_tasks
+        assert r1.num_transfers == r0.num_transfers
+        assert reloaded.step_time() == original.step_time()
+
+    def test_file_round_trip(self, tmp_path):
+        from repro.observability import load_jsonl, write_jsonl
+
+        original = self.trace()
+        path = write_jsonl(original, tmp_path / "trace.jsonl")
+        reloaded = load_jsonl(path)
+        assert reloaded.tasks == original.tasks
+        assert reloaded.transfers == original.transfers
+
+    def test_simulator_trace_round_trips(self, system, topology, optimizer):
+        """A real discrete-event simulator trace survives the round trip."""
+        from repro.dag import build_dag
+        from repro.observability import dump_jsonl, load_jsonl
+        from repro.sim.engine import simulate_task_level
+
+        plan = optimizer.plan(matrix_size=96)
+        trace = simulate_task_level(build_dag(6, 6), plan, system, topology)
+        reloaded = load_jsonl(dump_jsonl(trace))
+        assert reloaded.tasks == trace.tasks
+        assert reloaded.report().makespan == trace.report().makespan
+        assert reloaded.report().compute_busy == trace.report().compute_busy
+
+    def test_malformed_lines_rejected(self):
+        from repro.errors import ObservabilityError
+        from repro.observability import load_jsonl
+
+        with pytest.raises(ObservabilityError):
+            load_jsonl('{"type": "meta", "schema": 99}\n')
+        with pytest.raises(ObservabilityError):
+            load_jsonl('{"type": "mystery"}\n')
+        with pytest.raises(ObservabilityError):
+            load_jsonl("not json at all\n{}\n")

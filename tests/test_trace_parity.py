@@ -1,0 +1,146 @@
+"""Cross-runtime trace parity: serial, threaded, and multiprocess
+executions of the same matrix must trace the same task multiset, and
+tracing must not perturb numerics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.observability import MetricsRegistry, Tracer, diff_traces
+from repro.runtime.multiprocess import MultiprocessRuntime
+from repro.runtime.serial import SerialRuntime
+from repro.runtime.threaded import ThreadedRuntime
+
+N = 96
+B = 16
+
+
+def task_multiset(trace):
+    """The ``(kernel, k, row, row2, col)`` multiset of a trace."""
+    return sorted(
+        (r.task.kind.value, r.task.k, r.task.row, r.task.row2, r.task.col)
+        for r in trace.tasks
+    )
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return np.random.default_rng(777).standard_normal((N, N))
+
+
+@pytest.fixture(scope="module")
+def traced_runs(matrix, optimizer):
+    """Factorize the same matrix under all three traced runtimes."""
+    runs = {}
+    for name, make in (
+        ("serial", lambda tr: SerialRuntime(tracer=tr)),
+        ("threaded", lambda tr: ThreadedRuntime(num_workers=4, tracer=tr)),
+        (
+            "multiprocess",
+            lambda tr: MultiprocessRuntime(
+                optimizer.plan(matrix_size=N, num_devices=3), tracer=tr
+            ),
+        ),
+    ):
+        tracer = Tracer(metrics=MetricsRegistry())
+        fact = make(tracer).factorize(matrix.copy(), B)
+        runs[name] = (fact, tracer.to_trace())
+    return runs
+
+
+class TestTraceParity:
+    def test_all_runtimes_trace_identical_task_multisets(self, traced_runs):
+        serial = task_multiset(traced_runs["serial"][1])
+        assert serial  # non-empty
+        assert task_multiset(traced_runs["threaded"][1]) == serial
+        assert task_multiset(traced_runs["multiprocess"][1]) == serial
+
+    def test_trace_covers_the_whole_dag(self, traced_runs):
+        from repro.dag import build_dag
+
+        dag = build_dag(N // B, N // B, "TS")
+        expected = sorted(
+            (t.kind.value, t.k, t.row, t.row2, t.col) for t in dag.tasks
+        )
+        assert task_multiset(traced_runs["serial"][1]) == expected
+
+    @pytest.mark.parametrize("runtime", ["serial", "threaded", "multiprocess"])
+    def test_traced_runs_still_reconstruct(self, traced_runs, matrix, runtime):
+        fact, _trace = traced_runs[runtime]
+        assert fact.reconstruction_error(matrix) < 1e-10
+
+    @pytest.mark.parametrize("runtime", ["serial", "threaded", "multiprocess"])
+    def test_every_record_has_positive_duration_and_device(self, traced_runs, runtime):
+        trace = traced_runs[runtime][1]
+        for rec in trace.tasks:
+            assert rec.end >= rec.start >= 0.0
+            assert rec.device_id
+
+    def test_diff_between_real_runtimes_matches(self, traced_runs):
+        d = diff_traces(traced_runs["serial"][1], traced_runs["threaded"][1])
+        assert d.task_sets_match
+        assert {kd.kernel for kd in d.kernels} == {"GEQRT", "UNMQR", "TSQRT", "TSMQR"}
+        for kd in d.kernels:
+            assert kd.real_calls == kd.sim_calls
+
+    def test_multiprocess_trace_records_transfers(self, traced_runs):
+        trace = traced_runs["multiprocess"][1]
+        assert trace.transfers  # factor broadcasts at minimum
+        for t in trace.transfers:
+            assert t.num_bytes > 0 and t.end >= t.start
+
+    def test_real_trace_diffs_against_simulated(self, matrix, system, topology):
+        """The model-validation loop: same problem, sim vs traced real."""
+        from repro.core.executor import TiledQR
+
+        tracer = Tracer()
+        qr = TiledQR(system, topology)
+        run = qr.factorize(matrix.copy(), tile_size=B, tracer=tracer)
+        real = run.report.meta["real_trace"]
+        sim = run.report.meta["trace"]
+        d = diff_traces(real, sim)
+        assert d.task_sets_match
+        assert d.real_makespan > 0.0 and d.sim_makespan > 0.0
+        assert all(np.isfinite(kd.relative_error) for kd in d.kernels)
+
+
+class TestThreadedExceptionPropagation:
+    def test_poisoned_tile_raises_in_factorize(self, rng):
+        """A kernel failure in a worker must surface to the caller, not
+        silently kill the worker (the factorize call would then hang or
+        return an incomplete factorization)."""
+        from repro.errors import ReproError
+        from repro.tiles import TiledMatrix
+
+        a = rng.standard_normal((96, 96))
+        tiled = TiledMatrix.from_dense(a, 16)
+        tiled._tiles[3][3] = np.ones((16, 7))  # poison: non-square tile
+        with pytest.raises(ReproError):
+            ThreadedRuntime(num_workers=4).factorize(tiled)
+
+    def test_poison_error_is_annotated_with_task(self, rng):
+        a = rng.standard_normal((64, 64))
+        from repro.tiles import TiledMatrix
+
+        tiled = TiledMatrix.from_dense(a, 16)
+        tiled._tiles[2][2] = np.ones((16, 5))
+        with pytest.raises(Exception) as excinfo:
+            ThreadedRuntime(num_workers=2).factorize(tiled)
+        notes = getattr(excinfo.value, "__notes__", [])
+        if hasattr(excinfo.value, "add_note"):  # 3.11+
+            assert any("worker-" in n for n in notes)
+
+    def test_traced_failed_run_keeps_completed_spans_only(self, rng):
+        from repro.tiles import TiledMatrix
+
+        a = rng.standard_normal((96, 96))
+        tiled = TiledMatrix.from_dense(a, 16)
+        tiled._tiles[5][5] = np.ones((16, 3))
+        tracer = Tracer()
+        with pytest.raises(Exception):
+            ThreadedRuntime(num_workers=4, tracer=tracer).factorize(tiled)
+        trace = tracer.to_trace()
+        full = len(task_multiset(trace))
+        assert 0 < full < 91  # some kernels ran, the failed one is absent
