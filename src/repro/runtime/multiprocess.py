@@ -125,9 +125,22 @@ class CollectEvents:
     """Return the worker's kernel-event buffer (traced runs only).
 
     Events are ``(kind, k, row, row2, col, start, end)`` tuples stamped
-    with the worker's ``perf_counter`` — on Linux a system-wide
-    monotonic clock, so the manager can merge buffers from every
-    process into one coherent timeline.
+    with the worker's ``perf_counter``.  Under the fork start method
+    the clock is shared with the manager (CLOCK_MONOTONIC), so buffers
+    merge directly; under spawn ``perf_counter`` epochs differ per
+    process, so the manager rebases each buffer with the offset
+    measured by :class:`ClockSync` at worker startup.
+    """
+
+
+@dataclass
+class ClockSync:
+    """Reply with the worker's current ``perf_counter`` reading.
+
+    The manager brackets the round-trip with its own clock and takes
+    the midpoint as the exchange instant, yielding a manager-minus-
+    worker offset accurate to about half the pipe round-trip — plenty
+    for millisecond-scale kernel timelines.
     """
 
 
@@ -155,6 +168,8 @@ def _worker_main(conn, grid_rows: int, grid_cols: int, trace: bool = False) -> N
             if isinstance(msg, LoadColumns):
                 columns.update(msg.columns)
                 conn.send(("ok", None))
+            elif isinstance(msg, ClockSync):
+                conn.send(("ok", perf_counter()))
             elif isinstance(msg, ReceiveColumn):
                 columns[msg.col] = msg.tiles
                 conn.send(("ok", None))
@@ -250,8 +265,13 @@ class MultiprocessRuntime:
         p, q = tiled.grid_rows, tiled.grid_cols
 
         tracer = self.tracer if self.tracer is not None and self.tracer.enabled else None
-        ctx = mp.get_context("fork" if hasattr(mp, "get_context") else None)
+        # fork keeps worker startup cheap and the perf_counter clock
+        # shared; elsewhere (Windows, macOS default) fall back to spawn
+        # and rebase worker timestamps via a ClockSync handshake.
+        start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(start_method)
         workers: dict[str, tuple] = {}
+        clock_offset: dict[str, float] = {}
         try:
             for dev in self.plan.participants:
                 parent, child = ctx.Pipe()
@@ -280,6 +300,17 @@ class MultiprocessRuntime:
                 if status != "ok":
                     raise SimulationError(f"worker {dev} failed: {payload}")
                 return payload
+
+            # --- clock handshake (traced spawn runs only) ----------------
+            if tracer is not None:
+                for dev in self.plan.participants:
+                    if start_method == "fork":
+                        clock_offset[dev] = 0.0  # shared CLOCK_MONOTONIC
+                    else:
+                        t0 = perf_counter()
+                        worker_now = ask(dev, ClockSync())
+                        t1 = perf_counter()
+                        clock_offset[dev] = 0.5 * (t0 + t1) - worker_now
 
             # --- initial distribution (owned columns per device) --------
             per_dev: dict[str, dict[int, list[np.ndarray]]] = {
@@ -324,10 +355,11 @@ class MultiprocessRuntime:
                     for i in range(p):
                         tiled.set_tile(i, j, tiles[i])
                 if tracer is not None:
+                    off = clock_offset.get(dev, 0.0)
                     for kind, k, row, row2, col, start, end in ask(dev, CollectEvents()):
                         tracer.record_task(
                             Task(TaskKind[kind], k, row, row2, col),
-                            device=dev, start=start, end=end, tile_size=b,
+                            device=dev, start=start + off, end=end + off, tile_size=b,
                         )
                 ask(dev, Shutdown())
         finally:
