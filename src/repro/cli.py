@@ -110,7 +110,7 @@ def _cmd_factorize(args) -> int:
     rng = np.random.default_rng(args.seed)
     a = rng.standard_normal((args.n, args.n))
     qr = TiledQR(paper_testbed())
-    run = qr.factorize(a, tile_size=args.tile_size)
+    run = qr.factorize(a, tile_size=args.tile_size, batch_updates=args.batch_updates)
     fact = run.factorization
     err = frobenius_relative_error(fact.apply_q(fact.r_dense()), a)
     print(run.plan.describe())
@@ -156,6 +156,7 @@ def _cmd_trace(args) -> int:
         MetricsRegistry,
         Tracer,
         diff_traces,
+        expand_batched,
         load_jsonl,
         summarize_trace,
         write_jsonl,
@@ -183,7 +184,7 @@ def _cmd_trace(args) -> int:
                 print(f"cannot load {args.diff}: {exc}", file=sys.stderr)
                 return 2
             print()
-            print(diff_traces(trace, other).to_text())
+            print(diff_traces(expand_batched(trace), expand_batched(other)).to_text())
         return 0
 
     try:
@@ -203,18 +204,24 @@ def _cmd_trace(args) -> int:
     if args.runtime == "serial":
         from .runtime.serial import SerialRuntime
 
-        SerialRuntime(tracer=tracer).factorize(a, args.tile_size)
+        SerialRuntime(tracer=tracer, batch_updates=args.batch_updates).factorize(
+            a, args.tile_size
+        )
     elif args.runtime == "threaded":
         from .runtime.threaded import ThreadedRuntime
 
-        ThreadedRuntime(num_workers=args.workers, tracer=tracer).factorize(a, args.tile_size)
+        ThreadedRuntime(
+            num_workers=args.workers, tracer=tracer, batch_updates=args.batch_updates
+        ).factorize(a, args.tile_size)
     else:
         from .core.optimizer import Optimizer
         from .devices.registry import paper_testbed
         from .runtime.multiprocess import MultiprocessRuntime
 
         plan = Optimizer(paper_testbed()).plan(matrix_size=n, tile_size=args.tile_size)
-        MultiprocessRuntime(plan, tracer=tracer).factorize(a, args.tile_size)
+        MultiprocessRuntime(
+            plan, tracer=tracer, batch_updates=args.batch_updates
+        ).factorize(a, args.tile_size)
     trace = tracer.to_trace()
     print(f"traced real run: {args.runtime} runtime, n={n}, b={args.tile_size}")
     print(summarize_trace(trace).to_text())
@@ -240,7 +247,9 @@ def _cmd_trace(args) -> int:
         sim_trace = run.report.meta["trace"]
         print()
         print(f"simulated on {run.plan.describe()}")
-        print(diff_traces(trace, sim_trace).to_text())
+        # the simulator predicts the unfused DAG; expand batched records
+        # so the task multisets are comparable
+        print(diff_traces(expand_batched(trace), sim_trace).to_text())
     return 0
 
 
@@ -286,6 +295,12 @@ def main(argv: list[str] | None = None) -> int:
     p_fact.add_argument("n", type=int)
     p_fact.add_argument("--tile-size", type=int, default=16)
     p_fact.add_argument("--seed", type=int, default=0)
+    p_fact.add_argument(
+        "--batch-updates",
+        action="store_true",
+        help="coarsen trailing-matrix updates into row-panel batches "
+        "(see docs/PERFORMANCE.md)",
+    )
     p_fact.set_defaults(func=_cmd_factorize)
 
     p_gantt = sub.add_parser("gantt", help="ASCII Gantt of a simulated run")
@@ -316,6 +331,12 @@ def main(argv: list[str] | None = None) -> int:
     p_trace.add_argument("--tile-size", type=int, default=16)
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--out", help="write the recorded trace to this JSONL path")
+    p_trace.add_argument(
+        "--batch-updates",
+        action="store_true",
+        help="run (and trace) the batched row-panel update path; batched "
+        "tasks appear as UNMQR_BATCH/TSMQR_BATCH spans",
+    )
     p_trace.add_argument(
         "--diff",
         nargs="?",

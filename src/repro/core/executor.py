@@ -145,6 +145,7 @@ class TiledQR:
         simulate: bool = True,
         coexecute: bool = False,
         tracer=None,
+        batch_updates: bool = False,
     ) -> TiledQRRun:
         """Numerically factorize ``a`` under an optimized plan.
 
@@ -164,6 +165,10 @@ class TiledQR:
             attached to ``run.report.meta["real_trace"]``, alongside the
             simulated ``meta["trace"]`` — the pair :func:`
             repro.observability.diff_traces` consumes.
+        batch_updates:
+            Execute trailing-matrix updates as coarsened row-panel
+            batches (ignored under ``coexecute``, which follows the
+            simulator's per-tile schedule).  See ``docs/PERFORMANCE.md``.
         """
         arr = np.asarray(a)
         if arr.ndim != 2:
@@ -187,7 +192,9 @@ class TiledQR:
             report = trace.report(grid=tiled.grid_shape, plan=p.describe())
             report.meta["trace"] = trace
             return TiledQRRun(plan=p, report=report, factorization=fact)
-        fact = SerialRuntime(self.elimination, tracer=tracer).factorize(arr, p.tile_size)
+        fact = SerialRuntime(
+            self.elimination, tracer=tracer, batch_updates=batch_updates
+        ).factorize(arr, p.tile_size)
         if simulate:
             run = self.simulate(n, p.tile_size, plan=p)
             report = run.report

@@ -56,7 +56,13 @@ class _AccessTracker:
 
 
 def _task_accesses(task: Task) -> tuple[list[_Key], list[_Key]]:
-    """(reads, writes) of a task; read-write tiles appear in both lists."""
+    """(reads, writes) of a task; read-write tiles appear in both lists.
+
+    A batched update accesses exactly the union of its expansion's tiles,
+    so the dependencies a fused DAG derives are the per-tile DAG's edges
+    collapsed onto the coarsened tasks — never weaker, never spuriously
+    stronger (tested by expansion equivalence in the batched test suite).
+    """
     k = task.k
     if task.kind is TaskKind.GEQRT:
         t = ("t", task.row, k)
@@ -64,10 +70,20 @@ def _task_accesses(task: Task) -> tuple[list[_Key], list[_Key]]:
     if task.kind is TaskKind.UNMQR:
         t = ("t", task.row, task.col)
         return [("Vg", task.row, k), t], [t]
+    if task.kind is TaskKind.UNMQR_BATCH:
+        tiles = [("t", task.row, j) for j in range(task.col, task.col_end)]
+        return [("Vg", task.row, k), *tiles], tiles
     if task.kind in (TaskKind.TSQRT, TaskKind.TTQRT):
         top = ("t", task.row2, k)
         bot = ("t", task.row, k)
         return [top, bot], [top, bot, ("Ve", task.row, k)]
+    if task.kind in (TaskKind.TSMQR_BATCH, TaskKind.TTMQR_BATCH):
+        pairs = [
+            ("t", r, j)
+            for j in range(task.col, task.col_end)
+            for r in (task.row2, task.row)
+        ]
+        return [("Ve", task.row, k), *pairs], pairs
     # TSMQR / TTMQR
     top = ("t", task.row2, task.col)
     bot = ("t", task.row, task.col)
@@ -91,9 +107,22 @@ class TiledQRDag:
         Tile-grid shape ``(p, q)``.
     elimination:
         ``"TS"`` (flat tree, the paper's order) or ``"TT"`` (binary tree).
+    batch_updates:
+        When True, all updates sharing one reflector factor across a tile
+        row are emitted as a single coarsened ``UNMQR_BATCH`` /
+        ``TSMQR_BATCH`` / ``TTMQR_BATCH`` task spanning columns
+        ``[k+1, q)`` instead of ``q-k-1`` per-tile tasks.  Expanding every
+        batched task (:meth:`~repro.dag.tasks.Task.expand`) recovers
+        exactly the unfused DAG's task multiset.
     """
 
-    def __init__(self, grid_rows: int, grid_cols: int, elimination: str = "TS"):
+    def __init__(
+        self,
+        grid_rows: int,
+        grid_cols: int,
+        elimination: str = "TS",
+        batch_updates: bool = False,
+    ):
         if grid_rows < 1 or grid_cols < 1:
             raise DAGError(f"grid must be at least 1x1, got {grid_rows}x{grid_cols}")
         if elimination not in ("TS", "TT"):
@@ -101,6 +130,7 @@ class TiledQRDag:
         self.grid_rows = grid_rows
         self.grid_cols = grid_cols
         self.elimination = elimination
+        self.batch_updates = batch_updates
         self.tasks: list[Task] = []
         self.preds: dict[Task, frozenset[Task]] = {}
         self.succs: dict[Task, set[Task]] = {}
@@ -131,27 +161,45 @@ class TiledQRDag:
             else:
                 self._build_panel_tt(tracker, k, p, q)
 
+    def _emit_updates(
+        self,
+        tracker: _AccessTracker,
+        kind: TaskKind,
+        batch_kind: TaskKind,
+        k: int,
+        row: int,
+        row2: int,
+        q: int,
+    ) -> None:
+        """Emit the trailing-column updates of one factor: per-tile tasks
+        normally, one coarsened task under ``batch_updates``."""
+        if k + 1 >= q:
+            return
+        if self.batch_updates:
+            self._emit(tracker, Task(batch_kind, k, row, row2, k + 1, q))
+        else:
+            for j in range(k + 1, q):
+                self._emit(tracker, Task(kind, k, row, row2, j))
+
     def _build_panel_ts(self, tracker: _AccessTracker, k: int, p: int, q: int) -> None:
         self._emit(tracker, Task(TaskKind.GEQRT, k, k, k, k))
-        for j in range(k + 1, q):
-            self._emit(tracker, Task(TaskKind.UNMQR, k, k, k, j))
+        self._emit_updates(tracker, TaskKind.UNMQR, TaskKind.UNMQR_BATCH, k, k, k, q)
         for i in range(k + 1, p):
             self._emit(tracker, Task(TaskKind.TSQRT, k, i, k, k))
-            for j in range(k + 1, q):
-                self._emit(tracker, Task(TaskKind.TSMQR, k, i, k, j))
+            self._emit_updates(tracker, TaskKind.TSMQR, TaskKind.TSMQR_BATCH, k, i, k, q)
 
     def _build_panel_tt(self, tracker: _AccessTracker, k: int, p: int, q: int) -> None:
         for i in range(k, p):
             self._emit(tracker, Task(TaskKind.GEQRT, k, i, i, k))
-            for j in range(k + 1, q):
-                self._emit(tracker, Task(TaskKind.UNMQR, k, i, i, j))
+            self._emit_updates(tracker, TaskKind.UNMQR, TaskKind.UNMQR_BATCH, k, i, i, q)
         dist = 1
         while k + dist < p:
             for top in range(k, p - dist, 2 * dist):
                 bot = top + dist
                 self._emit(tracker, Task(TaskKind.TTQRT, k, bot, top, k))
-                for j in range(k + 1, q):
-                    self._emit(tracker, Task(TaskKind.TTMQR, k, bot, top, j))
+                self._emit_updates(
+                    tracker, TaskKind.TTMQR, TaskKind.TTMQR_BATCH, k, bot, top, q
+                )
             dist *= 2
 
     # -- queries ----------------------------------------------------------
@@ -202,6 +250,11 @@ class TiledQRDag:
                     raise DAGError(f"preds missing edge {t} -> {s}")
 
 
-def build_dag(grid_rows: int, grid_cols: int, elimination: str = "TS") -> TiledQRDag:
+def build_dag(
+    grid_rows: int,
+    grid_cols: int,
+    elimination: str = "TS",
+    batch_updates: bool = False,
+) -> TiledQRDag:
     """Convenience constructor for :class:`TiledQRDag`."""
-    return TiledQRDag(grid_rows, grid_cols, elimination)
+    return TiledQRDag(grid_rows, grid_cols, elimination, batch_updates)

@@ -36,7 +36,15 @@ class Step(enum.Enum):
 
 
 class TaskKind(enum.Enum):
-    """Concrete kernels; two elimination flavours exist (TS and TT)."""
+    """Concrete kernels; two elimination flavours exist (TS and TT).
+
+    The ``*_BATCH`` kinds are coarsened update tasks: one task applies a
+    single reflector factor to a *range* of tile columns
+    ``[col, col_end)`` of a tile row (pair) as a handful of wide GEMMs
+    instead of ``col_end - col`` per-tile kernel calls.  They exist only
+    in DAGs built with ``batch_updates=True``; :meth:`Task.expand` maps
+    them back onto the per-tile kinds.
+    """
 
     GEQRT = "GEQRT"
     UNMQR = "UNMQR"
@@ -44,10 +52,22 @@ class TaskKind(enum.Enum):
     TSMQR = "TSMQR"
     TTQRT = "TTQRT"
     TTMQR = "TTMQR"
+    UNMQR_BATCH = "UNMQR_BATCH"
+    TSMQR_BATCH = "TSMQR_BATCH"
+    TTMQR_BATCH = "TTMQR_BATCH"
 
     @property
     def step(self) -> Step:
         return _KIND_TO_STEP[self]
+
+    @property
+    def is_batch(self) -> bool:
+        return self in _BATCH_TO_SINGLE
+
+    @property
+    def single(self) -> "TaskKind":
+        """The per-tile kind a batched kind coarsens (identity otherwise)."""
+        return _BATCH_TO_SINGLE.get(self, self)
 
 
 _KIND_TO_STEP = {
@@ -57,6 +77,15 @@ _KIND_TO_STEP = {
     TaskKind.TTQRT: Step.E,
     TaskKind.TSMQR: Step.UE,
     TaskKind.TTMQR: Step.UE,
+    TaskKind.UNMQR_BATCH: Step.UT,
+    TaskKind.TSMQR_BATCH: Step.UE,
+    TaskKind.TTMQR_BATCH: Step.UE,
+}
+
+_BATCH_TO_SINGLE = {
+    TaskKind.UNMQR_BATCH: TaskKind.UNMQR,
+    TaskKind.TSMQR_BATCH: TaskKind.TSMQR,
+    TaskKind.TTMQR_BATCH: TaskKind.TTMQR,
 }
 
 
@@ -80,6 +109,11 @@ class Task:
         node for TT reductions).  Equal to ``row`` for GEQRT/UNMQR.
     col:
         Tile column the task updates; ``k`` for GEQRT and eliminations.
+        The *first* updated column for batched update kinds.
+    col_end:
+        Exclusive end of the updated column range for the ``*_BATCH``
+        kinds (so the task covers ``col_end - col`` tiles per row).
+        Must stay at the default ``-1`` for per-tile kinds.
     """
 
     kind: TaskKind
@@ -87,11 +121,22 @@ class Task:
     row: int
     row2: int
     col: int
+    col_end: int = -1
 
     def __post_init__(self):
         if self.k < 0 or self.row < 0 or self.row2 < 0 or self.col < 0:
             raise DAGError(f"negative index in task {self}")
-        if self.kind in (TaskKind.GEQRT, TaskKind.UNMQR) and self.row2 != self.row:
+        if self.kind.is_batch:
+            if self.col_end <= self.col:
+                raise DAGError(
+                    f"batched update needs col_end > col, got {self.col_end} <= {self.col}"
+                )
+        elif self.col_end != -1:
+            raise DAGError(f"col_end is only valid on batched update kinds, got {self}")
+        if (
+            self.kind in (TaskKind.GEQRT, TaskKind.UNMQR, TaskKind.UNMQR_BATCH)
+            and self.row2 != self.row
+        ):
             raise DAGError(f"{self.kind.value} tasks must have row2 == row, got {self}")
         if self.kind is TaskKind.GEQRT and self.col != self.k:
             raise DAGError(f"GEQRT must act on the panel column, got {self}")
@@ -106,9 +151,39 @@ class Task:
         """The paper-level step this task belongs to."""
         return self.kind.step
 
+    @property
+    def is_batch(self) -> bool:
+        """True for coarsened ``*_BATCH`` update tasks."""
+        return self.kind.is_batch
+
+    @property
+    def ncols(self) -> int:
+        """Number of tile columns this task updates (1 for per-tile kinds)."""
+        return self.col_end - self.col if self.kind.is_batch else 1
+
+    @property
+    def last_col(self) -> int:
+        """Highest tile column the task touches (== ``col`` when unbatched)."""
+        return self.col_end - 1 if self.kind.is_batch else self.col
+
+    def expand(self) -> list["Task"]:
+        """The per-tile task list a batched task coarsens.
+
+        A batched update expands to one per-tile update per covered
+        column; per-tile tasks expand to ``[self]``.  The multiset of
+        expansions over a fused DAG equals the unfused DAG's task list.
+        """
+        if not self.kind.is_batch:
+            return [self]
+        single = self.kind.single
+        return [
+            Task(single, self.k, self.row, self.row2, j)
+            for j in range(self.col, self.col_end)
+        ]
+
     def sort_key(self) -> tuple:
         """Deterministic ordering: panel, tile position, kind name."""
-        return (self.k, self.row, self.row2, self.col, self.kind.value)
+        return (self.k, self.row, self.row2, self.col, self.kind.value, self.col_end)
 
     def __lt__(self, other: "Task") -> bool:
         if not isinstance(other, Task):
@@ -121,8 +196,12 @@ class Task:
             return f"T[{self.row},{self.col}]"
         if self.kind is TaskKind.UNMQR:
             return f"UT[{self.row},{self.col}]k{self.k}"
+        if self.kind is TaskKind.UNMQR_BATCH:
+            return f"UT[{self.row},{self.col}:{self.col_end}]k{self.k}"
         if self.kind in (TaskKind.TSQRT, TaskKind.TTQRT):
             return f"E[{self.row2}+{self.row},{self.col}]"
+        if self.kind.is_batch:
+            return f"UE[{self.row2}+{self.row},{self.col}:{self.col_end}]k{self.k}"
         return f"UE[{self.row2}+{self.row},{self.col}]k{self.k}"
 
     def __str__(self) -> str:  # pragma: no cover - debug aid

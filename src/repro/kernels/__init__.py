@@ -20,20 +20,25 @@ factor ``Tf`` such that ``Q = I - V @ Tf @ V.T`` and
 
 from .householder import HouseholderReflector, make_reflector, apply_reflector
 from .blockreflector import build_t_factor, apply_block_reflector
+from .workspace import Workspace, thread_workspace
 from .geqrt import GEQRTResult, geqrt
 from .unmqr import unmqr
 from .tsqrt import TSQRTResult, tsqrt
 from .tsmqr import tsmqr
 from .ttqrt import ttqrt
 from .ttmqr import ttmqr
+from .batched import tsmqr_batch, unmqr_batch
 from .tsqr import TSQRResult, tsqr
 from .flops import (
     flops_geqrt,
     flops_unmqr,
+    flops_unmqr_batch,
     flops_tsqrt,
     flops_tsmqr,
+    flops_tsmqr_batch,
     flops_ttqrt,
     flops_ttmqr,
+    flops_ttmqr_batch,
     flops_tiled_qr,
     flops_dense_qr,
     flops_orgqr,
@@ -50,22 +55,29 @@ __all__ = [
     "apply_reflector",
     "build_t_factor",
     "apply_block_reflector",
+    "Workspace",
+    "thread_workspace",
     "GEQRTResult",
     "geqrt",
     "unmqr",
+    "unmqr_batch",
     "TSQRTResult",
     "tsqrt",
     "tsmqr",
+    "tsmqr_batch",
     "ttqrt",
     "ttmqr",
     "TSQRResult",
     "tsqr",
     "flops_geqrt",
     "flops_unmqr",
+    "flops_unmqr_batch",
     "flops_tsqrt",
     "flops_tsmqr",
+    "flops_tsmqr_batch",
     "flops_ttqrt",
     "flops_ttmqr",
+    "flops_ttmqr_batch",
     "flops_tiled_qr",
     "flops_dense_qr",
     "flops_orgqr",

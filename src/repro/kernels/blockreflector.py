@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import KernelError
+from .workspace import Workspace, thread_workspace
 
 
 def build_t_factor(v: np.ndarray, taus: np.ndarray) -> np.ndarray:
@@ -65,10 +66,14 @@ def apply_block_reflector(
     tf: np.ndarray,
     c: np.ndarray,
     transpose: bool,
+    workspace: Workspace | None = None,
 ) -> np.ndarray:
     """Apply ``I - V Tf V.T`` (or its transpose) to ``C`` from the left.
 
-    ``C`` is updated in place and returned.
+    ``C`` is updated in place and returned.  ``C`` may be arbitrarily
+    wide — this is the batched-update primitive: one call over a
+    horizontally stacked tile panel is the same three GEMMs as one call
+    per tile, just wider.
 
     Parameters
     ----------
@@ -81,6 +86,11 @@ def apply_block_reflector(
     transpose:
         ``True`` applies ``Q.T = I - V Tf.T V.T`` (factorization
         direction); ``False`` applies ``Q`` (Q-building direction).
+    workspace:
+        Scratch arena for the three products; the caller's thread-local
+        default when omitted.  All GEMMs run through
+        ``np.matmul(..., out=)`` so the hot path performs no per-call
+        allocation.
     """
     v = np.asarray(v)
     c = np.asarray(c)
@@ -91,7 +101,20 @@ def apply_block_reflector(
     k = v.shape[1]
     if tf.shape != (k, k):
         raise KernelError(f"Tf must have shape ({k}, {k}), got {tf.shape}")
-    w = v.T @ c  # (k, n)
-    w = (tf.T if transpose else tf) @ w
-    c -= v @ w
+    tf_op = tf.T if transpose else tf
+    if v.dtype != c.dtype or tf.dtype != c.dtype:
+        # Mixed dtypes would make matmul's result dtype differ from the
+        # scratch; rare (tests only), so take the allocating path.
+        w = tf_op @ (v.T @ c)
+        c -= v @ w
+        return c
+    ws = workspace if workspace is not None else thread_workspace()
+    n = c.shape[1]
+    w = ws.temp("abr.w", (k, n), c.dtype)
+    np.matmul(v.T, c, out=w)
+    w2 = ws.temp("abr.w2", (k, n), c.dtype)
+    np.matmul(tf_op, w, out=w2)
+    vw = ws.temp("abr.vw", c.shape, c.dtype)
+    np.matmul(v, w2, out=vw)
+    np.subtract(c, vw, out=c)
     return c

@@ -46,6 +46,25 @@ def flops_ttmqr(b: int) -> float:
     return 4.0 * b**3
 
 
+def flops_unmqr_batch(b: int, ncols: int) -> float:
+    """One UNMQR_BATCH over ``ncols`` stacked tiles.
+
+    Fusion widens the GEMMs but performs the identical arithmetic, so
+    the count is exactly ``ncols`` per-tile applications.
+    """
+    return ncols * flops_unmqr(b)
+
+
+def flops_tsmqr_batch(b: int, ncols: int) -> float:
+    """One TSMQR_BATCH over ``ncols`` stacked tile pairs."""
+    return ncols * flops_tsmqr(b)
+
+
+def flops_ttmqr_batch(b: int, ncols: int) -> float:
+    """One TTMQR_BATCH over ``ncols`` stacked tile pairs."""
+    return ncols * flops_ttmqr(b)
+
+
 def flops_dense_qr(n: int, m: int | None = None) -> float:
     """Householder QR of an ``m x n`` dense matrix (``m >= n``).
 

@@ -107,8 +107,6 @@ def geqrt(a: np.ndarray, inner_block: int | None = None) -> GEQRTResult:
     m, n = a.shape
     if m < n:
         raise KernelError(f"geqrt requires m >= n, got shape {a.shape}")
-    if a.dtype.kind != "f":
-        a = a.astype(np.float64)
     if inner_block is None:
         ib = _DEFAULT_INNER_BLOCK if n > _BLOCK_THRESHOLD else n
     else:
@@ -116,7 +114,10 @@ def geqrt(a: np.ndarray, inner_block: int | None = None) -> GEQRTResult:
             raise KernelError(f"inner_block must be >= 1, got {inner_block}")
         ib = inner_block
 
-    r = a.copy()
+    if a.dtype.kind != "f":
+        r = a.astype(np.float64)  # the dtype conversion is already a copy
+    else:
+        r = a.copy()
     v = np.zeros((m, n), dtype=r.dtype)
     taus = np.zeros(n, dtype=r.dtype)
     for j0 in range(0, n, ib):

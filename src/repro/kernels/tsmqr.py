@@ -20,6 +20,7 @@ import numpy as np
 
 from ..errors import KernelError
 from .tsqrt import TSQRTResult
+from .workspace import Workspace, thread_workspace
 
 
 def tsmqr(
@@ -27,6 +28,7 @@ def tsmqr(
     c1: np.ndarray,
     c2: np.ndarray,
     transpose: bool = True,
+    workspace: Workspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Apply a TSQRT/TTQRT orthogonal factor to a stacked tile pair.
 
@@ -36,11 +38,17 @@ def tsmqr(
         Output of :func:`repro.kernels.tsqrt` or :func:`repro.kernels.ttqrt`.
     c1:
         ``(b, n)`` tile in the diagonal tile's row.  Updated in place.
+        ``n`` may span several stacked tiles — this routine *is* the
+        batched kernel when handed a row panel.
     c2:
         ``(m2, n)`` tile in the eliminated tile's row.  Updated in place.
     transpose:
         ``True`` (default) applies ``Q^T`` (factorization direction),
         ``False`` applies ``Q`` (Q-building direction).
+    workspace:
+        Scratch arena for the three GEMMs; the caller's thread-local
+        default when omitted, so no temporaries are heap-allocated per
+        call on the hot path.
 
     Returns
     -------
@@ -60,8 +68,23 @@ def tsmqr(
             f"c1/c2 column counts differ: {c1.shape[1]} vs {c2.shape[1]}"
         )
     tf = factors.tf.T if transpose else factors.tf
-    w = c1 + v2.T @ c2
-    w = tf @ w
-    c1 -= w
-    c2 -= v2 @ w
+    if c1.dtype != c2.dtype or v2.dtype != c1.dtype or tf.dtype != c1.dtype:
+        # Mixed dtypes (tests only): matmul-out scratch would mismatch
+        # the promoted result dtype, so fall back to allocating GEMMs.
+        w = c1 + v2.T @ c2
+        w = tf @ w
+        c1 -= w
+        c2 -= v2 @ w
+        return c1, c2
+    ws = workspace if workspace is not None else thread_workspace()
+    n = c1.shape[1]
+    w = ws.temp("tsmqr.w", (b, n), c1.dtype)
+    np.matmul(v2.T, c2, out=w)
+    w += c1
+    w2 = ws.temp("tsmqr.w2", (b, n), c1.dtype)
+    np.matmul(tf, w, out=w2)
+    np.subtract(c1, w2, out=c1)
+    vw = ws.temp("tsmqr.vw", c2.shape, c2.dtype)
+    np.matmul(v2, w2, out=vw)
+    np.subtract(c2, vw, out=c2)
     return c1, c2

@@ -14,9 +14,15 @@ import numpy as np
 from ..errors import KernelError
 from .geqrt import GEQRTResult
 from .blockreflector import apply_block_reflector
+from .workspace import Workspace
 
 
-def unmqr(factors: GEQRTResult, c: np.ndarray, transpose: bool = True) -> np.ndarray:
+def unmqr(
+    factors: GEQRTResult,
+    c: np.ndarray,
+    transpose: bool = True,
+    workspace: Workspace | None = None,
+) -> np.ndarray:
     """Apply a GEQRT tile's orthogonal factor to another tile, in place.
 
     Parameters
@@ -25,11 +31,14 @@ def unmqr(factors: GEQRTResult, c: np.ndarray, transpose: bool = True) -> np.nda
         Compact factors from :func:`repro.kernels.geqrt`.
     c:
         ``(m, n)`` tile to update; ``m`` must equal the factored tile's
-        row count.  Modified in place and returned.
+        row count.  Modified in place and returned.  ``n`` may span
+        several horizontally stacked tiles (the batched-update path).
     transpose:
         ``True`` (default) applies ``Q^T`` — the factorization direction
         used during the decomposition.  ``False`` applies ``Q`` — used
         when explicitly building the orthogonal factor.
+    workspace:
+        Scratch arena for the GEMM temporaries (thread-local default).
     """
     c = np.asarray(c)
     if c.ndim != 2 or c.shape[0] != factors.v.shape[0]:
@@ -37,4 +46,6 @@ def unmqr(factors: GEQRTResult, c: np.ndarray, transpose: bool = True) -> np.nda
             f"unmqr: tile of shape {c.shape} incompatible with factors of "
             f"shape {factors.v.shape}"
         )
-    return apply_block_reflector(factors.v, factors.tf, c, transpose=transpose)
+    return apply_block_reflector(
+        factors.v, factors.tf, c, transpose=transpose, workspace=workspace
+    )

@@ -1,0 +1,82 @@
+"""Per-worker scratch arenas for the hot-path kernel GEMMs.
+
+Every update kernel application needs a few temporaries (``W = V^T C``,
+``Tf W``, ``V W``).  Allocating them fresh per call makes the Python
+allocator — not BLAS — the bottleneck at small tile sizes, so the
+kernels write every product into preallocated scratch via
+``np.matmul(..., out=)`` instead.
+
+A :class:`Workspace` is *not* thread-safe by design: it is an arena one
+worker owns.  The runtimes hand each worker thread/process its own
+instance; code without an explicit workspace gets a thread-local one
+from :func:`thread_workspace`, which preserves the same ownership rule.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+
+class Workspace:
+    """Named, grow-only scratch buffers keyed by ``(name, dtype)``.
+
+    :meth:`temp` returns a C-contiguous view of the requested shape into
+    a flat buffer that is reused across calls and only reallocated when
+    a request outgrows it — so steady-state kernel execution performs no
+    heap allocation.  Contents are undefined on entry; callers must
+    fully overwrite what they read.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self):
+        self._buffers: dict[tuple, np.ndarray] = {}
+
+    def temp(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """An uninitialized ``shape`` scratch array unique to ``name``.
+
+        Two live ``temp`` views with different names never alias; asking
+        for the same name again invalidates the previous view's
+        contents.
+        """
+        dtype = np.dtype(dtype)
+        n = 1
+        for s in shape:
+            n *= int(s)
+        key = (name, dtype)
+        buf = self._buffers.get(key)
+        if buf is None or buf.size < n:
+            buf = np.empty(max(n, 1), dtype=dtype)
+            self._buffers[key] = buf
+        return buf[:n].reshape(shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def clear(self) -> None:
+        """Release every buffer (views handed out earlier stay valid)."""
+        self._buffers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Workspace(buffers={len(self._buffers)}, nbytes={self.nbytes})"
+
+
+_local = threading.local()
+
+
+def thread_workspace() -> Workspace:
+    """The calling thread's private default :class:`Workspace`.
+
+    Gives kernel callers that do not manage an arena (tests, one-off
+    applications) allocation reuse for free while keeping the
+    one-owner-per-arena rule: no two threads ever share an instance.
+    """
+    ws = getattr(_local, "workspace", None)
+    if ws is None:
+        ws = Workspace()
+        _local.workspace = ws
+    return ws

@@ -22,6 +22,7 @@ from .analysis import (
     TraceSummary,
     device_utilization,
     diff_traces,
+    expand_batched,
     kernel_counts,
     kernel_times,
     summarize_trace,
@@ -46,6 +47,7 @@ __all__ = [
     "trace_lines",
     "summarize_trace",
     "diff_traces",
+    "expand_batched",
     "TraceSummary",
     "TraceDiff",
     "KernelDiff",

@@ -18,7 +18,39 @@ from dataclasses import dataclass, field
 from ..dag import build_dag
 from ..dag.analysis import critical_path_length
 from ..dag.tasks import TaskKind
-from ..sim.trace import ExecutionTrace
+from ..sim.trace import ExecutionTrace, TaskRecord
+
+
+def expand_batched(trace: ExecutionTrace) -> ExecutionTrace:
+    """Expand coarsened ``*_BATCH`` records into per-tile task records.
+
+    Each batched record's duration is split evenly across its
+    :meth:`~repro.dag.tasks.Task.expand` expansion (per-tile timings
+    inside a fused kernel are not observable), so total per-kernel time
+    is preserved and the expanded trace is directly comparable — e.g.
+    via :func:`diff_traces` — with a per-tile trace of the same
+    factorization.  Traces without batched records pass through
+    unchanged (same record objects).
+    """
+    if not any(r.task.is_batch for r in trace.tasks):
+        return trace
+    tasks: list[TaskRecord] = []
+    for rec in trace.tasks:
+        if not rec.task.is_batch:
+            tasks.append(rec)
+            continue
+        parts = rec.task.expand()
+        dt = rec.duration / len(parts)
+        for idx, t in enumerate(parts):
+            tasks.append(
+                TaskRecord(
+                    task=t,
+                    device_id=rec.device_id,
+                    start=rec.start + idx * dt,
+                    end=rec.start + (idx + 1) * dt,
+                )
+            )
+    return ExecutionTrace(tasks=tasks, transfers=list(trace.transfers))
 
 
 def kernel_times(trace: ExecutionTrace) -> dict[str, float]:
@@ -52,7 +84,7 @@ def infer_grid(trace: ExecutionTrace) -> tuple[int, int]:
     if not trace.tasks:
         return (0, 0)
     p = max(r.task.row for r in trace.tasks) + 1
-    q = max(r.task.col for r in trace.tasks) + 1
+    q = max(r.task.last_col for r in trace.tasks) + 1
     return (p, q)
 
 
@@ -62,15 +94,20 @@ def trace_critical_path(trace: ExecutionTrace) -> float:
     Rebuilds the task DAG implied by the trace (grid inferred from the
     task coordinates, TT if any TT kernels appear) and weights each task
     with its recorded duration — the schedule-independent lower bound on
-    makespan with unlimited devices.  Tasks missing from the trace (a
-    partial recording) weigh zero.
+    makespan with unlimited devices.  Batched update records are
+    expanded onto the unfused DAG first (see :func:`expand_batched`);
+    tasks missing from the trace (a partial recording) weigh zero.
     """
+    trace = expand_batched(trace)
     p, q = infer_grid(trace)
     if p == 0 or q == 0:
         return 0.0
     elimination = (
         "TT"
-        if any(r.task.kind in (TaskKind.TTQRT, TaskKind.TTMQR) for r in trace.tasks)
+        if any(
+            r.task.kind in (TaskKind.TTQRT, TaskKind.TTMQR, TaskKind.TTMQR_BATCH)
+            for r in trace.tasks
+        )
         else "TS"
     )
     durations: dict = {}
@@ -197,7 +234,9 @@ def diff_traces(real: ExecutionTrace, sim: ExecutionTrace) -> TraceDiff:
 
     Kernels are matched by kind; ``task_sets_match`` additionally checks
     that both traces executed the same ``(kind, k, row, row2, col)``
-    multiset, i.e. that they describe the same factorization.
+    multiset, i.e. that they describe the same factorization.  To compare
+    a batched run against a per-tile one, pass both traces through
+    :func:`expand_batched` first.
     """
     real_t, sim_t = kernel_times(real), kernel_times(sim)
     real_c, sim_c = kernel_counts(real), kernel_counts(sim)

@@ -29,7 +29,7 @@ SCHEMA_VERSION = 1
 
 def task_record_to_dict(rec: TaskRecord) -> dict:
     t = rec.task
-    return {
+    d = {
         "type": "task",
         "kind": t.kind.value,
         "k": t.k,
@@ -40,6 +40,9 @@ def task_record_to_dict(rec: TaskRecord) -> dict:
         "start": rec.start,
         "end": rec.end,
     }
+    if t.is_batch:  # additive field; absent (-1) for per-tile tasks
+        d["col_end"] = t.col_end
+    return d
 
 
 def transfer_record_to_dict(rec: TransferRecord) -> dict:
@@ -55,7 +58,14 @@ def transfer_record_to_dict(rec: TransferRecord) -> dict:
 
 
 def _task_record_from_dict(d: dict) -> TaskRecord:
-    task = Task(TaskKind(d["kind"]), int(d["k"]), int(d["row"]), int(d["row2"]), int(d["col"]))
+    task = Task(
+        TaskKind(d["kind"]),
+        int(d["k"]),
+        int(d["row"]),
+        int(d["row2"]),
+        int(d["col"]),
+        int(d.get("col_end", -1)),
+    )
     return TaskRecord(task=task, device_id=str(d["device"]), start=float(d["start"]), end=float(d["end"]))
 
 

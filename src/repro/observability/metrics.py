@@ -25,22 +25,30 @@ from ..kernels.flops import (
     flops_unmqr,
 )
 
-#: Arithmetic model per kernel, shared with the analysis layer.
+#: Arithmetic model per kernel, shared with the analysis layer.  Batched
+#: update kinds use the per-tile model; multiply by the batch width.
 KERNEL_FLOPS = {
     TaskKind.GEQRT: flops_geqrt,
     TaskKind.UNMQR: flops_unmqr,
+    TaskKind.UNMQR_BATCH: flops_unmqr,
     TaskKind.TSQRT: flops_tsqrt,
     TaskKind.TSMQR: flops_tsmqr,
+    TaskKind.TSMQR_BATCH: flops_tsmqr,
     TaskKind.TTQRT: flops_ttqrt,
     TaskKind.TTMQR: flops_ttmqr,
+    TaskKind.TTMQR_BATCH: flops_ttmqr,
 }
 
 
-def kernel_flops(kind: TaskKind | str, b: int) -> float:
-    """Model flop count of one ``kind`` kernel call on ``b x b`` tiles."""
+def kernel_flops(kind: TaskKind | str, b: int, ncols: int = 1) -> float:
+    """Model flop count of one ``kind`` kernel call on ``b x b`` tiles.
+
+    ``ncols`` is the batch width for ``*_BATCH`` kinds: a batched update
+    does exactly the arithmetic of its ``ncols`` fused per-tile calls.
+    """
     if isinstance(kind, str):
         kind = TaskKind[kind.upper()]
-    return KERNEL_FLOPS[kind](b)
+    return KERNEL_FLOPS[kind](b) * ncols
 
 
 @dataclass
@@ -183,6 +191,8 @@ class MetricsRegistry:
         kernel.<KIND>.flops      Counter   model flops executed
         kernel.<KIND>.seconds    Histogram per-call wall time
         kernel.<KIND>.gflops     Histogram per-call achieved GFLOP/s
+        kernel.<KIND>.tiles      Histogram per-batch tile count
+                                           (``*_BATCH`` kinds only)
     """
 
     def __init__(self):
@@ -211,9 +221,17 @@ class MetricsRegistry:
 
     # -- kernel accounting -------------------------------------------------
 
-    def observe_kernel(self, kind: TaskKind, b: int, seconds: float) -> None:
-        """Record one kernel call: duration + flops-model GFLOP/s."""
-        flops = kernel_flops(kind, b)
+    def observe_kernel(
+        self, kind: TaskKind, b: int, seconds: float, ncols: int = 1
+    ) -> None:
+        """Record one kernel call: duration + flops-model GFLOP/s.
+
+        ``ncols`` is the batch width for ``*_BATCH`` kinds: the flop
+        credit is the sum over the fused per-tile updates, and the tile
+        count feeds the ``.tiles`` histogram.
+        """
+        flops = kernel_flops(kind, b, ncols)
+        batched = kind.name.endswith("_BATCH")
         prefix = f"kernel.{kind.value}"
         with self._lock:
             for store, cls, name in (
@@ -224,9 +242,13 @@ class MetricsRegistry:
             ):
                 if name not in store:
                     store[name] = cls(name)
+            if batched and f"{prefix}.tiles" not in self._histograms:
+                self._histograms[f"{prefix}.tiles"] = Histogram(f"{prefix}.tiles")
             self._counters[f"{prefix}.calls"].inc()
             self._counters[f"{prefix}.flops"].inc(flops)
             self._histograms[f"{prefix}.seconds"].observe(seconds)
+            if batched:
+                self._histograms[f"{prefix}.tiles"].observe(ncols)
             if seconds > 0.0:
                 self._histograms[f"{prefix}.gflops"].observe(flops / seconds / 1e9)
 

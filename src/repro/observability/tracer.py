@@ -183,7 +183,9 @@ class Tracer:
             return
         self._buffer().append(TaskRecord(task=task, device_id=device, start=start, end=end))
         if self.metrics is not None and tile_size is not None:
-            self.metrics.observe_kernel(task.kind, tile_size, end - start)
+            self.metrics.observe_kernel(
+                task.kind, tile_size, end - start, ncols=task.ncols
+            )
 
     def record_transfer(
         self,
@@ -236,7 +238,10 @@ class Tracer:
             TaskRecord(task=span.task, device_id=span.device, start=span.start, end=span.end)
         )
         if self.metrics is not None and span.tile_size is not None:
-            self.metrics.observe_kernel(span.task.kind, span.tile_size, span.end - span.start)
+            self.metrics.observe_kernel(
+                span.task.kind, span.tile_size, span.end - span.start,
+                ncols=span.task.ncols,
+            )
 
     # -- reading ----------------------------------------------------------
 

@@ -1,7 +1,10 @@
 """Shared task-application core for the numeric runtimes.
 
 A single function maps one DAG task onto the tile kernels; both the
-serial and the threaded runtime call it, so they cannot diverge.
+serial and the threaded runtime call it, so they cannot diverge.  The
+coarsened ``*_BATCH`` update tasks route through the row-panel kernels
+(:mod:`repro.kernels.batched`) — zero-copy panel views when the matrix
+is in row-major storage, gather/scatter otherwise.
 """
 
 from __future__ import annotations
@@ -10,27 +13,36 @@ from typing import Union
 
 from ..dag.tasks import Task, TaskKind
 from ..errors import DAGError
-from ..kernels import geqrt, tsqrt, ttqrt, unmqr, tsmqr
+from ..kernels import geqrt, tsqrt, ttqrt, unmqr, tsmqr, unmqr_batch, tsmqr_batch
 from ..kernels.geqrt import GEQRTResult
 from ..kernels.tsqrt import TSQRTResult
+from ..kernels.workspace import Workspace
 from ..tiles import TiledMatrix
 
 Factors = Union[GEQRTResult, TSQRTResult]
 
 
-def apply_task(task: Task, a: TiledMatrix, factors: dict[tuple, Factors]) -> Factors | None:
+def apply_task(
+    task: Task,
+    a: TiledMatrix,
+    factors: dict[tuple, Factors],
+    workspace: Workspace | None = None,
+) -> Factors | None:
     """Execute one task against the tiled matrix, in place.
 
     Parameters
     ----------
     task:
-        The DAG task to run.
+        The DAG task to run (per-tile or batched).
     a:
         The matrix being factorized (tiles mutated in place).
     factors:
         Shared factor store keyed by ``("Vg"|"Ve", row, k)``; factorization
         tasks insert, update tasks read.  The threaded runtime relies on
         plain-dict atomicity under the GIL plus DAG ordering for safety.
+    workspace:
+        Scratch arena for the update kernels' GEMMs.  Must be private to
+        the calling worker; ``None`` uses the thread-local default.
 
     Returns
     -------
@@ -44,7 +56,13 @@ def apply_task(task: Task, a: TiledMatrix, factors: dict[tuple, Factors]) -> Fac
         return f
     if task.kind is TaskKind.UNMQR:
         f = factors[("Vg", task.row, k)]
-        unmqr(f, a.tile(task.row, task.col))
+        unmqr(f, a.tile(task.row, task.col), workspace=workspace)
+        return None
+    if task.kind is TaskKind.UNMQR_BATCH:
+        f = factors[("Vg", task.row, k)]
+        panel = a.row_panel(task.row, task.col, task.col_end)
+        unmqr_batch(f, panel, workspace=workspace)
+        a.scatter_row_panel(task.row, task.col, task.col_end, panel)
         return None
     if task.kind in (TaskKind.TSQRT, TaskKind.TTQRT):
         top = a.tile(task.row2, k)
@@ -56,6 +74,19 @@ def apply_task(task: Task, a: TiledMatrix, factors: dict[tuple, Factors]) -> Fac
         return fe
     if task.kind in (TaskKind.TSMQR, TaskKind.TTMQR):
         fe = factors[("Ve", task.row, k)]
-        tsmqr(fe, a.tile(task.row2, task.col), a.tile(task.row, task.col))
+        tsmqr(
+            fe,
+            a.tile(task.row2, task.col),
+            a.tile(task.row, task.col),
+            workspace=workspace,
+        )
+        return None
+    if task.kind in (TaskKind.TSMQR_BATCH, TaskKind.TTMQR_BATCH):
+        fe = factors[("Ve", task.row, k)]
+        top = a.row_panel(task.row2, task.col, task.col_end)
+        bot = a.row_panel(task.row, task.col, task.col_end)
+        tsmqr_batch(fe, top, bot, workspace=workspace)
+        a.scatter_row_panel(task.row2, task.col, task.col_end, top)
+        a.scatter_row_panel(task.row, task.col, task.col_end, bot)
         return None
     raise DAGError(f"unknown task kind {task.kind!r}")  # pragma: no cover

@@ -31,7 +31,8 @@ import numpy as np
 
 from ..core.plan import DistributionPlan
 from ..errors import ShapeError, SimulationError
-from ..kernels import geqrt, tsmqr, tsqrt, unmqr
+from ..kernels import geqrt, tsmqr, tsmqr_batch, tsqrt, unmqr, unmqr_batch
+from ..kernels.workspace import Workspace
 from ..tiles import TiledMatrix
 from .factorization import TiledQRFactorization
 from ..dag.tasks import Task, TaskKind
@@ -55,9 +56,9 @@ class _EventTimer:
 
     __slots__ = ("events", "key", "clock", "start")
 
-    def __init__(self, events, kind, k, row, row2, col, clock):
+    def __init__(self, events, kind, k, row, row2, col, col_end, clock):
         self.events = events
-        self.key = (kind, k, row, row2, col)
+        self.key = (kind, k, row, row2, col, col_end)
         self.clock = clock
         self.start = 0.0
 
@@ -124,7 +125,8 @@ class Collect:
 class CollectEvents:
     """Return the worker's kernel-event buffer (traced runs only).
 
-    Events are ``(kind, k, row, row2, col, start, end)`` tuples stamped
+    Events are ``(kind, k, row, row2, col, col_end, start, end)``
+    tuples (``col_end`` is ``-1`` for per-tile kernels) stamped
     with the worker's ``perf_counter``.  Under the fork start method
     the clock is shared with the manager (CLOCK_MONOTONIC), so buffers
     merge directly; under spawn ``perf_counter`` epochs differ per
@@ -149,15 +151,48 @@ class Shutdown:
     pass
 
 
-def _worker_main(conn, grid_rows: int, grid_cols: int, trace: bool = False) -> None:
+def _contiguous_runs(cols: list[int]) -> list[tuple[int, int]]:
+    """Group a sorted column list into half-open contiguous runs."""
+    runs: list[tuple[int, int]] = []
+    for j in cols:
+        if runs and runs[-1][1] == j:
+            runs[-1] = (runs[-1][0], j + 1)
+        else:
+            runs.append((j, j + 1))
+    return runs
+
+
+def _worker_main(
+    conn,
+    grid_rows: int,
+    grid_cols: int,
+    trace: bool = False,
+    batch_updates: bool = False,
+) -> None:
     """Worker process body: owns columns, executes kernels on demand."""
     columns: dict[int, list[np.ndarray]] = {}
     events: list[tuple] = []
+    workspace = Workspace()
 
-    def timed(kind: str, k: int, row: int, row2: int, col: int):
+    def timed(kind: str, k: int, row: int, row2: int, col: int, col_end: int = -1):
         if not trace:
             return _NULL_TIMER
-        return _EventTimer(events, kind, k, row, row2, col, perf_counter)
+        return _EventTimer(events, kind, k, row, row2, col, col_end, perf_counter)
+
+    def gather(j0: int, j1: int, row: int) -> np.ndarray:
+        """Row panel over owned columns ``[j0, j1)`` (zero-copy if single)."""
+        if j1 - j0 == 1:
+            return columns[j0][row]
+        return np.hstack([columns[j][row] for j in range(j0, j1)])
+
+    def scatter(j0: int, j1: int, row: int, panel: np.ndarray) -> None:
+        if j1 - j0 == 1:
+            return  # kernel operated on the tile in place
+        off = 0
+        for j in range(j0, j1):
+            w = columns[j][row].shape[1]
+            columns[j][row][...] = panel[:, off : off + w]
+            off += w
 
     try:
         while True:
@@ -192,26 +227,48 @@ def _worker_main(conn, grid_rows: int, grid_cols: int, trace: bool = False) -> N
                 conn.send(("ok", out))
             elif isinstance(msg, Update):
                 k = msg.k
+                from ..kernels.geqrt import GEQRTResult
+                from ..kernels.tsqrt import TSQRTResult
+
+                runs = _contiguous_runs(sorted(j for j in columns if j > k))
                 for key, v, tf, taus in msg.factors:
                     kind, kk, row = key
-                    for col_idx, col in columns.items():
-                        if col_idx <= k:
-                            continue
-                        if kind == "G":
-                            from ..kernels.geqrt import GEQRTResult
-
-                            f = GEQRTResult(r=np.empty(0), v=v, tf=tf, taus=taus)
-                            with timed("UNMQR", kk, row, row, col_idx):
-                                unmqr(f, col[row])
+                    if kind == "G":
+                        f = GEQRTResult(r=np.empty(0), v=v, tf=tf, taus=taus)
+                        if batch_updates:
+                            # One wide panel per contiguous run of owned
+                            # columns: fewer, larger GEMMs (see
+                            # docs/PERFORMANCE.md).
+                            for j0, j1 in runs:
+                                panel = gather(j0, j1, row)
+                                with timed("UNMQR_BATCH", kk, row, row, j0, j1):
+                                    unmqr_batch(f, panel, workspace=workspace)
+                                scatter(j0, j1, row, panel)
                         else:
-                            from ..kernels.tsqrt import TSQRTResult
-
-                            f = TSQRTResult(
-                                r=np.empty((v.shape[1], v.shape[1])),
-                                v2=v, tf=tf, taus=taus,
-                            )
-                            with timed("TSMQR", kk, row, kk, col_idx):
-                                tsmqr(f, col[kk], col[row])
+                            for col_idx, col in columns.items():
+                                if col_idx <= k:
+                                    continue
+                                with timed("UNMQR", kk, row, row, col_idx):
+                                    unmqr(f, col[row], workspace=workspace)
+                    else:
+                        f = TSQRTResult(
+                            r=np.empty((v.shape[1], v.shape[1])),
+                            v2=v, tf=tf, taus=taus,
+                        )
+                        if batch_updates:
+                            for j0, j1 in runs:
+                                top = gather(j0, j1, kk)
+                                bot = gather(j0, j1, row)
+                                with timed("TSMQR_BATCH", kk, row, kk, j0, j1):
+                                    tsmqr_batch(f, top, bot, workspace=workspace)
+                                scatter(j0, j1, kk, top)
+                                scatter(j0, j1, row, bot)
+                        else:
+                            for col_idx, col in columns.items():
+                                if col_idx <= k:
+                                    continue
+                                with timed("TSMQR", kk, row, kk, col_idx):
+                                    tsmqr(f, col[kk], col[row], workspace=workspace)
                 conn.send(("ok", None))
             elif isinstance(msg, Collect):
                 conn.send(("ok", columns))
@@ -250,9 +307,10 @@ class MultiprocessRuntime:
     remaining columns, migrate column ``k+1`` to the next panel owner.
     """
 
-    def __init__(self, plan: DistributionPlan, tracer=None):
+    def __init__(self, plan: DistributionPlan, tracer=None, batch_updates: bool = False):
         self.plan = plan
         self.tracer = tracer
+        self.batch_updates = batch_updates
 
     def factorize(self, a: np.ndarray, tile_size: int | None = None) -> TiledQRFactorization:
         arr = np.asarray(a, dtype=np.float64)
@@ -277,7 +335,7 @@ class MultiprocessRuntime:
                 parent, child = ctx.Pipe()
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(child, p, q, tracer is not None),
+                    args=(child, p, q, tracer is not None, self.batch_updates),
                     daemon=True,
                 )
                 proc.start()
@@ -356,9 +414,11 @@ class MultiprocessRuntime:
                         tiled.set_tile(i, j, tiles[i])
                 if tracer is not None:
                     off = clock_offset.get(dev, 0.0)
-                    for kind, k, row, row2, col, start, end in ask(dev, CollectEvents()):
+                    for kind, k, row, row2, col, col_end, start, end in ask(
+                        dev, CollectEvents()
+                    ):
                         tracer.record_task(
-                            Task(TaskKind[kind], k, row, row2, col),
+                            Task(TaskKind[kind], k, row, row2, col, col_end),
                             device=dev, start=start + off, end=end + off, tile_size=b,
                         )
                 ask(dev, Shutdown())

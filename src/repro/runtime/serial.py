@@ -7,6 +7,7 @@ import numpy as np
 from ..config import DEFAULT_TILE_SIZE
 from ..dag import build_dag
 from ..errors import ShapeError
+from ..kernels.workspace import Workspace
 from ..tiles import TiledMatrix
 from .core_exec import Factors, apply_task
 from .factorization import TiledQRFactorization
@@ -27,12 +28,25 @@ class SerialRuntime:
         Optional :class:`repro.observability.Tracer`; every kernel runs
         inside a span (device id ``"serial"``), so a traced run emits
         the same trace schema the simulators produce.
+    batch_updates:
+        Execute coarsened row-panel update tasks (``UNMQR_BATCH`` /
+        ``TSMQR_BATCH``) instead of per-tile updates: one set of wide
+        GEMMs per reflector factor per tile row.  Dense inputs are tiled
+        in row-major storage so the panels are zero-copy views.  Results
+        match the per-tile path (see ``docs/PERFORMANCE.md``).
     """
 
-    def __init__(self, elimination: str = "TS", progress=None, tracer=None):
+    def __init__(
+        self,
+        elimination: str = "TS",
+        progress=None,
+        tracer=None,
+        batch_updates: bool = False,
+    ):
         self.elimination = elimination
         self.progress = progress
         self.tracer = tracer
+        self.batch_updates = batch_updates
 
     def factorize(self, a, tile_size: int = DEFAULT_TILE_SIZE) -> TiledQRFactorization:
         """Tiled QR factorization of a dense or tiled matrix.
@@ -58,20 +72,25 @@ class SerialRuntime:
                 raise ShapeError(f"expected a 2-D matrix, got ndim={arr.ndim}")
             if arr.shape[0] < arr.shape[1]:
                 raise ShapeError(f"QR requires m >= n, got shape {arr.shape}")
-            tiled = TiledMatrix.from_dense(arr, tile_size)
+            tiled = TiledMatrix.from_dense(
+                arr, tile_size, storage="rowmajor" if self.batch_updates else "tiles"
+            )
             shape = arr.shape
-        dag = build_dag(tiled.grid_rows, tiled.grid_cols, self.elimination)
+        dag = build_dag(
+            tiled.grid_rows, tiled.grid_cols, self.elimination, self.batch_updates
+        )
         factors: dict[tuple, Factors] = {}
         log = []
         total = len(dag.tasks)
         tracer = self.tracer if self.tracer is not None and self.tracer.enabled else None
         b = tiled.tile_size
+        workspace = Workspace()
         for done, task in enumerate(dag.tasks, start=1):
             if tracer is not None:
                 with tracer.task_span(task, device="serial", tile_size=b):
-                    produced = apply_task(task, tiled, factors)
+                    produced = apply_task(task, tiled, factors, workspace)
             else:
-                produced = apply_task(task, tiled, factors)
+                produced = apply_task(task, tiled, factors, workspace)
             if produced is not None:
                 log.append((task, produced))
             if self.progress is not None:
@@ -83,9 +102,10 @@ def tiled_qr(
     a: np.ndarray,
     tile_size: int = DEFAULT_TILE_SIZE,
     elimination: str = "TS",
+    batch_updates: bool = False,
 ) -> TiledQRFactorization:
     """One-call tiled QR: ``f = tiled_qr(A); Q, R = f.q_dense(), f.r_dense()``.
 
     This is the package's quickstart entry point.
     """
-    return SerialRuntime(elimination).factorize(a, tile_size)
+    return SerialRuntime(elimination, batch_updates=batch_updates).factorize(a, tile_size)

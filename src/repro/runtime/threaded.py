@@ -11,6 +11,13 @@ Correctness under reordering: any two factorization tasks left unordered
 by the DAG act on disjoint tile-row sets (otherwise they would conflict
 on a panel tile and be ordered), so their block reflectors commute and
 logging them in *completion* order still yields a valid ``Q``.
+
+With ``batch_updates=True`` the DAG carries coarsened row-panel update
+tasks.  To keep the update-phase parallelism the per-tile DAG had, a
+ready batch is *split into contiguous column chunks* — one per worker —
+that execute concurrently (they write disjoint column ranges of the same
+tile row, so no synchronization is needed); the batch's successors are
+released only when every chunk has finished.
 """
 
 from __future__ import annotations
@@ -24,9 +31,28 @@ from ..config import DEFAULT_TILE_SIZE
 from ..dag import build_dag
 from ..dag.tasks import Task
 from ..errors import ShapeError, SimulationError
+from ..kernels.workspace import Workspace
 from ..tiles import TiledMatrix
 from .core_exec import Factors, apply_task
 from .factorization import TiledQRFactorization
+
+
+def split_batch(task: Task, parts: int) -> list[Task]:
+    """Split a batched update into ``<= parts`` contiguous column chunks.
+
+    Chunks are valid batched tasks over sub-ranges of ``[col, col_end)``
+    whose expansions partition the parent's expansion.  Returns
+    ``[task]`` unchanged when splitting is pointless.
+    """
+    n = task.ncols
+    parts = max(1, min(parts, n))
+    if not task.is_batch or parts == 1:
+        return [task]
+    bounds = [task.col + (n * i) // parts for i in range(parts + 1)]
+    return [
+        Task(task.kind, task.k, task.row, task.row2, j0, j1)
+        for j0, j1 in zip(bounds[:-1], bounds[1:])
+    ]
 
 
 class ThreadedRuntime:
@@ -42,18 +68,30 @@ class ThreadedRuntime:
         Optional :class:`repro.observability.Tracer`; each worker emits
         kernel spans under device id ``"worker-<i>"`` into its own
         thread-local buffer (no hot-path contention).
+    batch_updates:
+        Coarsen the update phase into row-panel tasks (see module
+        docstring); each worker owns a private
+        :class:`~repro.kernels.workspace.Workspace` arena so the hot
+        path's GEMMs never allocate.
 
     A kernel exception in any worker aborts the factorization and
     re-raises in the calling thread, annotated with the failing task;
     remaining workers drain and exit rather than hanging.
     """
 
-    def __init__(self, num_workers: int = 4, elimination: str = "TS", tracer=None):
+    def __init__(
+        self,
+        num_workers: int = 4,
+        elimination: str = "TS",
+        tracer=None,
+        batch_updates: bool = False,
+    ):
         if num_workers < 1:
             raise ValueError(f"need at least one worker, got {num_workers}")
         self.num_workers = num_workers
         self.elimination = elimination
         self.tracer = tracer
+        self.batch_updates = batch_updates
 
     def factorize(self, a, tile_size: int = DEFAULT_TILE_SIZE) -> TiledQRFactorization:
         """Factorize ``a``; same contract as :meth:`SerialRuntime.factorize`."""
@@ -66,15 +104,16 @@ class ThreadedRuntime:
                 raise ShapeError(f"expected a 2-D matrix, got ndim={arr.ndim}")
             if arr.shape[0] < arr.shape[1]:
                 raise ShapeError(f"QR requires m >= n, got shape {arr.shape}")
-            tiled = TiledMatrix.from_dense(arr, tile_size)
+            tiled = TiledMatrix.from_dense(
+                arr, tile_size, storage="rowmajor" if self.batch_updates else "tiles"
+            )
             shape = arr.shape
 
-        dag = build_dag(tiled.grid_rows, tiled.grid_cols, self.elimination)
+        dag = build_dag(
+            tiled.grid_rows, tiled.grid_cols, self.elimination, self.batch_updates
+        )
         remaining = {t: len(dag.preds[t]) for t in dag.tasks}
         ready: "queue.Queue[Task | None]" = queue.Queue()
-        for t in dag.tasks:
-            if remaining[t] == 0:
-                ready.put(t)
 
         factors: dict[tuple, Factors] = {}
         log: list[tuple[Task, Factors]] = []
@@ -86,11 +125,35 @@ class ThreadedRuntime:
         if total == 0:
             all_done.set()
 
+        # Chunked batch bookkeeping: chunk task -> parent DAG task, and
+        # parent -> number of chunks still running.  Mutated under `lock`
+        # except for the initial seeding below (workers not started yet).
+        chunk_parent: dict[Task, Task] = {}
+        chunk_left: dict[Task, int] = {}
+
+        def enqueue(task: Task) -> None:
+            """Queue a DAG task, splitting ready batches across workers."""
+            if task.is_batch and self.num_workers > 1:
+                chunks = split_batch(task, self.num_workers)
+                if len(chunks) > 1:
+                    chunk_left[task] = len(chunks)
+                    for c in chunks:
+                        chunk_parent[c] = task
+                    for c in chunks:
+                        ready.put(c)
+                    return
+            ready.put(task)
+
+        for t in dag.tasks:
+            if remaining[t] == 0:
+                enqueue(t)
+
         tracer = self.tracer if self.tracer is not None and self.tracer.enabled else None
         b = tiled.tile_size
 
         def worker(index: int) -> None:
             device = f"worker-{index}"
+            workspace = Workspace()
             while True:
                 task = ready.get()
                 if task is None:
@@ -98,9 +161,9 @@ class ThreadedRuntime:
                 try:
                     if tracer is not None:
                         with tracer.task_span(task, device=device, tile_size=b):
-                            produced = apply_task(task, tiled, factors)
+                            produced = apply_task(task, tiled, factors, workspace)
                     else:
-                        produced = apply_task(task, tiled, factors)
+                        produced = apply_task(task, tiled, factors, workspace)
                 except BaseException as exc:  # propagate to the caller
                     if hasattr(exc, "add_note"):  # 3.11+
                         exc.add_note(f"while executing task {task.label()} on {device}")
@@ -109,6 +172,13 @@ class ThreadedRuntime:
                     all_done.set()
                     return
                 with lock:
+                    parent = chunk_parent.pop(task, None)
+                    if parent is not None:
+                        chunk_left[parent] -= 1
+                        if chunk_left[parent] > 0:
+                            continue  # siblings still running; not done yet
+                        del chunk_left[parent]
+                        task = parent  # the DAG-level task just completed
                     if produced is not None:
                         log.append((task, produced))
                     done_count[0] += 1
@@ -118,8 +188,8 @@ class ThreadedRuntime:
                         remaining[succ] -= 1
                         if remaining[succ] == 0:
                             newly_ready.append(succ)
-                for s in newly_ready:
-                    ready.put(s)
+                    for s in newly_ready:
+                        enqueue(s)
                 if finished:
                     all_done.set()
 

@@ -6,6 +6,15 @@ simulator's transfer accounting operate on.  Tiles are owned,
 C-contiguous arrays (a *tiled* layout, as PLASMA uses), not views into
 one big array: in the paper each tile lives in some device's memory, and
 owning tiles makes per-tile movement explicit.
+
+A second, optional *row-major* storage mode (:meth:`TiledMatrix.
+to_row_major`) keeps each tile row in one contiguous ``(b, q*b)`` buffer
+with the tiles as column-slice views into it.  Per-tile semantics are
+unchanged, but :meth:`TiledMatrix.row_panel` then returns zero-copy
+views over column ranges — the layout the batched update kernels
+(:mod:`repro.kernels.batched`) fuse their wide GEMMs over.  In the
+legacy list-of-tiles layout ``row_panel`` gathers a copy and
+:meth:`TiledMatrix.scatter_row_panel` writes it back.
 """
 
 from __future__ import annotations
@@ -49,6 +58,7 @@ class TiledMatrix:
                     )
         self._tiles = tiles
         self._b = b
+        self._rowbufs: list[np.ndarray] | None = None
         self._row_part = Partition(rows, b)
         self._col_part = Partition(cols, b)
         if self._row_part.num_tiles != len(tiles) or self._col_part.num_tiles != len(tiles[0]):
@@ -65,8 +75,16 @@ class TiledMatrix:
         a: np.ndarray,
         tile_size: int = DEFAULT_TILE_SIZE,
         dtype=None,
+        storage: str = "tiles",
     ) -> "TiledMatrix":
-        """Split a dense matrix into owned ``b x b`` tiles (zero padded)."""
+        """Split a dense matrix into owned ``b x b`` tiles (zero padded).
+
+        ``storage`` selects the tile layout: ``"tiles"`` (default, one
+        owned array per tile) or ``"rowmajor"`` (contiguous per-row
+        panels; see :meth:`to_row_major`).
+        """
+        if storage not in ("tiles", "rowmajor"):
+            raise TilingError(f"storage must be 'tiles' or 'rowmajor', got {storage!r}")
         a = np.asarray(a, dtype=dtype if dtype is not None else None)
         if a.ndim != 2:
             raise ShapeError(f"expected a 2-D matrix, got ndim={a.ndim}")
@@ -85,7 +103,10 @@ class TiledMatrix:
                 t[: r1 - r0, : c1 - c0] = a[r0:r1, c0:c1]
                 row.append(t)
             grid.append(row)
-        return cls(grid, rows, cols)
+        out = cls(grid, rows, cols)
+        if storage == "rowmajor":
+            out.to_row_major()
+        return out
 
     @classmethod
     def zeros(
@@ -169,7 +190,14 @@ class TiledMatrix:
     # -- tile access ----------------------------------------------------
 
     def tile(self, i: int, j: int) -> np.ndarray:
-        """The ``b x b`` tile at grid position ``(i, j)`` (mutable)."""
+        """The ``b x b`` tile at grid position ``(i, j)``.
+
+        This is a *live view*: the returned array aliases the matrix's
+        storage, so in-place mutation (``tile[...] = x``, ``tile -= y``)
+        is immediately visible through the matrix — the kernels rely on
+        this.  In row-major storage mode the view is a column slice of
+        the row's contiguous buffer rather than an owned array.
+        """
         if not (0 <= i < self.grid_rows and 0 <= j < self.grid_cols):
             raise TilingError(
                 f"tile ({i},{j}) out of range for grid {self.grid_shape}"
@@ -177,9 +205,20 @@ class TiledMatrix:
         return self._tiles[i][j]
 
     def set_tile(self, i: int, j: int, value: np.ndarray) -> None:
-        """Replace tile ``(i, j)`` contents (shape-checked, copies in)."""
+        """Replace tile ``(i, j)`` contents (shape- and dtype-checked).
+
+        The value is copied in; its dtype must equal the matrix dtype —
+        silently splicing e.g. a float32 tile into a float64 matrix
+        would quietly destroy precision, so mismatches raise
+        :class:`~repro.errors.TilingError` (cast explicitly if meant).
+        """
         t = self.tile(i, j)
-        value = np.asarray(value, dtype=t.dtype)
+        value = np.asarray(value)
+        if value.dtype != t.dtype:
+            raise TilingError(
+                f"tile value dtype {value.dtype} != matrix dtype {t.dtype}; "
+                f"cast explicitly if the narrowing/widening is intended"
+            )
         if value.shape != t.shape:
             raise ShapeError(f"tile value shape {value.shape} != {t.shape}")
         t[...] = value
@@ -196,6 +235,85 @@ class TiledMatrix:
             raise TilingError(f"tile column {j} out of range")
         return [row[j] for row in self._tiles]
 
+    # -- row panels (batched-update storage) ----------------------------
+
+    @property
+    def is_row_major(self) -> bool:
+        """True when tile rows live in contiguous per-row buffers."""
+        return self._rowbufs is not None
+
+    def to_row_major(self) -> "TiledMatrix":
+        """Convert storage in place to contiguous per-row panels.
+
+        After conversion each tile row ``i`` occupies one C-contiguous
+        ``(b, q*b)`` buffer and ``tile(i, j)`` returns a view into it,
+        so :meth:`row_panel` is zero-copy.  Idempotent; returns ``self``
+        for chaining.  Previously handed-out tile arrays stop aliasing
+        the matrix — convert before taking tile references.
+        """
+        if self._rowbufs is None:
+            b, q = self._b, self.grid_cols
+            bufs: list[np.ndarray] = []
+            for i, row in enumerate(self._tiles):
+                buf = np.empty((b, q * b), dtype=self.dtype)
+                views = []
+                for j, t in enumerate(row):
+                    buf[:, j * b : (j + 1) * b] = t
+                    views.append(buf[:, j * b : (j + 1) * b])
+                self._tiles[i] = views
+                bufs.append(buf)
+            self._rowbufs = bufs
+        return self
+
+    def _check_panel_range(self, i: int, j0: int, j1: int) -> None:
+        if not 0 <= i < self.grid_rows:
+            raise TilingError(f"tile row {i} out of range for grid {self.grid_shape}")
+        if not (0 <= j0 < j1 <= self.grid_cols):
+            raise TilingError(
+                f"column range [{j0}, {j1}) invalid for grid {self.grid_shape}"
+            )
+
+    def row_panel(self, i: int, j0: int, j1: int) -> np.ndarray:
+        """Tiles ``(i, j0) ... (i, j1-1)`` as one ``(b, (j1-j0)*b)`` panel.
+
+        In row-major storage this is a zero-copy view — mutations are
+        immediately visible through the matrix and
+        :meth:`scatter_row_panel` is a no-op.  In the legacy
+        list-of-tiles layout the panel is a gathered *copy*; call
+        :meth:`scatter_row_panel` to write updates back.
+        """
+        self._check_panel_range(i, j0, j1)
+        b = self._b
+        if self._rowbufs is not None:
+            return self._rowbufs[i][:, j0 * b : j1 * b]
+        if j1 - j0 == 1:
+            return self._tiles[i][j0]  # single tile: live view either way
+        return np.concatenate(self._tiles[i][j0:j1], axis=1)
+
+    def scatter_row_panel(self, i: int, j0: int, j1: int, panel: np.ndarray) -> None:
+        """Write a (possibly gathered) row panel back into tiles.
+
+        Detects the zero-copy case (``panel`` already aliases the
+        matrix's storage) and returns without copying, so callers can
+        unconditionally pair ``row_panel``/``scatter_row_panel``.
+        """
+        self._check_panel_range(i, j0, j1)
+        b = self._b
+        if panel.shape != (b, (j1 - j0) * b):
+            raise ShapeError(
+                f"panel shape {panel.shape} != ({b}, {(j1 - j0) * b})"
+            )
+        if self._rowbufs is not None:
+            dst = self._rowbufs[i][:, j0 * b : j1 * b]
+            if dst is panel or np.shares_memory(dst, panel):
+                return
+            dst[...] = panel
+            return
+        if j1 - j0 == 1 and panel is self._tiles[i][j0]:
+            return
+        for j in range(j0, j1):
+            self._tiles[i][j][...] = panel[:, (j - j0) * b : (j - j0 + 1) * b]
+
     # -- conversion -----------------------------------------------------
 
     def to_dense(self) -> np.ndarray:
@@ -209,9 +327,12 @@ class TiledMatrix:
         return out
 
     def copy(self) -> "TiledMatrix":
-        """Deep copy (each tile copied)."""
+        """Deep copy (each tile copied; storage mode preserved)."""
         grid = [[t.copy() for t in row] for row in self._tiles]
-        return TiledMatrix(grid, *self.shape)
+        out = TiledMatrix(grid, *self.shape)
+        if self.is_row_major:
+            out.to_row_major()
+        return out
 
     def transpose(self) -> "TiledMatrix":
         """The transposed matrix, still in tiled form.
