@@ -26,15 +26,13 @@ root, so speedups are tracked across commits::
 
 from __future__ import annotations
 
-import json
-import platform
-import time
 from pathlib import Path
 from time import perf_counter
 
 import numpy as np
 
 from repro.kernels import Workspace, geqrt, tsmqr, tsmqr_batch, tsqrt, unmqr, unmqr_batch
+from repro.observability import append_record
 from repro.tiles import TiledMatrix
 
 #: Gate case (grid >= 8x8, tile <= 64) and its required speedup.  Small
@@ -110,26 +108,15 @@ def bench_case(t: int, b: int, rounds: int = ROUNDS, seed: int = 0) -> dict:
 
 
 def append_trajectory(cases: list[dict], path: Path = TRAJECTORY_PATH) -> Path:
-    """Append one run record to the JSON trajectory file."""
-    record = {
-        "benchmark": "batched_updates",
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "min_speedup_gate": MIN_SPEEDUP,
-        "cases": cases,
-    }
-    history = []
-    if path.is_file():
-        try:
-            history = json.loads(path.read_text())
-        except json.JSONDecodeError:
-            history = []
-        if not isinstance(history, list):
-            history = [history]
-    history.append(record)
-    path.write_text(json.dumps(history, indent=1) + "\n")
-    return path
+    """Append one run record to the JSON trajectory file.
+
+    The format is the shared perf-trajectory format — ``tiledqr perf
+    --check`` gates the ``speedup`` metric of every recorded case
+    against its trajectory baseline.
+    """
+    return append_record(
+        path, "batched_updates", cases, extra={"min_speedup_gate": MIN_SPEEDUP}
+    )
 
 
 def run(cases=((8, 16), (8, 32), (8, 64), (12, 32)), rounds: int = ROUNDS) -> list[dict]:

@@ -10,11 +10,12 @@ The enabled-tracer cost is measured too and reported via
 
 from __future__ import annotations
 
+from pathlib import Path
 from time import perf_counter
 
 import numpy as np
 
-from repro.observability import Tracer
+from repro.observability import Tracer, append_record
 from repro.runtime.threaded import ThreadedRuntime
 
 N = 512
@@ -24,6 +25,10 @@ ROUNDS = 5
 #: Relative + absolute tolerance of the disabled-tracer gate.
 MAX_OVERHEAD = 0.03
 ABS_EPS_SECONDS = 0.005
+
+TRAJECTORY_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_observability_overhead.json"
+)
 
 
 def _best_of(fn, rounds: int = ROUNDS) -> float:
@@ -67,6 +72,23 @@ def test_disabled_tracer_overhead(benchmark):
 
     benchmark.pedantic(
         lambda: disabled.factorize(a, TILE), rounds=1, iterations=1
+    )
+
+    # Informational trajectory (not gated by `tiledqr perf`; the hard
+    # gate is the assert below).
+    append_record(
+        TRAJECTORY_PATH,
+        "observability_overhead",
+        [
+            {
+                "n": N,
+                "tile_size": TILE,
+                "untraced_seconds": t_untraced,
+                "disabled_tracer_seconds": t_disabled,
+                "enabled_tracer_seconds": t_enabled,
+                "overhead_fraction": overhead,
+            }
+        ],
     )
 
     assert t_disabled <= t_untraced * (1.0 + MAX_OVERHEAD) + ABS_EPS_SECONDS, (

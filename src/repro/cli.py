@@ -12,7 +12,11 @@ Subcommands:
 * ``trace <n|file.jsonl>`` — record a traced real run (or summarize a
   saved JSONL trace): per-kernel time share, critical path, worker
   utilization; ``--diff`` reports per-kernel sim-vs-real prediction
-  error.
+  error, ``--chrome`` exports Chrome Trace Event JSON, ``--profile-out``
+  feeds a kernel profile store, ``--perf-out`` appends a perf
+  trajectory point.
+* ``perf`` — compare the newest ``BENCH_*.json`` points against their
+  trajectory baselines (``--check`` gates CI).
 * ``list`` — list available experiments.
 """
 
@@ -82,10 +86,24 @@ def _jsonable(v):
 def _cmd_plan(args) -> int:
     from .core.optimizer import Optimizer
     from .devices.registry import paper_testbed
+    from .errors import ObservabilityError
+    from .observability import DecisionAudit, explain_plan
 
     system = paper_testbed()
+    if args.profile:
+        from .observability import ProfileStore
+
+        try:
+            store = ProfileStore.load(args.profile)
+            system = store.to_system(base=system)
+        except ObservabilityError as exc:
+            print(f"cannot use profile store {args.profile}: {exc}", file=sys.stderr)
+            return 2
+        print(f"using measured kernel times from {args.profile} "
+              f"({store.num_runs} run(s), devices {store.devices()})")
     opt = Optimizer(system)
-    plan = opt.plan(matrix_size=args.n, tile_size=args.tile_size)
+    audit = DecisionAudit()
+    plan = opt.plan(matrix_size=args.n, tile_size=args.tile_size, audit=audit)
     print(system.describe(args.tile_size))
     print()
     print(plan.describe())
@@ -96,6 +114,9 @@ def _cmd_plan(args) -> int:
             f"  p={row.num_devices}: Top={row.t_op*1e3:.3f} ms "
             f"Tcomm={row.t_comm*1e3:.3f} ms total={row.total*1e3:.3f} ms{marker}"
         )
+    if args.explain:
+        print()
+        print(explain_plan(plan))
     return 0
 
 
@@ -149,6 +170,39 @@ def _cmd_gantt(args) -> int:
     return 0
 
 
+def _write_chrome(trace, path: str) -> None:
+    from pathlib import Path
+
+    from .sim.gantt import to_chrome_trace
+
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(to_chrome_trace(trace))
+    print(f"Chrome trace written to {p} (open in chrome://tracing or Perfetto)")
+
+
+def _update_profile(trace, tile_size: int, path: str, meta: dict | None = None) -> None:
+    from pathlib import Path
+    from time import strftime
+
+    from .devices.calibration import paper_cpu_i7_3820
+    from .errors import ObservabilityError
+    from .observability import ProfileStore
+
+    store = ProfileStore.load(path) if Path(path).is_file() else ProfileStore()
+    try:
+        rid = store.ingest_trace(
+            trace, tile_size, recorded_at=strftime("%Y-%m-%dT%H:%M:%S"), meta=meta
+        )
+    except ObservabilityError as exc:
+        print(f"profile store not updated: {exc}", file=sys.stderr)
+        return
+    store.save(path)
+    print(f"profile store updated: {path} (run {rid}, now {store.num_runs} run(s))")
+    print(store.report())
+    print(store.drift_report(paper_cpu_i7_3820()))
+
+
 def _cmd_trace(args) -> int:
     from pathlib import Path
 
@@ -158,6 +212,8 @@ def _cmd_trace(args) -> int:
         diff_traces,
         expand_batched,
         load_jsonl,
+        provenance_meta,
+        record_traced_run,
         summarize_trace,
         write_jsonl,
     )
@@ -173,6 +229,10 @@ def _cmd_trace(args) -> int:
             return 2
         print(f"trace: {target}")
         print(summarize_trace(trace).to_text())
+        if args.chrome:
+            _write_chrome(trace, args.chrome)
+        if args.profile_out:
+            _update_profile(trace, args.tile_size, args.profile_out)
         if args.diff is not None:
             if args.diff is True:
                 print("--diff with a trace file needs a second file to compare against",
@@ -201,6 +261,7 @@ def _cmd_trace(args) -> int:
     tracer = Tracer(metrics=metrics)
     rng = np.random.default_rng(args.seed)
     a = rng.standard_normal((n, n))
+    plan = None
     if args.runtime == "serial":
         from .runtime.serial import SerialRuntime
 
@@ -216,9 +277,12 @@ def _cmd_trace(args) -> int:
     else:
         from .core.optimizer import Optimizer
         from .devices.registry import paper_testbed
+        from .observability import DecisionAudit
         from .runtime.multiprocess import MultiprocessRuntime
 
-        plan = Optimizer(paper_testbed()).plan(matrix_size=n, tile_size=args.tile_size)
+        plan = Optimizer(paper_testbed()).plan(
+            matrix_size=n, tile_size=args.tile_size, audit=DecisionAudit()
+        )
         MultiprocessRuntime(
             plan, tracer=tracer, batch_updates=args.batch_updates
         ).factorize(a, args.tile_size)
@@ -235,10 +299,45 @@ def _cmd_trace(args) -> int:
                 f"p95 {s['p95']:8.2f}  p99 {s['p99']:8.2f}"
             )
     if args.out:
-        path = write_jsonl(
-            trace, args.out, meta={"runtime": args.runtime, "n": n, "b": args.tile_size}
+        from .dag.tasks import TaskKind
+        from .observability.analysis import infer_grid
+
+        elimination = "TT" if any(
+            r.task.kind in (TaskKind.TTQRT, TaskKind.TTMQR, TaskKind.TTMQR_BATCH)
+            for r in trace.tasks
+        ) else "TS"
+        meta = provenance_meta(
+            runtime=args.runtime,
+            n=n,
+            b=args.tile_size,
+            grid=list(infer_grid(trace)),
+            elimination=elimination,
+            batch_updates=args.batch_updates,
+            workers=args.workers if args.runtime == "threaded" else None,
+            seed=args.seed,
+            decisions=(
+                plan.notes["audit"].to_dict()["decisions"]
+                if plan is not None else None
+            ),
+            profile_store=args.profile_out,
         )
+        path = write_jsonl(trace, args.out, meta=meta)
         print(f"trace written to {path}")
+    if args.chrome:
+        _write_chrome(trace, args.chrome)
+    if args.profile_out:
+        _update_profile(
+            trace,
+            args.tile_size,
+            args.profile_out,
+            meta={"runtime": args.runtime, "n": n, "seed": args.seed},
+        )
+    if args.perf_out:
+        path = record_traced_run(
+            args.perf_out, args.runtime, n, args.tile_size, trace,
+            extra={"batch_updates": args.batch_updates},
+        )
+        print(f"perf trajectory appended to {path}")
     if args.diff is not None:
         from .core.executor import TiledQR
         from .devices.registry import paper_testbed
@@ -250,6 +349,30 @@ def _cmd_trace(args) -> int:
         # the simulator predicts the unfused DAG; expand batched records
         # so the task multisets are comparable
         print(diff_traces(expand_batched(trace), sim_trace).to_text())
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from pathlib import Path
+
+    from .errors import ObservabilityError
+    from .observability import compare_trajectories
+
+    paths = [Path(p) for p in args.paths] if args.paths else sorted(
+        Path.cwd().glob("BENCH_*.json")
+    )
+    if not paths:
+        print("no BENCH_*.json trajectories found", file=sys.stderr)
+        return 2 if args.check else 0
+    try:
+        report = compare_trajectories(paths, threshold=args.threshold)
+    except ObservabilityError as exc:
+        print(f"perf check failed to read trajectories: {exc}", file=sys.stderr)
+        return 2
+    print(f"trajectories: {', '.join(str(p) for p in paths)}")
+    print(report.to_text())
+    if args.check and not report.ok:
+        return 1
     return 0
 
 
@@ -289,6 +412,18 @@ def main(argv: list[str] | None = None) -> int:
     p_plan = sub.add_parser("plan", help="show the optimized plan for n x n")
     p_plan.add_argument("n", type=int)
     p_plan.add_argument("--tile-size", type=int, default=16)
+    p_plan.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the scheduler decision audit: candidates, measured "
+        "inputs, per-candidate predictions, margins (Algs. 2-4)",
+    )
+    p_plan.add_argument(
+        "--profile",
+        metavar="STORE.json",
+        help="plan on measured kernel times from this profile store "
+        "(see `tiledqr trace --profile-out`) instead of the static calibration",
+    )
     p_plan.set_defaults(func=_cmd_plan)
 
     p_fact = sub.add_parser("factorize", help="numeric tiled QR of a random matrix")
@@ -346,7 +481,48 @@ def main(argv: list[str] | None = None) -> int:
         help="report per-kernel sim-vs-real prediction error (against a fresh "
         "simulation of the same problem, or against OTHER.jsonl)",
     )
+    p_trace.add_argument(
+        "--chrome",
+        metavar="OUT.json",
+        help="also export the trace as Chrome Trace Event JSON "
+        "(chrome://tracing / Perfetto)",
+    )
+    p_trace.add_argument(
+        "--profile-out",
+        metavar="STORE.json",
+        help="ingest the trace into this kernel profile store (created if "
+        "missing) and print measured stats + drift vs calibration",
+    )
+    p_trace.add_argument(
+        "--perf-out",
+        metavar="BENCH.json",
+        help="append makespan/compute time to this perf trajectory "
+        "(checked by `tiledqr perf --check`)",
+    )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="compare the newest BENCH_*.json points against their "
+        "trajectory baselines",
+    )
+    p_perf.add_argument(
+        "paths",
+        nargs="*",
+        help="trajectory files (default: BENCH_*.json in the current directory)",
+    )
+    p_perf.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero when a gated metric regressed beyond the threshold",
+    )
+    p_perf.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative change counting as a regression (default: 0.20)",
+    )
+    p_perf.set_defaults(func=_cmd_perf)
 
     p_check = sub.add_parser("selfcheck", help="quick install sanity battery")
     p_check.set_defaults(func=_cmd_selfcheck)

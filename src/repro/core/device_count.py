@@ -15,6 +15,14 @@ from ..config import ELEMENT_SIZE_BYTES
 from ..dag.tasks import Step
 from ..devices.registry import SystemSpec
 from ..errors import PlanError
+from ..observability.decisions import (
+    STAGE_DEVICE_COUNT,
+    Candidate,
+    DecisionAudit,
+    DecisionRecord,
+    device_step_inputs,
+    margin_over_runner_up,
+)
 from .distribution import guide_for_participants
 
 
@@ -180,11 +188,50 @@ def select_num_devices(
     element_size: int = ELEMENT_SIZE_BYTES,
     main_updates: str = "residual",
     horizon: str = "total",
+    audit: DecisionAudit | None = None,
 ) -> tuple[int, list[PredictedTime]]:
-    """Alg. 3: the ``p`` minimizing ``Top + Tcomm``, plus the full table."""
+    """Alg. 3: the ``p`` minimizing ``Top + Tcomm``, plus the full table.
+
+    Pass a :class:`~repro.observability.decisions.DecisionAudit` to
+    record every prefix size's Eq. 10-11 prediction and the margin the
+    chosen ``p`` won by.
+    """
     table = predicted_times(
         system, main_device, grid_rows, grid_cols, tile_size, topology,
         element_size, main_updates, horizon,
     )
     best = min(table, key=lambda r: r.total)
+    if audit is not None:
+        ordered = order_by_update_speed(system, main_device, tile_size)
+        margin = margin_over_runner_up(
+            [r.total for r in table], best.total, minimize=True
+        )
+        audit.record(
+            DecisionRecord(
+                stage=STAGE_DEVICE_COUNT,
+                chosen=f"p={best.num_devices}",
+                metric="predicted_total_seconds",
+                margin=margin,
+                inputs={
+                    "kernel_seconds": device_step_inputs(system, tile_size),
+                    "grid": [grid_rows, grid_cols],
+                    "tile_size": tile_size,
+                    "ordered_by_update_speed": ordered,
+                },
+                candidates=[
+                    Candidate(
+                        name=f"p={r.num_devices}",
+                        chosen=r.num_devices == best.num_devices,
+                        metrics={
+                            "devices": ordered[: r.num_devices],
+                            "t_op": r.t_op,
+                            "t_comm": r.t_comm,
+                            "total": r.total,
+                        },
+                    )
+                    for r in table
+                ],
+                notes={"horizon": horizon, "main_updates": main_updates},
+            )
+        )
     return best.num_devices, table

@@ -11,6 +11,12 @@ from dataclasses import dataclass
 
 from ..devices.registry import SystemSpec
 from ..errors import PlanError
+from ..observability.decisions import (
+    STAGE_DISTRIBUTION,
+    Candidate,
+    DecisionAudit,
+    DecisionRecord,
+)
 from .guide_array import build_guide_array, integer_ratio
 from .plan import DistributionPlan
 
@@ -79,6 +85,7 @@ def guide_for_participants(
     grid_cols: int,
     tile_size: int,
     main_updates: str = "residual",
+    audit: DecisionAudit | None = None,
 ) -> tuple[dict[str, int], list[str]]:
     """Integer ratio and guide array for a participant set (Alg. 4).
 
@@ -90,6 +97,10 @@ def guide_for_participants(
         it from the guide array when effectively saturated by panel
         work; ``"always"`` uses raw update throughputs for every device
         (the literal Alg. 4 reading).
+    audit:
+        Optional :class:`~repro.observability.decisions.DecisionAudit`;
+        records each participant's throughput, integer weight, and
+        guide-array share against its ideal throughput share.
 
     Returns
     -------
@@ -104,26 +115,103 @@ def guide_for_participants(
     if main_updates not in ("residual", "always"):
         raise PlanError(f"main_updates must be 'residual' or 'always', got {main_updates!r}")
     thr = {d: system.device(d).update_throughput(tile_size) for d in participants}
+    raw_thr = dict(thr)
+    main_x: float | None = None
+    main_dropped = False
     if main_updates == "residual" and len(participants) > 1:
         others = [d for d in participants if d != main]
         x = main_update_share(
             system, participants, main, grid_rows, grid_cols, tile_size
         )
+        main_x = x
         other_sum = sum(thr[d] for d in others)
         # Weight main so it receives fraction x of the guide array.
         thr[main] = (x / (1.0 - x)) * other_sum if x < 1.0 else other_sum * 1e6
         others_min = min(thr[d] for d in others)
         if thr[main] < 0.5 * others_min:
             # Main is saturated by panel work; keep it out of the array.
+            main_dropped = True
             ratio = integer_ratio([thr[d] for d in others])
             guide = build_guide_array(ratio, others)
             out = dict(zip(others, ratio))
             out[main] = 0
+            _audit_distribution(
+                audit, participants, main, thr, raw_thr, out, guide,
+                main_updates, main_x, main_dropped, tile_size,
+            )
             return out, guide
     updaters = participants
     ratio = integer_ratio([thr[d] for d in updaters])
     guide = build_guide_array(ratio, updaters)
-    return dict(zip(updaters, ratio)), guide
+    out = dict(zip(updaters, ratio))
+    _audit_distribution(
+        audit, participants, main, thr, raw_thr, out, guide,
+        main_updates, main_x, main_dropped, tile_size,
+    )
+    return out, guide
+
+
+def _audit_distribution(
+    audit: DecisionAudit | None,
+    participants: list[str],
+    main: str,
+    weighted_thr: dict[str, float],
+    raw_thr: dict[str, float],
+    ratio: dict[str, int],
+    guide: list[str],
+    main_updates: str,
+    main_x: float | None,
+    main_dropped: bool,
+    tile_size: int,
+) -> None:
+    """Record the Alg. 4 distribution outcome into an audit (if any).
+
+    The recorded margin is the worst relative error between a device's
+    achieved guide-array share and its ideal (weighted-throughput)
+    share — how far the integer approximation of Eq. 12 strays.
+    """
+    if audit is None:
+        return
+    total_w = sum(weighted_thr.values()) or 1.0
+    total_g = len(guide) or 1
+    worst = 0.0
+    rows = []
+    for d in participants:
+        ideal = weighted_thr[d] / total_w
+        achieved = guide.count(d) / total_g
+        err = abs(achieved - ideal) / ideal if ideal > 0 else 0.0
+        worst = max(worst, err)
+        rows.append(
+            Candidate(
+                name=d,
+                feasible=ratio.get(d, 0) > 0,
+                chosen=ratio.get(d, 0) > 0,
+                metrics={
+                    "update_throughput": raw_thr[d],
+                    "weight": ratio.get(d, 0),
+                    "guide_share": achieved,
+                    "ideal_share": ideal,
+                },
+            )
+        )
+    notes = {"main_updates": main_updates, "main_in_guide": not main_dropped}
+    if main_x is not None:
+        notes["main_update_share"] = main_x
+    audit.record(
+        DecisionRecord(
+            stage=STAGE_DISTRIBUTION,
+            chosen="[" + ", ".join(guide) + "]",
+            metric="guide_share_error",
+            margin=worst,
+            inputs={
+                "update_throughput": raw_thr,
+                "tile_size": tile_size,
+                "main_device": main,
+            },
+            candidates=rows,
+            notes=notes,
+        )
+    )
 
 
 @dataclass(frozen=True)

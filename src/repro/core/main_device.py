@@ -16,6 +16,14 @@ from ..dag.tasks import Step
 from ..devices.model import DeviceSpec
 from ..devices.registry import SystemSpec
 from ..errors import PlanError
+from ..observability.decisions import (
+    STAGE_MAIN_DEVICE,
+    Candidate,
+    DecisionAudit,
+    DecisionRecord,
+    device_step_inputs,
+    margin_over_runner_up,
+)
 
 
 def _others_pool_time(
@@ -74,21 +82,91 @@ def main_device_candidates(
 
 
 def select_main_device(
-    system: SystemSpec, grid_rows: int, grid_cols: int, tile_size: int
+    system: SystemSpec,
+    grid_rows: int,
+    grid_cols: int,
+    tile_size: int,
+    audit: DecisionAudit | None = None,
 ) -> str:
     """Pick the main computing device (paper Alg. 2).
 
     Returns the candidate with the minimum update throughput; if no
     device passes the feasibility checks (tiny grids, or a system of
-    one), falls back to the device with the fastest panel chain.
+    one), falls back to the device with the fastest panel chain.  Pass a
+    :class:`~repro.observability.decisions.DecisionAudit` to record the
+    candidates, their feasibility-check outcomes, and the margin.
     """
     if len(system) == 1:
-        return system.devices[0].device_id
+        only = system.devices[0].device_id
+        if audit is not None:
+            audit.record(
+                DecisionRecord(
+                    stage=STAGE_MAIN_DEVICE,
+                    chosen=only,
+                    metric="only_device",
+                    inputs={"kernel_seconds": device_step_inputs(system, tile_size)},
+                    candidates=[Candidate(name=only, chosen=True)],
+                    notes={"reason": "single-device system"},
+                )
+            )
+        return only
     candidates = main_device_candidates(system, grid_rows, grid_cols, tile_size)
+    feasible_ids = {d.device_id for d in candidates}
     if candidates:
         best = min(candidates, key=lambda d: d.update_throughput(tile_size))
-        return best.device_id
-    fallback = min(
-        system, key=lambda d: d.panel_chain_time(max(grid_rows, 1), tile_size)
-    )
-    return fallback.device_id
+        chosen_id = best.device_id
+        metric = "update_throughput"
+        scores = [d.update_throughput(tile_size) for d in candidates]
+        margin = margin_over_runner_up(
+            scores, best.update_throughput(tile_size), minimize=True
+        )
+        reason = "minimum update throughput among feasible candidates"
+    else:
+        best = min(
+            system, key=lambda d: d.panel_chain_time(max(grid_rows, 1), tile_size)
+        )
+        chosen_id = best.device_id
+        metric = "panel_chain_time"
+        scores = [d.panel_chain_time(max(grid_rows, 1), tile_size) for d in system]
+        margin = margin_over_runner_up(
+            scores, best.panel_chain_time(max(grid_rows, 1), tile_size), minimize=True
+        )
+        reason = "no feasible candidate; fastest panel chain fallback"
+    if audit is not None:
+        rows = []
+        for d in system:
+            rows.append(
+                Candidate(
+                    name=d.device_id,
+                    feasible=d.device_id in feasible_ids,
+                    chosen=d.device_id == chosen_id,
+                    metrics={
+                        "update_throughput": d.update_throughput(tile_size),
+                        "panel_chain_time": d.panel_chain_time(
+                            max(grid_rows, 1), tile_size
+                        ),
+                        "t_before_ue": can_finish_t_before_ue(
+                            d, system, grid_rows, grid_cols, tile_size
+                        ),
+                        "e_before_ut": can_finish_e_before_ut(
+                            d, system, grid_rows, grid_cols, tile_size
+                        ),
+                    },
+                )
+            )
+        audit.record(
+            DecisionRecord(
+                stage=STAGE_MAIN_DEVICE,
+                chosen=chosen_id,
+                metric=metric,
+                margin=margin,
+                inputs={
+                    "kernel_seconds": device_step_inputs(system, tile_size),
+                    "grid": [grid_rows, grid_cols],
+                    "tile_size": tile_size,
+                },
+                candidates=rows,
+                notes={"reason": reason},
+            )
+        )
+    return chosen_id

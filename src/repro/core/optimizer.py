@@ -13,6 +13,7 @@ from ..comm.topology import Topology, pcie_star
 from ..config import DEFAULT_TILE_SIZE, ELEMENT_SIZE_BYTES
 from ..devices.registry import SystemSpec
 from ..errors import PlanError
+from ..observability.decisions import DecisionAudit
 from .device_count import order_by_update_speed, select_num_devices
 from .distribution import guide_for_participants
 from .main_device import select_main_device
@@ -57,6 +58,7 @@ class Optimizer:
         main_device: str | None = None,
         num_devices: int | None = None,
         panel_follows_column: bool = False,
+        audit: DecisionAudit | None = None,
     ) -> DistributionPlan:
         """Produce the optimized plan for an ``n x n`` matrix.
 
@@ -73,11 +75,17 @@ class Optimizer:
             Override Alg. 3 (used by the Fig. 6 / Table III sweeps).
         panel_follows_column:
             Build a "no specific main device" plan (Fig. 9's None case).
+        audit:
+            Decision audit threaded through all three stages; one is
+            created when omitted.  Lands in ``plan.notes["audit"]`` —
+            render it with
+            :func:`repro.observability.decisions.explain_plan`.
 
         Returns
         -------
         DistributionPlan
-            With ``notes["predicted"]`` holding the Alg. 3 table.
+            With ``notes["predicted"]`` holding the Alg. 3 table and
+            ``notes["audit"]`` the decision audit.
         """
         if grid_rows is None or grid_cols is None:
             if matrix_size is None:
@@ -86,8 +94,9 @@ class Optimizer:
                 raise PlanError(f"matrix size must be >= 1, got {matrix_size}")
             grid_rows = grid_cols = -(-matrix_size // tile_size)
 
+        audit = audit if audit is not None else DecisionAudit()
         main = main_device or select_main_device(
-            self.system, grid_rows, grid_cols, tile_size
+            self.system, grid_rows, grid_cols, tile_size, audit=audit
         )
         if main not in self.system.device_ids:
             raise PlanError(f"unknown main device {main!r}")
@@ -95,6 +104,7 @@ class Optimizer:
         p_opt, table = select_num_devices(
             self.system, main, grid_rows, grid_cols, tile_size,
             self.topology, self.element_size, main_updates=self.main_updates,
+            audit=audit,
         )
         p = num_devices if num_devices is not None else p_opt
         if not 1 <= p <= len(self.system):
@@ -104,7 +114,7 @@ class Optimizer:
         participants = tuple(ordered[:p])
         ratio_map, guide_list = guide_for_participants(
             self.system, participants, main, grid_rows, grid_cols, tile_size,
-            main_updates=self.main_updates,
+            main_updates=self.main_updates, audit=audit,
         )
         guide = tuple(guide_list)
         ratio = [ratio_map[d] for d in participants]
@@ -127,5 +137,6 @@ class Optimizer:
                 "optimal_num_devices": p_opt,
                 "ratio": ratio,
                 "grid": (grid_rows, grid_cols),
+                "audit": audit,
             },
         )

@@ -28,8 +28,25 @@ from .analysis import (
     summarize_trace,
     trace_critical_path,
 )
-from .export import dump_jsonl, load_jsonl, trace_lines, write_jsonl
+from .decisions import (
+    Candidate,
+    DecisionAudit,
+    DecisionRecord,
+    device_step_inputs,
+    explain_plan,
+)
+from .export import dump_jsonl, load_jsonl, provenance_meta, trace_lines, write_jsonl
 from .metrics import KERNEL_FLOPS, Counter, Gauge, Histogram, MetricsRegistry, kernel_flops
+from .perf import (
+    GatedMetric,
+    PerfReport,
+    append_record,
+    compare_trajectories,
+    compare_trajectory,
+    load_trajectory,
+    record_traced_run,
+)
+from .profile import KernelEntry, KernelStats, ProfileStore, RunProfile
 from .tracer import NULL_TRACER, Tracer
 
 __all__ = [
@@ -45,6 +62,7 @@ __all__ = [
     "write_jsonl",
     "load_jsonl",
     "trace_lines",
+    "provenance_meta",
     "summarize_trace",
     "diff_traces",
     "expand_batched",
@@ -55,4 +73,20 @@ __all__ = [
     "kernel_counts",
     "device_utilization",
     "trace_critical_path",
+    "ProfileStore",
+    "RunProfile",
+    "KernelEntry",
+    "KernelStats",
+    "DecisionAudit",
+    "DecisionRecord",
+    "Candidate",
+    "device_step_inputs",
+    "explain_plan",
+    "PerfReport",
+    "GatedMetric",
+    "append_record",
+    "load_trajectory",
+    "compare_trajectory",
+    "compare_trajectories",
+    "record_traced_run",
 ]

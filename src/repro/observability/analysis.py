@@ -196,6 +196,17 @@ class KernelDiff:
         return (self.sim_seconds - self.real_seconds) / self.real_seconds
 
 
+def _fmt_err(err: float) -> str:
+    """Render a relative error, or ``n/a`` when it is undefined.
+
+    An infinite error means the kernel ran on only one side of the
+    comparison — there is no meaningful percentage to print.
+    """
+    if err in (float("inf"), float("-inf")) or err != err:
+        return "     n/a"
+    return f"{err:+8.1%}"
+
+
 @dataclass
 class TraceDiff:
     """Prediction-error report: simulated trace vs a real recorded one."""
@@ -211,12 +222,22 @@ class TraceDiff:
             return float("inf") if self.sim_makespan > 0.0 else 0.0
         return (self.sim_makespan - self.real_makespan) / self.real_makespan
 
+    @property
+    def only_in_real(self) -> list[str]:
+        """Kernel names the simulated trace never executed."""
+        return [kd.kernel for kd in self.kernels if kd.sim_calls == 0 and kd.real_calls > 0]
+
+    @property
+    def only_in_sim(self) -> list[str]:
+        """Kernel names the real trace never executed."""
+        return [kd.kernel for kd in self.kernels if kd.real_calls == 0 and kd.sim_calls > 0]
+
     def to_text(self) -> str:
         lines = [
             "sim-vs-real prediction error (positive = simulator overestimates):",
             f"  makespan  real {self.real_makespan * 1e3:10.3f} ms   "
             f"sim {self.sim_makespan * 1e3:10.3f} ms   "
-            f"error {self.makespan_error:+8.1%}",
+            f"error {_fmt_err(self.makespan_error)}",
             f"  task sets {'match' if self.task_sets_match else 'DIFFER'}",
             "  per-kernel total seconds:",
         ]
@@ -224,8 +245,12 @@ class TraceDiff:
             lines.append(
                 f"    {kd.kernel:6s} real {kd.real_seconds * 1e3:10.3f} ms "
                 f"({kd.real_calls:5d} calls)   sim {kd.sim_seconds * 1e3:10.3f} ms "
-                f"({kd.sim_calls:5d} calls)   error {kd.relative_error:+8.1%}"
+                f"({kd.sim_calls:5d} calls)   error {_fmt_err(kd.relative_error)}"
             )
+        if self.only_in_real:
+            lines.append(f"  kernels only in real trace: {', '.join(self.only_in_real)}")
+        if self.only_in_sim:
+            lines.append(f"  kernels only in sim trace:  {', '.join(self.only_in_sim)}")
         return "\n".join(lines)
 
 

@@ -17,6 +17,7 @@ covers everything and ``load_jsonl(dump_jsonl(t))`` round-trips exactly.
 from __future__ import annotations
 
 import json
+import platform
 from pathlib import Path
 from typing import Iterable
 
@@ -25,6 +26,24 @@ from ..errors import ObservabilityError
 from ..sim.trace import ExecutionTrace, TaskRecord, TransferRecord
 
 SCHEMA_VERSION = 1
+
+
+def provenance_meta(**extra) -> dict:
+    """Standard provenance keys for a JSONL meta header.
+
+    Captures where the trace came from — host, platform, python — and
+    folds in whatever run parameters the caller knows (grid, tile size,
+    elimination mode, ``batch_updates``, decision audit, ...).  All keys
+    are additive on top of the schema-1 header, so readers that only
+    know ``{"type": "meta", "schema": 1}`` keep working.
+    """
+    meta = {
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+    meta.update({k: v for k, v in extra.items() if v is not None})
+    return meta
 
 
 def task_record_to_dict(rec: TaskRecord) -> dict:

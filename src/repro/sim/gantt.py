@@ -15,6 +15,15 @@ from .trace import ExecutionTrace
 
 #: Display characters per step kind.
 _STEP_CHAR = {Step.T: "T", Step.E: "E", Step.UT: "u", Step.UE: "x"}
+#: Batched row-panel updates get uppercase variants so a coarsened
+#: record is distinguishable from a run of per-tile kernels.
+_BATCH_CHAR = {Step.UT: "U", Step.UE: "X"}
+
+
+def _task_char(task) -> str:
+    if task.is_batch:
+        return _BATCH_CHAR.get(task.step, _STEP_CHAR[task.step])
+    return _STEP_CHAR[task.step]
 
 
 def ascii_gantt(
@@ -45,8 +54,10 @@ def ascii_gantt(
             row[c] = ch
 
     # Paint updates first so panel steps overwrite them at ties.
+    any_batch = False
     for rec in sorted(trace.tasks, key=lambda r: r.task.step in (Step.T, Step.E)):
-        paint(rec.device_id, rec.start, rec.end, _STEP_CHAR[rec.task.step])
+        any_batch = any_batch or rec.task.is_batch
+        paint(rec.device_id, rec.start, rec.end, _task_char(rec.task))
     if include_transfers:
         for t in trace.transfers:
             paint(f"{t.src} ->", t.start, t.end, "-")
@@ -57,6 +68,8 @@ def ascii_gantt(
         for key, row in sorted(rows.items())
     ]
     legend = "T=triangulation E=elimination u=UT x=UE -=transfer"
+    if any_batch:
+        legend += " U=UT batch X=UE batch"
     header = f"makespan: {span * 1e3:.3f} ms, {len(trace.tasks)} tasks, {len(trace.transfers)} transfers"
     return "\n".join([header, *lines, legend])
 
@@ -72,6 +85,13 @@ def to_chrome_trace(trace: ExecutionTrace, time_unit: float = 1e6) -> str:
     """
     events = []
     for rec in trace.tasks:
+        args = {"panel": rec.task.k, "col": rec.task.col}
+        if rec.task.is_batch:
+            # Coarsened row-panel record: expose the column range and the
+            # number of fused per-tile updates instead of pretending it
+            # was one tile.
+            args["col_end"] = rec.task.col_end
+            args["tiles"] = rec.task.ncols
         events.append(
             {
                 "name": rec.task.label(),
@@ -81,7 +101,7 @@ def to_chrome_trace(trace: ExecutionTrace, time_unit: float = 1e6) -> str:
                 "dur": rec.duration * time_unit,
                 "pid": "devices",
                 "tid": rec.device_id,
-                "args": {"panel": rec.task.k, "col": rec.task.col},
+                "args": args,
             }
         )
     for t in trace.transfers:

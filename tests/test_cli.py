@@ -103,3 +103,148 @@ class TestTraceCLI:
 
     def test_trace_rejects_huge_n(self):
         assert main(["trace", "99999"]) == 2
+
+
+class TestPlanExplainCLI:
+    def test_plan_explain(self, capsys):
+        assert main(["plan", "2048", "--tile-size", "512", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "[main_device]" in out
+        assert "[device_count]" in out
+        assert "[distribution]" in out
+        assert "margin" in out
+        assert "candidates:" in out
+
+    def test_plan_profile_store(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        store = tmp_path / "store.json"
+        assert main(
+            ["trace", "96", "--tile-size", "32", "--runtime", "threaded",
+             "--workers", "2", "--out", str(trace), "--profile-out", str(store)]
+        ) == 0
+        capsys.readouterr()
+        assert store.exists()
+        assert main(
+            ["plan", "96", "--tile-size", "32", "--profile", str(store), "--explain"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "using measured kernel times" in out
+        assert "[main_device]" in out
+
+    def test_plan_profile_missing_file(self, capsys, tmp_path):
+        assert main(
+            ["plan", "96", "--profile", str(tmp_path / "nope.json")]
+        ) == 2
+
+
+class TestTraceExportCLI:
+    def test_trace_chrome_export(self, capsys, tmp_path):
+        chrome = tmp_path / "chrome.json"
+        assert main(
+            ["trace", "64", "--runtime", "serial", "--chrome", str(chrome)]
+        ) == 0
+        assert "Chrome trace written" in capsys.readouterr().out
+        import json
+
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+        assert any(e["cat"] == "T" for e in doc["traceEvents"])
+
+    def test_trace_chrome_batch_args(self, tmp_path):
+        chrome = tmp_path / "chrome.json"
+        assert main(
+            ["trace", "96", "--tile-size", "32", "--runtime", "serial",
+             "--batch-updates", "--chrome", str(chrome)]
+        ) == 0
+        import json
+
+        doc = json.loads(chrome.read_text())
+        batched = [e for e in doc["traceEvents"] if "col_end" in e.get("args", {})]
+        assert batched
+        assert all(e["args"]["tiles"] == e["args"]["col_end"] - e["args"]["col"]
+                   for e in batched)
+
+    def test_trace_chrome_from_file(self, capsys, tmp_path):
+        out = tmp_path / "t.jsonl"
+        chrome = tmp_path / "c.json"
+        assert main(["trace", "64", "--runtime", "serial", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(out), "--chrome", str(chrome)]) == 0
+        assert chrome.exists()
+
+    def test_trace_meta_provenance(self, tmp_path):
+        import json
+
+        out = tmp_path / "t.jsonl"
+        assert main(
+            ["trace", "64", "--runtime", "serial", "--out", str(out)]
+        ) == 0
+        header = json.loads(out.read_text().splitlines()[0])
+        assert header["type"] == "meta" and header["schema"] == 1
+        for key in ("host", "grid", "elimination", "batch_updates", "runtime"):
+            assert key in header
+
+    def test_trace_meta_decisions_multiprocess(self, tmp_path):
+        import json
+
+        out = tmp_path / "t.jsonl"
+        assert main(
+            ["trace", "96", "--tile-size", "32", "--runtime", "multiprocess",
+             "--out", str(out)]
+        ) == 0
+        header = json.loads(out.read_text().splitlines()[0])
+        stages = [d["stage"] for d in header["decisions"]]
+        assert "main_device" in stages and "device_count" in stages
+
+
+class TestPerfCLI:
+    def _write(self, path, speedups):
+        from repro.observability import append_record
+
+        for s in speedups:
+            append_record(
+                path, "batched_updates",
+                [{"grid": 8, "tile_size": 16, "speedup": s}],
+            )
+
+    def test_perf_ok_exit_zero(self, capsys, tmp_path):
+        p = tmp_path / "BENCH_x.json"
+        self._write(p, [3.0, 3.1])
+        assert main(["perf", str(p), "--check"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_perf_regression_exit_nonzero(self, capsys, tmp_path):
+        p = tmp_path / "BENCH_x.json"
+        self._write(p, [3.0, 3.0, 2.0])  # 33% drop
+        assert main(["perf", str(p), "--check"]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_perf_committed_trajectories_pass(self, capsys):
+        """The repo's committed BENCH_*.json must be regression-free."""
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parent.parent
+        paths = sorted(repo_root.glob("BENCH_*.json"))
+        assert paths, "committed benchmark trajectories are missing"
+        assert main(["perf", *[str(p) for p in paths], "--check"]) == 0
+
+    def test_perf_no_trajectories(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["perf", "--check"]) == 2
+        assert main(["perf"]) == 0
+
+    def test_perf_threshold_flag(self, tmp_path):
+        p = tmp_path / "BENCH_x.json"
+        self._write(p, [3.0, 2.8])  # ~7% drop
+        assert main(["perf", str(p), "--check", "--threshold", "0.05"]) == 1
+        assert main(["perf", str(p), "--check", "--threshold", "0.20"]) == 0
+
+    def test_trace_perf_out_roundtrip(self, capsys, tmp_path):
+        p = tmp_path / "BENCH_traced.json"
+        for _ in range(2):
+            assert main(
+                ["trace", "64", "--runtime", "serial", "--perf-out", str(p)]
+            ) == 0
+        capsys.readouterr()
+        assert main(["perf", str(p)]) == 0
+        assert "traced_run" in capsys.readouterr().out

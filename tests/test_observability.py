@@ -311,3 +311,124 @@ class TestTracerMerging:
         assert len(tracer) == 2
         tracer.clear()
         assert len(tracer) == 0
+
+
+class TestTraceDiffRendering:
+    """`to_text` must render one-sided kernels as n/a and name them."""
+
+    def _one_sided_diff(self):
+        from repro.observability import diff_traces
+        from repro.sim.trace import ExecutionTrace, TaskRecord
+
+        real = ExecutionTrace(
+            tasks=[
+                TaskRecord(
+                    task=Task(TaskKind.GEQRT, 0, 0, 0, 0),
+                    device_id="d", start=0.0, end=0.5,
+                )
+            ],
+            transfers=[],
+        )
+        sim = ExecutionTrace(
+            tasks=[
+                TaskRecord(
+                    task=Task(TaskKind.GEQRT, 0, 0, 0, 0),
+                    device_id="d", start=0.0, end=0.4,
+                ),
+                TaskRecord(
+                    task=Task(TaskKind.TSQRT, 0, 1, 0, 0),
+                    device_id="d", start=0.4, end=0.6,
+                ),
+            ],
+            transfers=[],
+        )
+        return diff_traces(real, sim)
+
+    def test_one_sided_kernel_renders_na(self):
+        diff = self._one_sided_diff()
+        text = diff.to_text()
+        assert "inf" not in text
+        assert "n/a" in text
+
+    def test_missing_kernel_names_reported(self):
+        diff = self._one_sided_diff()
+        assert diff.only_in_sim == ["TSQRT"]
+        assert diff.only_in_real == []
+        assert "kernels only in sim trace" in diff.to_text()
+        assert "TSQRT" in diff.to_text()
+
+    def test_relative_error_still_inf_for_programmatic_use(self):
+        from repro.observability import KernelDiff
+
+        kd = KernelDiff(
+            kernel="TSQRT", real_seconds=0.0, sim_seconds=0.1,
+            real_calls=0, sim_calls=1,
+        )
+        assert kd.relative_error == float("inf")
+
+    def test_two_sided_diff_keeps_percentages(self):
+        from repro.observability import KernelDiff
+
+        kd = KernelDiff(
+            kernel="GEQRT", real_seconds=0.5, sim_seconds=0.4,
+            real_calls=1, sim_calls=1,
+        )
+        assert kd.relative_error == pytest.approx(-0.2)
+
+
+class TestGanttBatchHandling:
+    def _batched_trace(self):
+        from repro.sim.trace import ExecutionTrace, TaskRecord
+
+        return ExecutionTrace(
+            tasks=[
+                TaskRecord(
+                    task=Task(TaskKind.GEQRT, 0, 0, 0, 0),
+                    device_id="d", start=0.0, end=0.2,
+                ),
+                TaskRecord(
+                    task=Task(TaskKind.UNMQR_BATCH, 0, 0, 0, 1, col_end=4),
+                    device_id="d", start=0.2, end=0.6,
+                ),
+                TaskRecord(
+                    task=Task(TaskKind.TSMQR_BATCH, 0, 1, 0, 1, col_end=4),
+                    device_id="d", start=0.6, end=1.0,
+                ),
+            ],
+            transfers=[],
+        )
+
+    def test_ascii_gantt_batch_chars_and_legend(self):
+        from repro.sim.gantt import ascii_gantt
+
+        text = ascii_gantt(self._batched_trace(), width=40)
+        assert "U" in text and "X" in text
+        assert "U=UT batch" in text and "X=UE batch" in text
+
+    def test_ascii_gantt_unbatched_legend_unchanged(self):
+        from repro.sim.gantt import ascii_gantt
+        from repro.sim.trace import ExecutionTrace, TaskRecord
+
+        trace = ExecutionTrace(
+            tasks=[
+                TaskRecord(
+                    task=Task(TaskKind.GEQRT, 0, 0, 0, 0),
+                    device_id="d", start=0.0, end=0.2,
+                )
+            ],
+            transfers=[],
+        )
+        assert "UT batch" not in ascii_gantt(trace, width=40)
+
+    def test_chrome_trace_batch_args(self):
+        import json
+
+        from repro.sim.gantt import to_chrome_trace
+
+        doc = json.loads(to_chrome_trace(self._batched_trace()))
+        by_name = {e["name"]: e for e in doc["traceEvents"]}
+        batch = by_name["UT[0,1:4]k0"]
+        assert batch["args"]["col_end"] == 4
+        assert batch["args"]["tiles"] == 3
+        plain = by_name["T[0,0]"]
+        assert "col_end" not in plain["args"]
