@@ -14,6 +14,9 @@ Optimization on CPU and GPU Computing System" (ICPP 2013):
   :mod:`repro.core`;
 * two execution paths: real numeric runtimes (:mod:`repro.runtime`) and
   simulated heterogeneous execution (:mod:`repro.sim`);
+* fault-tolerant execution — deterministic chaos injection, task retry,
+  device failover, mid-run checkpoint/resume — :mod:`repro.resilience`
+  (see ``docs/RELIABILITY.md``);
 * baselines, analysis utilities, and one experiment driver per paper
   table/figure — :mod:`repro.baselines`, :mod:`repro.analysis`,
   :mod:`repro.experiments`.
@@ -36,15 +39,17 @@ Planning for the paper's heterogeneous testbed:
 'gtx580-0'
 """
 
-from . import linalg, observability, workloads
+from . import linalg, observability, resilience, workloads
 from .config import DEFAULT_TILE_SIZE
 from .observability import MetricsRegistry, Tracer
 from .core.executor import TiledQR, TiledQRRun
 from .core.optimizer import Optimizer
 from .core.plan import DistributionPlan
 from .devices.registry import SystemSpec, paper_testbed, synthetic_system
+from .resilience import ChaosEngine, FaultKind, FaultPlan, FaultSpec, RetryPolicy
 from .runtime.serial import SerialRuntime, tiled_qr
 from .runtime.threaded import ThreadedRuntime
+from .runtime.checkpoint import resume_factorization
 from .runtime.factorization import TiledQRFactorization
 from .tiles.layout import TiledMatrix
 
@@ -64,10 +69,17 @@ __all__ = [
     "TiledQRFactorization",
     "TiledMatrix",
     "tiled_qr",
+    "resume_factorization",
+    "ChaosEngine",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
     "Tracer",
     "MetricsRegistry",
     "linalg",
     "observability",
+    "resilience",
     "workloads",
     "__version__",
 ]

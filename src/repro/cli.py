@@ -8,7 +8,13 @@ Subcommands:
 * ``plan <n>`` — print the optimized distribution plan for an n x n
   matrix on the paper testbed.
 * ``factorize <n>`` — run a real numeric tiled QR and report the
-  residual plus the simulated heterogeneous-system time.
+  residual plus the simulated heterogeneous-system time;
+  ``--checkpoint-every/--checkpoint-out`` snapshot mid-run and
+  ``--resume`` finishes an interrupted run.
+* ``chaos <n> --plan PLAN.json`` — run a factorization under a
+  deterministic fault-injection plan (kernel exceptions, hangs, worker
+  kills, tile corruption) and print the resilience report: faults
+  injected, retries, failovers, overhead vs a clean run.
 * ``trace <n|file.jsonl>`` — record a traced real run (or summarize a
   saved JSONL trace): per-kernel time share, critical path, worker
   utilization; ``--diff`` reports per-kernel sim-vs-real prediction
@@ -130,6 +136,10 @@ def _cmd_factorize(args) -> int:
         return 2
     rng = np.random.default_rng(args.seed)
     a = rng.standard_normal((args.n, args.n))
+
+    if args.resume or args.checkpoint_every or args.checkpoint_out:
+        return _factorize_checkpointed(args, a)
+
     qr = TiledQR(paper_testbed())
     run = qr.factorize(a, tile_size=args.tile_size, batch_updates=args.batch_updates)
     fact = run.factorization
@@ -138,6 +148,175 @@ def _cmd_factorize(args) -> int:
     print(f"numeric: ||A - QR||/||A|| = {err:.3e}")
     print(f"simulated heterogeneous makespan: {run.report.makespan*1e3:.3f} ms")
     print(f"simulated communication share: {run.report.comm_fraction*100:.1f}%")
+    return 0
+
+
+def _factorize_checkpointed(args, a) -> int:
+    """`factorize` with --checkpoint-every/--checkpoint-out/--resume:
+    runs through the resilient runtimes instead of the TiledQR executor."""
+    from .errors import ReproError
+    from .observability import MetricsRegistry
+    from .runtime.checkpoint import (
+        CheckpointError,
+        load_partial_factorization,
+        resume_factorization,
+    )
+    from .runtime.serial import SerialRuntime
+    from .runtime.threaded import ThreadedRuntime
+    from .utils import frobenius_relative_error
+
+    if (args.checkpoint_every is None) != (args.checkpoint_out is None):
+        print(
+            "--checkpoint-every and --checkpoint-out must be given together",
+            file=sys.stderr,
+        )
+        return 2
+    metrics = MetricsRegistry()
+    kwargs = dict(
+        batch_updates=args.batch_updates,
+        metrics=metrics,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint_out,
+    )
+    if args.runtime == "threaded":
+        runtime = ThreadedRuntime(num_workers=args.workers, **kwargs)
+    else:
+        runtime = SerialRuntime(**kwargs)
+
+    try:
+        if args.resume:
+            state = load_partial_factorization(args.resume)
+            if state.shape != a.shape:
+                print(
+                    f"snapshot {args.resume} is for a {state.shape} matrix, "
+                    f"not {a.shape}; pass the original n/seed",
+                    file=sys.stderr,
+                )
+                return 2
+            ntasks = len(state.completed)
+            print(f"resuming from {args.resume} ({ntasks} task(s) already done)")
+            fact = resume_factorization(args.resume, runtime=runtime)
+        else:
+            fact = runtime.factorize(a, args.tile_size)
+    except (CheckpointError, ReproError) as exc:
+        print(f"factorization failed: {exc}", file=sys.stderr)
+        return 2
+    err = frobenius_relative_error(fact.apply_q(fact.r_dense()), a)
+    print(f"numeric ({args.runtime} runtime): ||A - QR||/||A|| = {err:.3e}")
+    ckpts = metrics.snapshot()["counters"].get("resilience.checkpoints", 0)
+    if args.checkpoint_out and ckpts:
+        print(f"checkpoints written: {int(ckpts)} -> {args.checkpoint_out}")
+        print(f"resume with: tiledqr factorize {args.n} --seed {args.seed} "
+              f"--resume {args.checkpoint_out}")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    """Run a factorization under a fault plan and report what happened."""
+    import json
+    from pathlib import Path
+    from time import perf_counter
+
+    from .errors import ReproError, ResilienceError
+    from .observability import MetricsRegistry, Tracer, write_jsonl
+    from .resilience import (
+        ChaosEngine,
+        FaultPlan,
+        ResilienceReport,
+        RetryPolicy,
+        resilience_counters,
+    )
+    from .runtime import tiled_qr
+
+    if args.n > 2048:
+        print("numeric factorization is NumPy-bound; use n <= 2048", file=sys.stderr)
+        return 2
+    try:
+        plan = FaultPlan.load(args.plan)
+    except (ResilienceError, OSError) as exc:
+        print(f"cannot load fault plan {args.plan}: {exc}", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    a = rng.standard_normal((args.n, args.n))
+
+    t0 = perf_counter()
+    clean = tiled_qr(a, args.tile_size)
+    clean_seconds = perf_counter() - t0
+
+    metrics = MetricsRegistry()
+    tracer = Tracer(metrics=metrics)
+    policy = RetryPolicy(
+        max_attempts=args.max_attempts,
+        backoff=args.backoff,
+        deadline=args.deadline,
+    )
+    t0 = perf_counter()
+    try:
+        if args.runtime == "multiprocess":
+            from .core.optimizer import Optimizer
+            from .devices.registry import paper_testbed
+
+            dist = Optimizer(paper_testbed()).plan(
+                matrix_size=args.n,
+                tile_size=args.tile_size,
+                num_devices=args.devices,
+            )
+            print(f"devices: {', '.join(dist.participants)} (main {dist.main_device})")
+            from .runtime.multiprocess import MultiprocessRuntime
+
+            fact = MultiprocessRuntime(
+                dist,
+                tracer=tracer,
+                retry_policy=policy,
+                chaos_plan=plan,
+                metrics=metrics,
+                health_checks=args.health_checks,
+            ).factorize(a, args.tile_size)
+        else:
+            chaos = ChaosEngine(plan, metrics=metrics, tracer=tracer)
+            kwargs = dict(
+                tracer=tracer,
+                retry_policy=policy,
+                chaos=chaos,
+                metrics=metrics,
+                health_checks=args.health_checks,
+            )
+            if args.runtime == "threaded":
+                from .runtime.threaded import ThreadedRuntime
+
+                fact = ThreadedRuntime(num_workers=args.workers, **kwargs).factorize(
+                    a, args.tile_size
+                )
+            else:
+                from .runtime.serial import SerialRuntime
+
+                fact = SerialRuntime(**kwargs).factorize(a, args.tile_size)
+    except ReproError as exc:
+        print(f"factorization did not survive the fault plan: {exc}", file=sys.stderr)
+        return 1
+    wall = perf_counter() - t0
+
+    report = ResilienceReport(
+        n=args.n,
+        runtime=args.runtime,
+        residual=fact.reconstruction_error(a),
+        wall_seconds=wall,
+        clean_seconds=clean_seconds,
+        counters=resilience_counters(metrics),
+        events=[
+            f"{rec.kind}: {rec.label}" for rec in tracer.annotation_records()
+        ],
+        identical_to_clean=bool(
+            np.array_equal(fact.r_dense(), clean.r_dense())
+        ),
+    )
+    print(report.to_text())
+    if args.trace_out:
+        path = write_jsonl(tracer.to_trace(), args.trace_out)
+        print(f"trace written to {path}")
+    if args.json:
+        Path(args.json).write_text(json.dumps(report.to_dict(), indent=1))
+        print(f"report JSON written to {args.json}")
     return 0
 
 
@@ -436,7 +615,89 @@ def main(argv: list[str] | None = None) -> int:
         help="coarsen trailing-matrix updates into row-panel batches "
         "(see docs/PERFORMANCE.md)",
     )
+    p_fact.add_argument(
+        "--runtime",
+        choices=["serial", "threaded"],
+        default="serial",
+        help="executor for checkpointed/resumed runs (default: serial)",
+    )
+    p_fact.add_argument("--workers", type=int, default=4, help="threaded worker count")
+    p_fact.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        help="write a partial snapshot after every N completed tasks "
+        "(requires --checkpoint-out; see docs/RELIABILITY.md)",
+    )
+    p_fact.add_argument(
+        "--checkpoint-out",
+        metavar="SNAP.npz",
+        help="partial-snapshot path for --checkpoint-every",
+    )
+    p_fact.add_argument(
+        "--resume",
+        metavar="SNAP.npz",
+        help="finish an interrupted run from this partial snapshot "
+        "(pass the original n and --seed so the result can be verified)",
+    )
     p_fact.set_defaults(func=_cmd_factorize)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a factorization under a fault-injection plan and "
+        "report retries/failovers/overhead",
+    )
+    p_chaos.add_argument("n", type=int)
+    p_chaos.add_argument(
+        "--plan",
+        required=True,
+        metavar="PLAN.json",
+        help="fault plan JSON (see docs/RELIABILITY.md for the format)",
+    )
+    p_chaos.add_argument(
+        "--runtime",
+        choices=["serial", "threaded", "multiprocess"],
+        default="serial",
+        help="executor to sabotage (default: serial); worker kills need "
+        "multiprocess",
+    )
+    p_chaos.add_argument("--workers", type=int, default=4, help="threaded worker count")
+    p_chaos.add_argument(
+        "--devices",
+        type=int,
+        default=None,
+        help="multiprocess device count (default: let Alg. 3 choose — small "
+        "problems may plan a single device, leaving nothing to fail over)",
+    )
+    p_chaos.add_argument("--tile-size", type=int, default=16)
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--max-attempts", type=int, default=3, help="retry budget per task (default: 3)"
+    )
+    p_chaos.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        help="base retry backoff seconds (default: 0 — chaos runs retry immediately)",
+    )
+    p_chaos.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-task deadline in seconds; slower attempts count as hangs",
+    )
+    p_chaos.add_argument(
+        "--health-checks",
+        action="store_true",
+        help="NaN/Inf-check every task's outputs (catches CORRUPT_* faults)",
+    )
+    p_chaos.add_argument(
+        "--trace-out", metavar="OUT.jsonl", help="write the annotated trace here"
+    )
+    p_chaos.add_argument(
+        "--json", metavar="OUT.json", help="also write the report as JSON"
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_gantt = sub.add_parser("gantt", help="ASCII Gantt of a simulated run")
     p_gantt.add_argument("n", type=int)

@@ -50,3 +50,36 @@ class ConfigError(ReproError, ValueError):
 
 class ObservabilityError(ReproError):
     """Tracing/metrics misuse (mis-nested spans, malformed trace files)."""
+
+
+class ResilienceError(ReproError):
+    """Base class for fault-tolerance failures (retry, failover, health)."""
+
+
+class FaultInjectionError(ResilienceError):
+    """A synthetic kernel failure injected by the chaos engine.
+
+    Deliberately retryable: the retry layer treats it exactly like a
+    real transient kernel exception.
+    """
+
+
+class NumericalHealthError(ResilienceError):
+    """A kernel produced non-finite output or an implausible residual.
+
+    Raised by the opt-in NaN/Inf sentinels and the per-panel residual
+    probe; routed through the retry layer (the task's inputs are
+    restored and the kernel replayed).
+    """
+
+
+class TaskTimeoutError(ResilienceError):
+    """A task exceeded its per-task deadline (a hang classified as failure)."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """A task kept failing after every attempt the retry policy allows."""
+
+
+class WorkerFailoverError(ResilienceError):
+    """Device failover could not proceed (no survivors, lost state, ...)."""

@@ -50,7 +50,11 @@ def expand_batched(trace: ExecutionTrace) -> ExecutionTrace:
                     end=rec.start + (idx + 1) * dt,
                 )
             )
-    return ExecutionTrace(tasks=tasks, transfers=list(trace.transfers))
+    return ExecutionTrace(
+        tasks=tasks,
+        transfers=list(trace.transfers),
+        annotations=list(trace.annotations),
+    )
 
 
 def kernel_times(trace: ExecutionTrace) -> dict[str, float]:
@@ -132,6 +136,7 @@ class TraceSummary:
     utilization: dict[str, float]
     critical_path: float
     meta: dict = field(default_factory=dict)
+    annotation_counts: dict = field(default_factory=dict)
 
     def to_text(self) -> str:
         lines = [
@@ -154,6 +159,10 @@ class TraceSummary:
         lines.append("device utilization:")
         for dev in sorted(self.utilization):
             lines.append(f"  {dev:12s} {self.utilization[dev]:6.1%}")
+        if self.annotation_counts:
+            lines.append("resilience events:")
+            for kind in sorted(self.annotation_counts):
+                lines.append(f"  {kind:12s} {self.annotation_counts[kind]}")
         return "\n".join(lines)
 
 
@@ -175,7 +184,15 @@ def summarize_trace(trace: ExecutionTrace, **meta) -> TraceSummary:
         utilization=device_utilization(trace),
         critical_path=trace_critical_path(trace),
         meta=meta,
+        annotation_counts=_annotation_counts(trace),
     )
+
+
+def _annotation_counts(trace: ExecutionTrace) -> dict:
+    out: dict = {}
+    for a in getattr(trace, "annotations", ()):
+        out[a.kind] = out.get(a.kind, 0) + 1
+    return out
 
 
 @dataclass

@@ -8,6 +8,8 @@ One line per event, schema version 1::
      "start": 0.0, "end": 0.0012}
     {"type": "transfer", "src": "cpu0", "dst": "gpu0",
      "bytes": 2048.0, "start": 0.0, "end": 0.0003, "tag": "col3"}
+    {"type": "annotation", "kind": "retry", "label": "attempt 2 ...",
+     "device": "worker-1", "t": 0.0015}                    # resilience events
 
 Both the simulators' traces and the real runtimes' traced runs share
 :class:`~repro.sim.trace.ExecutionTrace`, so one exporter/loader pair
@@ -23,7 +25,7 @@ from typing import Iterable
 
 from ..dag.tasks import Task, TaskKind
 from ..errors import ObservabilityError
-from ..sim.trace import ExecutionTrace, TaskRecord, TransferRecord
+from ..sim.trace import AnnotationRecord, ExecutionTrace, TaskRecord, TransferRecord
 
 SCHEMA_VERSION = 1
 
@@ -88,6 +90,25 @@ def _task_record_from_dict(d: dict) -> TaskRecord:
     return TaskRecord(task=task, device_id=str(d["device"]), start=float(d["start"]), end=float(d["end"]))
 
 
+def annotation_record_to_dict(rec: AnnotationRecord) -> dict:
+    return {
+        "type": "annotation",
+        "kind": rec.kind,
+        "label": rec.label,
+        "device": rec.device,
+        "t": rec.t,
+    }
+
+
+def _annotation_record_from_dict(d: dict) -> AnnotationRecord:
+    return AnnotationRecord(
+        kind=str(d["kind"]),
+        label=str(d.get("label", "")),
+        device=str(d.get("device", "local")),
+        t=float(d.get("t", 0.0)),
+    )
+
+
 def _transfer_record_from_dict(d: dict) -> TransferRecord:
     return TransferRecord(
         src=str(d["src"]),
@@ -109,6 +130,8 @@ def trace_lines(trace: ExecutionTrace, meta: dict | None = None) -> Iterable[str
         yield json.dumps(task_record_to_dict(rec))
     for rec in trace.transfers:
         yield json.dumps(transfer_record_to_dict(rec))
+    for rec in trace.annotations:
+        yield json.dumps(annotation_record_to_dict(rec))
 
 
 def dump_jsonl(trace: ExecutionTrace, meta: dict | None = None) -> str:
@@ -142,6 +165,7 @@ def load_jsonl(source: str | Path | Iterable[str]) -> ExecutionTrace:
         lines = list(source)
     tasks: list[TaskRecord] = []
     transfers: list[TransferRecord] = []
+    annotations: list[AnnotationRecord] = []
     for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -161,6 +185,8 @@ def load_jsonl(source: str | Path | Iterable[str]) -> ExecutionTrace:
             tasks.append(_task_record_from_dict(d))
         elif kind == "transfer":
             transfers.append(_transfer_record_from_dict(d))
+        elif kind == "annotation":
+            annotations.append(_annotation_record_from_dict(d))
         else:
             raise ObservabilityError(f"trace line {lineno} has unknown type {kind!r}")
-    return ExecutionTrace(tasks=tasks, transfers=transfers)
+    return ExecutionTrace(tasks=tasks, transfers=transfers, annotations=annotations)

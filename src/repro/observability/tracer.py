@@ -30,7 +30,7 @@ from typing import Callable
 
 from ..dag.tasks import Task, TaskKind
 from ..errors import ObservabilityError
-from ..sim.trace import ExecutionTrace, TaskRecord, TransferRecord
+from ..sim.trace import AnnotationRecord, ExecutionTrace, TaskRecord, TransferRecord
 
 
 class _NullSpan:
@@ -120,6 +120,7 @@ class Tracer:
         self._lock = threading.Lock()
         self._buffers: list[list[TaskRecord]] = []
         self._transfers: list[TransferRecord] = []
+        self._annotations: list[AnnotationRecord] = []
         self._local = threading.local()
 
     # -- span API ---------------------------------------------------------
@@ -204,6 +205,23 @@ class Tracer:
                 TransferRecord(src=src, dst=dst, num_bytes=num_bytes, start=start, end=end, tag=tag)
             )
 
+    def record_annotation(
+        self, kind: str, label: str, device: str = "local", t: float | None = None
+    ) -> None:
+        """Ingest one out-of-band event (retry, fault, failover, checkpoint).
+
+        Annotations ride along in the trace without affecting any timing
+        aggregate — ``tiledqr trace`` lists them so a post-mortem shows
+        what the resilience machinery did and when.
+        """
+        if not self.enabled:
+            return
+        when = self._clock() if t is None else t
+        with self._lock:
+            self._annotations.append(
+                AnnotationRecord(kind=kind, label=label, device=device, t=when)
+            )
+
     # -- internal span plumbing -------------------------------------------
 
     def _buffer(self) -> list[TaskRecord]:
@@ -263,6 +281,12 @@ class Tracer:
         out.sort(key=lambda r: (r.start, r.end))
         return out
 
+    def annotation_records(self) -> list[AnnotationRecord]:
+        with self._lock:
+            out = list(self._annotations)
+        out.sort(key=lambda r: r.t)
+        return out
+
     def __len__(self) -> int:
         with self._lock:
             return sum(len(b) for b in self._buffers) + len(self._transfers)
@@ -279,6 +303,7 @@ class Tracer:
         """
         tasks = self.task_records()
         transfers = self.transfer_records()
+        annotations = self.annotation_records()
         if rebase and (tasks or transfers):
             t0 = min(
                 [r.start for r in tasks] + [t.start for t in transfers]
@@ -294,7 +319,11 @@ class Tracer:
                 )
                 for t in transfers
             ]
-        return ExecutionTrace(tasks=tasks, transfers=transfers)
+            annotations = [
+                AnnotationRecord(kind=a.kind, label=a.label, device=a.device, t=a.t - t0)
+                for a in annotations
+            ]
+        return ExecutionTrace(tasks=tasks, transfers=transfers, annotations=annotations)
 
     def clear(self) -> None:
         """Drop all recorded events (buffers stay registered)."""
@@ -302,6 +331,7 @@ class Tracer:
             for buf in self._buffers:
                 buf.clear()
             self._transfers.clear()
+            self._annotations.clear()
 
 
 #: Shared inert tracer — pass where a tracer is required but unwanted.

@@ -1,0 +1,47 @@
+"""Fault-tolerant execution: chaos injection, retry, health, failover.
+
+The tiled-DAG formulation (Buttari et al.; Bouwmeester et al.) makes
+fault tolerance tractable at task granularity: every task's inputs and
+outputs are explicit tiles, so failed work can be replayed (retry),
+recomputed (failover reconstruction) or resumed (checkpoint frontier)
+without touching unrelated state.  This package holds the pieces the
+runtimes compose:
+
+* :class:`FaultPlan` / :class:`ChaosEngine` — deterministic, seeded
+  fault injection (kernel exceptions, delays, hangs, worker death,
+  NaN/Inf corruption) for testing the machinery below;
+* :class:`RetryPolicy` — bounded attempts with exponential backoff,
+  deterministic jitter, and per-task deadlines that classify hangs as
+  failures;
+* NaN/Inf sentinels and the per-panel residual probe
+  (:func:`check_task_outputs`, :func:`panel_residual_probe`), raising
+  :class:`~repro.errors.NumericalHealthError` through the retry layer;
+* :class:`ResilienceReport` — the ``tiledqr chaos`` summary.
+
+Device failover lives in :mod:`repro.runtime.multiprocess` (it is
+inseparable from the manager loop) and mid-run checkpointing in
+:mod:`repro.runtime.checkpoint`; see ``docs/RELIABILITY.md`` for the
+full fault model.
+"""
+
+from .faults import ChaosEngine, FaultKind, FaultPlan, FaultSpec
+from .health import check_finite, check_task_outputs, panel_residual_probe
+from .report import COUNTERS, ResilienceReport, resilience_counters
+from .retry import DEFAULT_RETRY_POLICY, NO_RETRY, RETRYABLE, RetryPolicy
+
+__all__ = [
+    "ChaosEngine",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "NO_RETRY",
+    "RETRYABLE",
+    "check_finite",
+    "check_task_outputs",
+    "panel_residual_probe",
+    "ResilienceReport",
+    "resilience_counters",
+    "COUNTERS",
+]

@@ -1,0 +1,75 @@
+"""Numerical health checks: NaN/Inf sentinels and panel residual probes.
+
+Householder QR is unconditionally stable, so non-finite values in a
+tile are *always* evidence of corruption (bad memory, a broken kernel,
+an injected fault) — never legitimate intermediate state.  The checks
+here are opt-in because they cost a pass over each written tile; when
+enabled they raise :class:`~repro.errors.NumericalHealthError`, which
+the retry layer treats as a retryable kernel failure (restore inputs,
+replay).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dag.tasks import Task
+from ..errors import NumericalHealthError
+
+#: A panel R tile whose norm exceeds the pre-factorization column norm
+#: by this factor is numerically implausible for an orthogonal
+#: transformation (which preserves column norms exactly).
+RESIDUAL_NORM_FACTOR = 1e3
+
+
+def check_finite(arr: np.ndarray, what: str) -> None:
+    """Raise :class:`NumericalHealthError` unless ``arr`` is all-finite."""
+    if not np.all(np.isfinite(arr)):
+        bad = "nan" if np.any(np.isnan(arr)) else "inf"
+        raise NumericalHealthError(f"non-finite ({bad}) values in {what}")
+
+
+def check_task_outputs(task: Task, written_tiles) -> None:
+    """NaN/Inf sentinel over the tiles a task wrote.
+
+    ``written_tiles`` is an iterable of ndarrays; the task label is
+    included in the error so traces/retries identify the culprit.
+    """
+    for idx, tile in enumerate(written_tiles):
+        if not np.all(np.isfinite(tile)):
+            bad = "nan" if np.any(np.isnan(tile)) else "inf"
+            raise NumericalHealthError(
+                f"non-finite ({bad}) output tile #{idx} after {task.label()}"
+            )
+
+
+def tiled_frobenius_norm(tiled) -> float:
+    """Frobenius norm of a :class:`~repro.tiles.TiledMatrix`, tile-wise.
+
+    The reference magnitude for :func:`panel_residual_probe` — computed
+    once before factorization starts (orthogonal updates preserve it).
+    """
+    total = 0.0
+    for _i, _j, tile in tiled.iter_tiles():
+        v = float(np.linalg.norm(tile))
+        total += v * v
+    return total ** 0.5
+
+
+def panel_residual_probe(r_tile: np.ndarray, ref_norm: float, k: int) -> None:
+    """Cheap plausibility probe after panel ``k`` is factorized.
+
+    Orthogonal transformations preserve Frobenius norms, so the R tile
+    on the diagonal can never legitimately dwarf the pre-factorization
+    panel norm.  The probe is O(b^2) — negligible next to the O(b^3)
+    panel chain — and catches silent corruption that produced *finite*
+    but garbage values, which the NaN sentinels cannot.
+    """
+    check_finite(r_tile, f"panel {k} R tile")
+    norm = float(np.linalg.norm(r_tile))
+    bound = RESIDUAL_NORM_FACTOR * max(ref_norm, 1.0)
+    if norm > bound:
+        raise NumericalHealthError(
+            f"panel {k} residual probe failed: ||R_kk|| = {norm:.3e} exceeds "
+            f"{RESIDUAL_NORM_FACTOR:.0e} x panel norm {ref_norm:.3e}"
+        )

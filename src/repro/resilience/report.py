@@ -1,0 +1,87 @@
+"""Resilience reporting: what the fault tolerance machinery did.
+
+:class:`ResilienceReport` aggregates the ``resilience.*`` counters a
+chaos run produced, next to a clean-run baseline, into the summary the
+``tiledqr chaos`` CLI prints: faults injected, retries spent, failovers
+executed, checkpoints written, and the wall-clock overhead the
+resilience machinery cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Counter names the runtimes maintain (all under ``resilience.``).
+COUNTERS = (
+    "resilience.faults_injected",
+    "resilience.retries",
+    "resilience.timeouts",
+    "resilience.failovers",
+    "resilience.worker_deaths",
+    "resilience.checkpoints",
+)
+
+
+def resilience_counters(metrics) -> dict[str, float]:
+    """The ``resilience.*`` counter values in a metrics snapshot."""
+    snap = metrics.snapshot()["counters"]
+    return {name: snap.get(name, 0.0) for name in COUNTERS}
+
+
+@dataclass
+class ResilienceReport:
+    """Outcome of one factorization under a fault plan."""
+
+    n: int
+    runtime: str
+    residual: float
+    wall_seconds: float
+    clean_seconds: float | None = None
+    counters: dict[str, float] = field(default_factory=dict)
+    events: list[str] = field(default_factory=list)
+    identical_to_clean: bool | None = None
+
+    @property
+    def overhead_fraction(self) -> float | None:
+        """Wall-clock overhead relative to the clean run (None if unknown)."""
+        if self.clean_seconds is None or self.clean_seconds <= 0.0:
+            return None
+        return self.wall_seconds / self.clean_seconds - 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "runtime": self.runtime,
+            "residual": self.residual,
+            "wall_seconds": self.wall_seconds,
+            "clean_seconds": self.clean_seconds,
+            "overhead_fraction": self.overhead_fraction,
+            "counters": dict(self.counters),
+            "events": list(self.events),
+            "identical_to_clean": self.identical_to_clean,
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            f"resilience report: {self.runtime} runtime, n={self.n}",
+            f"  reconstruction residual : {self.residual:.3e}",
+            f"  wall clock              : {self.wall_seconds*1e3:.1f} ms",
+        ]
+        if self.clean_seconds is not None:
+            over = self.overhead_fraction
+            lines.append(
+                f"  clean-run wall clock    : {self.clean_seconds*1e3:.1f} ms"
+                + (f"  (overhead {over*100:+.1f}%)" if over is not None else "")
+            )
+        if self.identical_to_clean is not None:
+            lines.append(
+                "  result vs clean run     : "
+                + ("bit-identical" if self.identical_to_clean else "differs (within tolerance)")
+            )
+        for name in COUNTERS:
+            short = name.split(".", 1)[1]
+            lines.append(f"  {short:24s}: {int(self.counters.get(name, 0))}")
+        if self.events:
+            lines.append("  events:")
+            lines.extend(f"    {e}" for e in self.events)
+        return "\n".join(lines)

@@ -10,6 +10,11 @@ Two executors share one task-application core:
 * :class:`MultiprocessRuntime` — distributed-memory execution with one
   OS process per device and explicit pipe transfers (the paper's
   Fig. 7 structure made literal).
+
+All three accept resilience controls (retry policy, chaos engine,
+health checks, periodic checkpoints — see :mod:`repro.resilience` and
+``docs/RELIABILITY.md``); :func:`resume_factorization` finishes an
+interrupted checkpointed run.
 """
 
 from .factorization import TiledQRFactorization
@@ -17,7 +22,15 @@ from .serial import SerialRuntime, tiled_qr
 from .threaded import ThreadedRuntime
 from .multiprocess import MultiprocessRuntime
 from .trisolve import tiled_back_substitution, solve_factorized_tiled
-from .checkpoint import save_factorization, load_factorization
+from .checkpoint import (
+    CheckpointError,
+    PartialState,
+    save_factorization,
+    load_factorization,
+    save_partial_factorization,
+    load_partial_factorization,
+    resume_factorization,
+)
 
 __all__ = [
     "TiledQRFactorization",
@@ -29,4 +42,9 @@ __all__ = [
     "solve_factorized_tiled",
     "save_factorization",
     "load_factorization",
+    "CheckpointError",
+    "PartialState",
+    "save_partial_factorization",
+    "load_partial_factorization",
+    "resume_factorization",
 ]

@@ -1,13 +1,27 @@
 """Persist and restore tiled QR factorizations.
 
 A factorization of a large matrix is expensive; saving the factors lets
-solves/Q-applications resume in a later process.  The format is a
-single NumPy ``.npz``: the R tiles, the reflector log (V/Tf per
-factorization task), and the layout metadata.
+solves/Q-applications resume in a later process.  Two formats share one
+``.npz`` container:
+
+* **format 1** — a *completed* factorization: the R tiles, the reflector
+  log (V/Tf per factorization task), and the layout metadata
+  (:func:`save_factorization` / :func:`load_factorization`).
+* **format 2** — a *partial* (mid-run) snapshot: everything above plus
+  the completed-task frontier and the DAG configuration, taken at a
+  quiescent point of a run (:func:`save_partial_factorization`).
+  :func:`resume_factorization` replays the remaining DAG from exactly
+  that state — an interrupted run resumed this way produces the same R
+  the uninterrupted run would have.
+
+Checkpoints are written atomically (temp file + ``os.replace``) so a
+crash mid-write never leaves a truncated snapshot where a good one was.
 """
 
 from __future__ import annotations
 
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -20,32 +34,55 @@ from ..tiles import TiledMatrix
 from .factorization import TiledQRFactorization
 
 _FORMAT = 1
+_PARTIAL_FORMAT = 2
 
 
 class CheckpointError(ReproError):
     """Raised on malformed or incompatible checkpoint files."""
 
 
+def _atomic_savez(path, arrays: dict) -> None:
+    """Write an ``.npz`` so readers never observe a half-written file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+    os.replace(tmp, path)
+
+
 def save_factorization(fact: TiledQRFactorization, path) -> None:
-    """Write a factorization to ``path`` (``.npz``)."""
+    """Write a completed factorization to ``path`` (``.npz``)."""
     arrays: dict[str, np.ndarray] = {}
-    meta = {
-        "format": _FORMAT,
-        "rows": fact.shape[0],
-        "cols": fact.shape[1],
-        "tile_size": fact.tile_size,
-        "grid_rows": fact.r.grid_rows,
-        "grid_cols": fact.r.grid_cols,
-        "num_ops": len(fact.log),
-    }
     arrays["meta"] = np.array(
-        [meta["format"], meta["rows"], meta["cols"], meta["tile_size"],
-         meta["grid_rows"], meta["grid_cols"], meta["num_ops"]],
+        [_FORMAT, fact.shape[0], fact.shape[1], fact.tile_size,
+         fact.r.grid_rows, fact.r.grid_cols, len(fact.log)],
         dtype=np.int64,
     )
     for i, j, tile in fact.r.iter_tiles():
         arrays[f"r_{i}_{j}"] = tile
-    for idx, (task, factors) in enumerate(fact.log):
+    _pack_log(arrays, fact.log)
+    _atomic_savez(path, arrays)
+
+
+_KIND_CODE = {
+    TaskKind.GEQRT: 0,
+    TaskKind.TSQRT: 1,
+    TaskKind.TTQRT: 2,
+}
+_CODE_KIND = {v: k for k, v in _KIND_CODE.items()}
+
+#: Codes covering *every* task kind — partial snapshots must encode the
+#: completed update tasks too, not just the factorization ops.
+_ALL_KIND_CODE = {kind: code for code, kind in enumerate(TaskKind)}
+_ALL_CODE_KIND = {v: k for k, v in _ALL_KIND_CODE.items()}
+
+_ELIM_CODE = {"TS": 0, "TT": 1}
+_CODE_ELIM = {v: k for k, v in _ELIM_CODE.items()}
+
+
+def _pack_log(arrays: dict, log) -> None:
+    for idx, (task, factors) in enumerate(log):
         arrays[f"op{idx}_id"] = np.array(
             [_KIND_CODE[task.kind], task.k, task.row, task.row2, task.col],
             dtype=np.int64,
@@ -59,59 +96,277 @@ def save_factorization(fact: TiledQRFactorization, path) -> None:
             arrays[f"op{idx}_tf"] = factors.tf
             arrays[f"op{idx}_taus"] = factors.taus
             arrays[f"op{idx}_r"] = factors.r
-    with open(path, "wb") as fh:
-        np.savez_compressed(fh, **arrays)
 
 
-_KIND_CODE = {
-    TaskKind.GEQRT: 0,
-    TaskKind.TSQRT: 1,
-    TaskKind.TTQRT: 2,
-}
-_CODE_KIND = {v: k for k, v in _KIND_CODE.items()}
+def _unpack_log(data, num_ops: int, path) -> list[tuple[Task, object]]:
+    log = []
+    try:
+        for idx in range(num_ops):
+            code, k, row, row2, col = (int(v) for v in data[f"op{idx}_id"])
+            kind = _CODE_KIND[code]
+            task = Task(kind, k, row, row2, col)
+            if kind is TaskKind.GEQRT:
+                factors = GEQRTResult(
+                    r=np.array([]),  # tile R already lives in the R tiles
+                    v=np.array(data[f"op{idx}_v"]),
+                    tf=np.array(data[f"op{idx}_tf"]),
+                    taus=np.array(data[f"op{idx}_taus"]),
+                )
+            else:
+                factors = TSQRTResult(
+                    r=np.array(data[f"op{idx}_r"]),
+                    v2=np.array(data[f"op{idx}_v"]),
+                    tf=np.array(data[f"op{idx}_tf"]),
+                    taus=np.array(data[f"op{idx}_taus"]),
+                    kind="TT" if kind is TaskKind.TTQRT else "TS",
+                )
+            log.append((task, factors))
+    except KeyError as exc:
+        raise CheckpointError(f"truncated checkpoint {path}: {exc}") from exc
+    return log
 
 
-def load_factorization(path) -> TiledQRFactorization:
-    """Read a factorization previously saved by :func:`save_factorization`."""
+def _load_tiles(data, g_rows: int, g_cols: int, rows: int, cols: int, path) -> TiledMatrix:
+    try:
+        grid = [
+            [np.array(data[f"r_{i}_{j}"]) for j in range(g_cols)]
+            for i in range(g_rows)
+        ]
+    except KeyError as exc:
+        raise CheckpointError(f"truncated checkpoint {path}: {exc}") from exc
+    return TiledMatrix(grid, rows, cols)
+
+
+def _validate_target(
+    path,
+    rows: int,
+    cols: int,
+    tile_size: int,
+    g_rows: int,
+    g_cols: int,
+    expect_shape: tuple[int, int] | None,
+    expect_tile_size: int | None,
+) -> None:
+    """Reject a checkpoint that does not describe the caller's matrix.
+
+    Loading factors of the wrong matrix is not an error NumPy would ever
+    notice — the solve would just return garbage — so shape and tiling
+    metadata are checked up front with messages naming both sides.
+    """
+    if expect_shape is not None and tuple(expect_shape) != (rows, cols):
+        raise CheckpointError(
+            f"checkpoint {path} factors a {rows}x{cols} matrix, but the "
+            f"target is {expect_shape[0]}x{expect_shape[1]}"
+        )
+    if expect_tile_size is not None and expect_tile_size != tile_size:
+        raise CheckpointError(
+            f"checkpoint {path} uses tile size {tile_size}, but the target "
+            f"expects {expect_tile_size}"
+        )
+    # Internal consistency: the recorded grid must tile the recorded shape.
+    want_rows = -(-rows // tile_size)
+    want_cols = -(-cols // tile_size)
+    if (g_rows, g_cols) != (want_rows, want_cols):
+        raise CheckpointError(
+            f"checkpoint {path} is internally inconsistent: a {rows}x{cols} "
+            f"matrix at tile size {tile_size} needs a {want_rows}x{want_cols} "
+            f"grid, file says {g_rows}x{g_cols}"
+        )
+
+
+def _open_checkpoint(path):
     path = Path(path)
     if not path.exists():
         raise CheckpointError(f"no checkpoint at {path}")
-    with np.load(path) as data:
+    try:
+        return path, np.load(path)
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+
+
+def load_factorization(
+    path,
+    expect_shape: tuple[int, int] | None = None,
+    expect_tile_size: int | None = None,
+) -> TiledQRFactorization:
+    """Read a factorization previously saved by :func:`save_factorization`.
+
+    Parameters
+    ----------
+    path:
+        The ``.npz`` checkpoint file.
+    expect_shape, expect_tile_size:
+        When given, the checkpoint's recorded matrix shape / tile size
+        must match or :class:`CheckpointError` is raised — pass the
+        target system's dimensions to catch loading the wrong file
+        before it silently produces a garbage solve.
+    """
+    path, data = _open_checkpoint(path)
+    with data:
         try:
             fmt, rows, cols, tile_size, g_rows, g_cols, num_ops = (
-                int(v) for v in data["meta"]
+                int(v) for v in data["meta"][:7]
             )
-        except KeyError as exc:
+        except (KeyError, ValueError) as exc:
             raise CheckpointError(f"missing metadata in {path}") from exc
+        if fmt == _PARTIAL_FORMAT:
+            raise CheckpointError(
+                f"{path} is a partial (mid-run) snapshot; finish it with "
+                f"resume_factorization() instead of load_factorization()"
+            )
         if fmt != _FORMAT:
             raise CheckpointError(f"unsupported checkpoint format {fmt}")
-        try:
-            grid = [
-                [np.array(data[f"r_{i}_{j}"]) for j in range(g_cols)]
-                for i in range(g_rows)
-            ]
-            tiled = TiledMatrix(grid, rows, cols)
-            log = []
-            for idx in range(num_ops):
-                code, k, row, row2, col = (int(v) for v in data[f"op{idx}_id"])
-                kind = _CODE_KIND[code]
-                task = Task(kind, k, row, row2, col)
-                if kind is TaskKind.GEQRT:
-                    factors = GEQRTResult(
-                        r=np.array([]),  # tile R already lives in `tiled`
-                        v=np.array(data[f"op{idx}_v"]),
-                        tf=np.array(data[f"op{idx}_tf"]),
-                        taus=np.array(data[f"op{idx}_taus"]),
-                    )
-                else:
-                    factors = TSQRTResult(
-                        r=np.array(data[f"op{idx}_r"]),
-                        v2=np.array(data[f"op{idx}_v"]),
-                        tf=np.array(data[f"op{idx}_tf"]),
-                        taus=np.array(data[f"op{idx}_taus"]),
-                        kind="TT" if kind is TaskKind.TTQRT else "TS",
-                    )
-                log.append((task, factors))
-        except KeyError as exc:
-            raise CheckpointError(f"truncated checkpoint {path}: {exc}") from exc
+        _validate_target(
+            path, rows, cols, tile_size, g_rows, g_cols, expect_shape, expect_tile_size
+        )
+        tiled = _load_tiles(data, g_rows, g_cols, rows, cols, path)
+        log = _unpack_log(data, num_ops, path)
     return TiledQRFactorization(r=tiled, log=log, shape=(rows, cols))
+
+
+# ---------------------------------------------------------------------------
+# Partial (mid-run) snapshots — format 2
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PartialState:
+    """A factorization frozen at a quiescent point of its DAG.
+
+    ``tiled`` holds the in-progress matrix (R columns left of the
+    frontier, partially updated trailing columns right of it);
+    ``completed`` is the downward-closed set of finished tasks; ``log``
+    the reflector factors produced so far, in application order.  The
+    DAG configuration (``elimination``, ``batch_updates``) is part of
+    the state: resuming under a different DAG would replay tasks whose
+    effects are already in the tiles.
+    """
+
+    tiled: TiledMatrix
+    completed: list[Task]
+    log: list[tuple[Task, object]]
+    shape: tuple[int, int]
+    elimination: str = "TS"
+    batch_updates: bool = False
+    meta: dict = field(default_factory=dict)
+
+
+def save_partial_factorization(
+    path,
+    tiled: TiledMatrix,
+    completed,
+    log,
+    shape: tuple[int, int],
+    elimination: str = "TS",
+    batch_updates: bool = False,
+) -> None:
+    """Atomically snapshot a mid-run factorization state to ``path``.
+
+    Must be called at a quiescent point — no task in flight — with
+    ``completed`` downward-closed under the DAG's dependencies (the
+    runtimes guarantee both; :func:`resume_factorization` re-validates).
+    """
+    completed = list(completed)
+    arrays: dict[str, np.ndarray] = {}
+    arrays["meta"] = np.array(
+        [_PARTIAL_FORMAT, shape[0], shape[1], tiled.tile_size,
+         tiled.grid_rows, tiled.grid_cols, len(log), len(completed),
+         _ELIM_CODE[elimination], int(batch_updates)],
+        dtype=np.int64,
+    )
+    if completed:
+        arrays["completed"] = np.array(
+            [
+                [_ALL_KIND_CODE[t.kind], t.k, t.row, t.row2, t.col, t.col_end]
+                for t in completed
+            ],
+            dtype=np.int64,
+        )
+    for i, j, tile in tiled.iter_tiles():
+        arrays[f"r_{i}_{j}"] = tile
+    _pack_log(arrays, log)
+    _atomic_savez(path, arrays)
+
+
+def load_partial_factorization(path) -> PartialState:
+    """Read a mid-run snapshot written by :func:`save_partial_factorization`."""
+    path, data = _open_checkpoint(path)
+    with data:
+        try:
+            meta = data["meta"]
+            fmt = int(meta[0])
+        except (KeyError, ValueError, IndexError) as exc:
+            raise CheckpointError(f"missing metadata in {path}") from exc
+        if fmt == _FORMAT:
+            raise CheckpointError(
+                f"{path} is a completed factorization; use load_factorization()"
+            )
+        if fmt != _PARTIAL_FORMAT:
+            raise CheckpointError(f"unsupported checkpoint format {fmt}")
+        try:
+            (_, rows, cols, tile_size, g_rows, g_cols, num_ops,
+             num_completed, elim_code, batch_flag) = (int(v) for v in meta[:10])
+        except ValueError as exc:
+            raise CheckpointError(
+                f"{path} has truncated partial-snapshot metadata"
+            ) from exc
+        _validate_target(path, rows, cols, tile_size, g_rows, g_cols, None, None)
+        if elim_code not in _CODE_ELIM:
+            raise CheckpointError(f"{path} has unknown elimination code {elim_code}")
+        tiled = _load_tiles(data, g_rows, g_cols, rows, cols, path)
+        log = _unpack_log(data, num_ops, path)
+        completed: list[Task] = []
+        if num_completed:
+            try:
+                rowsarr = np.array(data["completed"], dtype=np.int64)
+            except KeyError as exc:
+                raise CheckpointError(f"truncated checkpoint {path}: {exc}") from exc
+            if rowsarr.shape != (num_completed, 6):
+                raise CheckpointError(
+                    f"{path} completed-task table has shape {rowsarr.shape}, "
+                    f"expected ({num_completed}, 6)"
+                )
+            for code, k, row, row2, col, col_end in rowsarr.tolist():
+                if code not in _ALL_CODE_KIND:
+                    raise CheckpointError(f"{path} has unknown task kind code {code}")
+                completed.append(Task(_ALL_CODE_KIND[code], k, row, row2, col, col_end))
+    return PartialState(
+        tiled=tiled,
+        completed=completed,
+        log=log,
+        shape=(rows, cols),
+        elimination=_CODE_ELIM[elim_code],
+        batch_updates=bool(batch_flag),
+    )
+
+
+def resume_factorization(path, runtime=None, **runtime_kwargs) -> TiledQRFactorization:
+    """Finish an interrupted factorization from its last snapshot.
+
+    Parameters
+    ----------
+    path:
+        A partial snapshot written by :func:`save_partial_factorization`
+        (e.g. via a runtime's ``checkpoint_every``).
+    runtime:
+        Runtime to finish on; defaults to a fresh
+        :class:`~repro.runtime.SerialRuntime`.  Its DAG configuration
+        (``elimination``, ``batch_updates``) must match the snapshot's —
+        :class:`CheckpointError` otherwise.
+    runtime_kwargs:
+        Extra constructor arguments for the default runtime (ignored
+        when ``runtime`` is passed).
+
+    Returns the same :class:`TiledQRFactorization` the uninterrupted run
+    would have produced.
+    """
+    from .serial import SerialRuntime
+
+    state = load_partial_factorization(path)
+    if runtime is None:
+        runtime = SerialRuntime(
+            elimination=state.elimination,
+            batch_updates=state.batch_updates,
+            **runtime_kwargs,
+        )
+    return runtime.factorize(state.tiled, resume=state)

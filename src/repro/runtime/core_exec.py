@@ -5,14 +5,24 @@ serial and the threaded runtime call it, so they cannot diverge.  The
 coarsened ``*_BATCH`` update tasks route through the row-panel kernels
 (:mod:`repro.kernels.batched`) — zero-copy panel views when the matrix
 is in row-major storage, gather/scatter otherwise.
+
+:func:`apply_task_resilient` wraps the same core in the fault-tolerance
+envelope (see :mod:`repro.resilience`): because a task's write set is
+explicit (the same access rules the DAG builder derives dependencies
+from), a failed attempt can restore exactly the tiles it touched and
+replay the kernel — a retry-masked fault leaves the factorization
+bit-identical to a clean run.
 """
 
 from __future__ import annotations
 
+import time as _time
+from time import perf_counter
 from typing import Union
 
+from ..dag.builder import task_accesses
 from ..dag.tasks import Task, TaskKind
-from ..errors import DAGError
+from ..errors import DAGError, RetryExhaustedError, TaskTimeoutError
 from ..kernels import geqrt, tsqrt, ttqrt, unmqr, tsmqr, unmqr_batch, tsmqr_batch
 from ..kernels.geqrt import GEQRTResult
 from ..kernels.tsqrt import TSQRTResult
@@ -90,3 +100,122 @@ def apply_task(
         a.scatter_row_panel(task.row, task.col, task.col_end, bot)
         return None
     raise DAGError(f"unknown task kind {task.kind!r}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerant execution envelope
+# ---------------------------------------------------------------------------
+
+
+def task_written_tiles(task: Task, a: TiledMatrix):
+    """The live tile views a task writes (from the DAG access rules)."""
+    _reads, writes = task_accesses(task)
+    return [a.tile(i, j) for key, i, j in writes if key == "t"]
+
+
+def _factor_key(task: Task) -> tuple | None:
+    """The factor-store key a factorization task inserts (None for updates)."""
+    if task.kind is TaskKind.GEQRT:
+        return ("Vg", task.row, task.k)
+    if task.kind in (TaskKind.TSQRT, TaskKind.TTQRT):
+        return ("Ve", task.row, task.k)
+    return None
+
+
+def apply_task_resilient(
+    task: Task,
+    a: TiledMatrix,
+    factors: dict[tuple, Factors],
+    workspace: Workspace | None = None,
+    *,
+    policy,
+    chaos=None,
+    health: bool = False,
+    health_ref_norm: float | None = None,
+    metrics=None,
+    tracer=None,
+    device: str = "local",
+) -> Factors | None:
+    """Execute one task under retry/chaos/health semantics.
+
+    Same contract as :func:`apply_task`, plus:
+
+    * before each attempt the task's written tiles are snapshotted, so a
+      failed attempt restores them exactly and the replay starts from
+      pristine inputs (bit-identical masking);
+    * ``chaos`` (a :class:`repro.resilience.ChaosEngine`) may inject a
+      kernel exception, delay/hang, or output corruption;
+    * with ``health=True`` the written tiles are NaN/Inf-checked after
+      the kernel (:func:`repro.resilience.check_task_outputs`); when
+      ``health_ref_norm`` (the pre-factorization Frobenius norm) is also
+      given, factorization tasks additionally run the per-panel residual
+      probe (:func:`repro.resilience.panel_residual_probe`) over the
+      R tile they produced — catching finite-but-garbage corruption;
+    * an attempt exceeding ``policy.deadline`` wall-clock seconds is
+      classified as a hang (:class:`~repro.errors.TaskTimeoutError`) and
+      retried like any failure;
+    * retries are counted on ``metrics`` (``resilience.retries``) and
+      annotated on ``tracer``; exhausting the policy raises
+      :class:`~repro.errors.RetryExhaustedError` chained to the last
+      failure.
+    """
+    from ..resilience.health import check_task_outputs, panel_residual_probe
+
+    written = task_written_tiles(task, a)
+    fkey = _factor_key(task)
+    last_exc: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        if attempt > 1:
+            if metrics is not None:
+                metrics.counter("resilience.retries").inc()
+            if tracer is not None:
+                tracer.record_annotation(
+                    "retry",
+                    f"attempt {attempt}/{policy.max_attempts} of {task.label()}: {last_exc}",
+                    device,
+                )
+            pause = policy.backoff_seconds(attempt, key=task.sort_key())
+            if pause > 0.0:
+                _time.sleep(pause)
+        snapshot = [t.copy() for t in written]
+        try:
+            # The deadline clock covers the injection point too: a HANG
+            # fault stalls the kernel slot and must count as a hang.
+            t0 = perf_counter()
+            if chaos is not None:
+                chaos.before_task(task, device)
+            produced = apply_task(task, a, factors, workspace)
+            elapsed = perf_counter() - t0
+            if policy.deadline is not None and elapsed > policy.deadline:
+                raise TaskTimeoutError(
+                    f"{task.label()} took {elapsed:.3f}s "
+                    f"(deadline {policy.deadline:.3f}s); classifying as hung"
+                )
+            if chaos is not None:
+                chaos.corrupt_outputs(task, written, device)
+            if health:
+                check_task_outputs(task, written)
+                if health_ref_norm is not None and fkey is not None:
+                    # written[0] is the R tile every factorization task
+                    # rewrites (the first entry of its write set).
+                    panel_residual_probe(written[0], health_ref_norm, task.k)
+            return produced
+        except BaseException as exc:
+            if isinstance(exc, TaskTimeoutError) and metrics is not None:
+                metrics.counter("resilience.timeouts").inc()
+            retryable = policy.is_retryable(exc)
+            if retryable and attempt < policy.max_attempts:
+                # Roll back this attempt: written tiles and any factor
+                # entry the failed kernel may have inserted.
+                for tile, saved in zip(written, snapshot):
+                    tile[...] = saved
+                if fkey is not None:
+                    factors.pop(fkey, None)
+                last_exc = exc
+                continue
+            if retryable:
+                raise RetryExhaustedError(
+                    f"{task.label()} failed {policy.max_attempts} attempt(s); last: {exc}"
+                ) from exc
+            raise
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -19,6 +19,39 @@ This runtime exists to *validate the distribution logic end to end*
 (ownership, broadcast, column migration) rather than for speed: with
 CPython process overheads, small matrices dominate on IPC.  Results are
 bit-identical to the serial runtime.
+
+Fault tolerance
+---------------
+With a :class:`~repro.resilience.RetryPolicy` (or a fault plan) the
+manager runs each panel as a *transaction* that survives device loss:
+
+* **detection** — a worker that closes its pipe, reports a persistent
+  (retry-exhausted) kernel failure, or misses its reply deadline is
+  declared dead and its process reaped;
+* **failover** — the survivors are re-planned by re-invoking the guide
+  array construction (paper Alg. 4) over the remaining devices, and the
+  dead device's tile columns migrate to them: finished R columns are
+  restored from the manager's shadow copies (captured at each
+  ``FactorPanel`` reply), trailing columns are *reconstructed* by
+  replaying the logged reflector factors against the pristine input
+  column — the factor log the manager already keeps for building ``Q``
+  doubles as the redundancy that makes every column recoverable;
+* **replay** — the interrupted panel then re-runs from its frontier:
+  the per-column ``applied`` watermark ensures re-broadcast updates are
+  sent only to columns that have not absorbed them, so no update is
+  ever applied twice.
+
+Workers additionally run their kernels under the same retry envelope as
+the in-process runtimes (snapshot written tiles, replay on retryable
+failure), with optional chaos injection and NaN/Inf health sentinels;
+``resilience.*`` counter increments are piggybacked on every reply and
+folded into the manager's metrics registry.
+
+Mid-run checkpoints are panel-aligned: after every ``checkpoint_every``
+panels the manager gathers the live columns and writes a format-2
+snapshot (see :mod:`repro.runtime.checkpoint`) whose completed set is
+exactly the per-tile DAG tasks of the finished panels; such snapshots
+resume on any runtime.
 """
 
 from __future__ import annotations
@@ -30,7 +63,7 @@ from time import perf_counter
 import numpy as np
 
 from ..core.plan import DistributionPlan
-from ..errors import ShapeError, SimulationError
+from ..errors import ShapeError, SimulationError, WorkerFailoverError
 from ..kernels import geqrt, tsmqr, tsmqr_batch, tsqrt, unmqr, unmqr_batch
 from ..kernels.workspace import Workspace
 from ..tiles import TiledMatrix
@@ -72,8 +105,17 @@ class _EventTimer:
         return False
 
 
+class _WorkerDied(Exception):
+    """Internal: a worker is dead or unresponsive (device + reason)."""
+
+    def __init__(self, device: str, reason: str):
+        super().__init__(f"worker {device} failed: {reason}")
+        self.device = device
+        self.reason = reason
+
+
 # ---------------------------------------------------------------------------
-# Messages (manager -> worker); workers answer with ("ok", payload) tuples.
+# Messages (manager -> worker); workers answer ("ok"|"error", payload, stats).
 # ---------------------------------------------------------------------------
 
 @dataclass
@@ -87,7 +129,9 @@ class LoadColumns:
 class FactorPanel:
     """Run T + the elimination chain on panel ``k`` (worker owns col k).
 
-    Replies with the serialized factors (one GEQRT + per-row TSQRT).
+    Replies with ``(factors, column_tiles)``: the serialized factors
+    (one GEQRT + per-row TSQRT) and a copy of the finished column —
+    the manager's shadow R column for failover.
     """
 
     k: int
@@ -110,15 +154,21 @@ class SendColumn:
 
 @dataclass
 class Update:
-    """Apply broadcast panel factors to the worker's columns > k."""
+    """Apply broadcast panel factors to the worker's columns > k.
+
+    ``cols`` restricts the update to an explicit column list (failover
+    re-broadcasts use it so a column never absorbs the same panel's
+    update twice); ``None`` means every owned column right of ``k``.
+    """
 
     k: int
     factors: list  # [(task_tuple, kind, payload-arrays...)]
+    cols: list[int] | None = None
 
 
 @dataclass
 class Collect:
-    """Return every owned column (end of factorization)."""
+    """Return every owned column (non-destructive)."""
 
 
 @dataclass
@@ -162,17 +212,110 @@ def _contiguous_runs(cols: list[int]) -> list[tuple[int, int]]:
     return runs
 
 
+#: Task kinds whose first written tile is an R tile — the targets of the
+#: per-panel residual probe in health-checked runs.
+_FACTOR_KINDS = (TaskKind.GEQRT, TaskKind.TSQRT, TaskKind.TTQRT)
+
+
 def _worker_main(
     conn,
     grid_rows: int,
     grid_cols: int,
     trace: bool = False,
     batch_updates: bool = False,
+    device_id: str = "worker",
+    fault_plan=None,
+    retry_policy=None,
+    health: bool = False,
 ) -> None:
     """Worker process body: owns columns, executes kernels on demand."""
     columns: dict[int, list[np.ndarray]] = {}
     events: list[tuple] = []
     workspace = Workspace()
+    stats = {"retries": 0, "faults_injected": 0}
+    chaos = None
+    if fault_plan is not None:
+        from ..resilience import ChaosEngine
+
+        chaos = ChaosEngine(fault_plan, device=device_id)
+    policy = retry_policy
+    if policy is None and (chaos is not None or health):
+        from ..resilience import DEFAULT_RETRY_POLICY
+
+        policy = DEFAULT_RETRY_POLICY
+
+    def reply(status: str, payload) -> None:
+        delta = dict(stats)
+        stats["retries"] = 0
+        stats["faults_injected"] = 0
+        conn.send((status, payload, delta))
+
+    # Per-column squared norms of the data this worker holds, maintained
+    # on column arrival/departure — the reference magnitude for the
+    # per-panel residual probes (health checks only).
+    col_norm_sq: dict[int, float] = {}
+
+    def note_columns(cols: dict) -> None:
+        if not health:
+            return
+        for j, tiles in cols.items():
+            col_norm_sq[j] = sum(float(np.linalg.norm(t)) ** 2 for t in tiles)
+
+    def run_kernel(task: Task, written_refs, fn):
+        """The worker-side retry envelope around one kernel call.
+
+        ``written_refs`` is a list of zero-arg callables returning the
+        *current* tiles the kernel writes (rebinding-safe); ``fn`` runs
+        the kernel and returns its result.  Mirrors
+        :func:`~repro.runtime.core_exec.apply_task_resilient`.
+        """
+        if policy is None:
+            return fn()
+        from ..resilience import RETRYABLE
+        from ..resilience.health import check_task_outputs, panel_residual_probe
+
+        last = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                stats["retries"] += 1
+                import time as _t
+
+                pause = policy.backoff_seconds(attempt, key=task.sort_key())
+                if pause > 0.0:
+                    _t.sleep(pause)
+            written = [ref() for ref in written_refs]
+            snapshot = [w.copy() for w in written]
+            try:
+                if chaos is not None:
+                    fired_before = chaos.faults_injected
+                    chaos.before_task(task, device_id)
+                out = fn()
+                written = [ref() for ref in written_refs]
+                if chaos is not None:
+                    chaos.corrupt_outputs(task, written, device_id)
+                    stats["faults_injected"] += chaos.faults_injected - fired_before
+                if health:
+                    check_task_outputs(task, written)
+                    if task.kind in _FACTOR_KINDS and col_norm_sq:
+                        # Residual probe against the norm of the columns
+                        # this worker holds (orthogonal updates preserve
+                        # it, so the reference stays valid mid-run).
+                        panel_residual_probe(
+                            written[0], sum(col_norm_sq.values()) ** 0.5, task.k
+                        )
+                return out
+            except RETRYABLE as exc:
+                if chaos is not None:
+                    stats["faults_injected"] += chaos.faults_injected - fired_before
+                # Restore *through the refs*: kernels may have rebound the
+                # column slot to a fresh array, and the live one is what
+                # the retry will read.
+                for ref, s in zip(written_refs, snapshot):
+                    ref()[...] = s
+                last = exc
+                if attempt == policy.max_attempts:
+                    raise
+        raise last  # pragma: no cover - unreachable
 
     def timed(kind: str, k: int, row: int, row2: int, col: int, col_end: int = -1):
         if not trace:
@@ -198,39 +341,60 @@ def _worker_main(
         while True:
             msg = conn.recv()
             if isinstance(msg, Shutdown):
-                conn.send(("ok", None))
+                reply("ok", None)
                 return
             if isinstance(msg, LoadColumns):
                 columns.update(msg.columns)
-                conn.send(("ok", None))
+                note_columns(msg.columns)
+                reply("ok", None)
             elif isinstance(msg, ClockSync):
-                conn.send(("ok", perf_counter()))
+                reply("ok", perf_counter())
             elif isinstance(msg, ReceiveColumn):
                 columns[msg.col] = msg.tiles
-                conn.send(("ok", None))
+                note_columns({msg.col: msg.tiles})
+                reply("ok", None)
             elif isinstance(msg, SendColumn):
-                conn.send(("ok", columns.pop(msg.col)))
+                col_norm_sq.pop(msg.col, None)
+                reply("ok", columns.pop(msg.col))
             elif isinstance(msg, FactorPanel):
                 k = msg.k
                 col = columns[k]
                 out = []
-                with timed("GEQRT", k, k, k, k):
-                    fg = geqrt(col[k])
-                col[k] = fg.r.copy()
+
+                def do_geqrt():
+                    with timed("GEQRT", k, k, k, k):
+                        fg = geqrt(col[k])
+                    col[k] = fg.r.copy()
+                    return fg
+
+                task = Task(TaskKind.GEQRT, k, k, k, k)
+                fg = run_kernel(task, [lambda: col[k]], do_geqrt)
                 out.append((("G", k, k), fg.v, fg.tf, fg.taus))
                 for i in range(k + 1, grid_rows):
-                    with timed("TSQRT", k, i, k, k):
-                        fe = tsqrt(col[k], col[i])
-                    col[k] = fe.r.copy()
-                    col[i][...] = 0.0
+
+                    def do_tsqrt(i=i):
+                        with timed("TSQRT", k, i, k, k):
+                            fe = tsqrt(col[k], col[i])
+                        col[k] = fe.r.copy()
+                        col[i][...] = 0.0
+                        return fe
+
+                    task = Task(TaskKind.TSQRT, k, i, k, k)
+                    fe = run_kernel(
+                        task, [lambda: col[k], lambda i=i: col[i]], do_tsqrt
+                    )
                     out.append((("E", k, i), fe.v2, fe.tf, fe.taus))
-                conn.send(("ok", out))
+                reply("ok", (out, [t.copy() for t in col]))
             elif isinstance(msg, Update):
                 k = msg.k
                 from ..kernels.geqrt import GEQRTResult
                 from ..kernels.tsqrt import TSQRTResult
 
-                runs = _contiguous_runs(sorted(j for j in columns if j > k))
+                if msg.cols is None:
+                    targets = sorted(j for j in columns if j > k)
+                else:
+                    targets = sorted(j for j in msg.cols if j in columns and j > k)
+                runs = _contiguous_runs(targets)
                 for key, v, tf, taus in msg.factors:
                     kind, kk, row = key
                     if kind == "G":
@@ -240,16 +404,35 @@ def _worker_main(
                             # columns: fewer, larger GEMMs (see
                             # docs/PERFORMANCE.md).
                             for j0, j1 in runs:
-                                panel = gather(j0, j1, row)
-                                with timed("UNMQR_BATCH", kk, row, row, j0, j1):
-                                    unmqr_batch(f, panel, workspace=workspace)
-                                scatter(j0, j1, row, panel)
+
+                                def do_batch(j0=j0, j1=j1, f=f, kk=kk, row=row):
+                                    panel = gather(j0, j1, row)
+                                    with timed("UNMQR_BATCH", kk, row, row, j0, j1):
+                                        unmqr_batch(f, panel, workspace=workspace)
+                                    scatter(j0, j1, row, panel)
+
+                                task = Task(TaskKind.UNMQR_BATCH, kk, row, row, j0, j1)
+                                run_kernel(
+                                    task,
+                                    [
+                                        (lambda j=j, row=row: columns[j][row])
+                                        for j in range(j0, j1)
+                                    ],
+                                    do_batch,
+                                )
                         else:
-                            for col_idx, col in columns.items():
-                                if col_idx <= k:
-                                    continue
-                                with timed("UNMQR", kk, row, row, col_idx):
-                                    unmqr(f, col[row], workspace=workspace)
+                            for col_idx in targets:
+
+                                def do_unmqr(col_idx=col_idx, f=f, kk=kk, row=row):
+                                    with timed("UNMQR", kk, row, row, col_idx):
+                                        unmqr(f, columns[col_idx][row], workspace=workspace)
+
+                                task = Task(TaskKind.UNMQR, kk, row, row, col_idx)
+                                run_kernel(
+                                    task,
+                                    [lambda j=col_idx, row=row: columns[j][row]],
+                                    do_unmqr,
+                                )
                     else:
                         f = TSQRTResult(
                             r=np.empty((v.shape[1], v.shape[1])),
@@ -257,31 +440,53 @@ def _worker_main(
                         )
                         if batch_updates:
                             for j0, j1 in runs:
-                                top = gather(j0, j1, kk)
-                                bot = gather(j0, j1, row)
-                                with timed("TSMQR_BATCH", kk, row, kk, j0, j1):
-                                    tsmqr_batch(f, top, bot, workspace=workspace)
-                                scatter(j0, j1, kk, top)
-                                scatter(j0, j1, row, bot)
+
+                                def do_batch(j0=j0, j1=j1, f=f, kk=kk, row=row):
+                                    top = gather(j0, j1, kk)
+                                    bot = gather(j0, j1, row)
+                                    with timed("TSMQR_BATCH", kk, row, kk, j0, j1):
+                                        tsmqr_batch(f, top, bot, workspace=workspace)
+                                    scatter(j0, j1, kk, top)
+                                    scatter(j0, j1, row, bot)
+
+                                task = Task(TaskKind.TSMQR_BATCH, kk, row, kk, j0, j1)
+                                refs = [
+                                    (lambda j=j, r=r: columns[j][r])
+                                    for j in range(j0, j1)
+                                    for r in (kk, row)
+                                ]
+                                run_kernel(task, refs, do_batch)
                         else:
-                            for col_idx, col in columns.items():
-                                if col_idx <= k:
-                                    continue
-                                with timed("TSMQR", kk, row, kk, col_idx):
-                                    tsmqr(f, col[kk], col[row], workspace=workspace)
-                conn.send(("ok", None))
+                            for col_idx in targets:
+
+                                def do_tsmqr(col_idx=col_idx, f=f, kk=kk, row=row):
+                                    with timed("TSMQR", kk, row, kk, col_idx):
+                                        tsmqr(
+                                            f,
+                                            columns[col_idx][kk],
+                                            columns[col_idx][row],
+                                            workspace=workspace,
+                                        )
+
+                                task = Task(TaskKind.TSMQR, kk, row, kk, col_idx)
+                                refs = [
+                                    lambda j=col_idx, r=kk: columns[j][r],
+                                    lambda j=col_idx, r=row: columns[j][r],
+                                ]
+                                run_kernel(task, refs, do_tsmqr)
+                reply("ok", None)
             elif isinstance(msg, Collect):
-                conn.send(("ok", columns))
+                reply("ok", columns)
             elif isinstance(msg, CollectEvents):
-                conn.send(("ok", events))
+                reply("ok", events)
             else:  # pragma: no cover - protocol guard
-                conn.send(("error", f"unknown message {type(msg).__name__}"))
+                reply("error", f"unknown message {type(msg).__name__}")
                 return
     except EOFError:  # manager died; exit quietly
         return
     except Exception as exc:  # surface kernel errors to the manager
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            reply("error", f"{type(exc).__name__}: {exc}")
         except (BrokenPipeError, OSError):
             pass
 
@@ -299,6 +504,27 @@ class MultiprocessRuntime:
         manager merges the buffers at join, under each worker's device
         id; column migrations and factor broadcasts are recorded as
         transfers with their real pickled byte counts.
+    retry_policy:
+        Optional :class:`~repro.resilience.RetryPolicy`.  Enables the
+        fault-tolerant path: workers retry kernels per the policy, and
+        the manager classifies pipe EOF / persistent failure / missed
+        reply deadlines as device death and fails over (see module
+        docstring).  ``policy.deadline`` is the per-kernel budget; the
+        manager scales it by the kernel count of each message to get
+        the reply deadline.
+    chaos_plan:
+        Optional :class:`~repro.resilience.FaultPlan` shipped to every
+        worker (specs select workers via their ``device`` field).
+        Implies the fault-tolerant path.
+    health_checks:
+        NaN/Inf-check kernel outputs worker-side (retryable failures).
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`; receives
+        the ``resilience.*`` counters (worker-side increments are
+        piggybacked on replies and folded in here).
+    checkpoint_every / checkpoint_path:
+        Write a panel-aligned format-2 snapshot every
+        ``checkpoint_every`` *panels* (see module docstring).
 
     Notes
     -----
@@ -307,45 +533,123 @@ class MultiprocessRuntime:
     remaining columns, migrate column ``k+1`` to the next panel owner.
     """
 
-    def __init__(self, plan: DistributionPlan, tracer=None, batch_updates: bool = False):
+    def __init__(
+        self,
+        plan: DistributionPlan,
+        tracer=None,
+        batch_updates: bool = False,
+        retry_policy=None,
+        chaos_plan=None,
+        health_checks: bool = False,
+        metrics=None,
+        checkpoint_every: int | None = None,
+        checkpoint_path=None,
+    ):
         self.plan = plan
         self.tracer = tracer
         self.batch_updates = batch_updates
+        self.retry_policy = retry_policy
+        self.chaos_plan = chaos_plan
+        self.health_checks = health_checks
+        self.metrics = metrics
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
 
-    def factorize(self, a: np.ndarray, tile_size: int | None = None) -> TiledQRFactorization:
-        arr = np.asarray(a, dtype=np.float64)
-        if arr.ndim != 2:
-            raise ShapeError(f"expected a 2-D matrix, got ndim={arr.ndim}")
-        if arr.shape[0] < arr.shape[1]:
-            raise ShapeError(f"QR requires m >= n, got shape {arr.shape}")
-        b = tile_size if tile_size is not None else self.plan.tile_size
-        tiled = TiledMatrix.from_dense(arr, b)
+    @property
+    def resilient(self) -> bool:
+        return (
+            self.retry_policy is not None
+            or self.chaos_plan is not None
+            or self.health_checks
+        )
+
+    def factorize(
+        self, a: np.ndarray, tile_size: int | None = None, resume=None
+    ) -> TiledQRFactorization:
+        if resume is not None:
+            tiled, k0, log0 = self._resume_state(resume)
+            arr_shape = resume.shape
+        else:
+            arr = np.asarray(a, dtype=np.float64)
+            if arr.ndim != 2:
+                raise ShapeError(f"expected a 2-D matrix, got ndim={arr.ndim}")
+            if arr.shape[0] < arr.shape[1]:
+                raise ShapeError(f"QR requires m >= n, got shape {arr.shape}")
+            b0 = tile_size if tile_size is not None else self.plan.tile_size
+            tiled = TiledMatrix.from_dense(arr, b0)
+            arr_shape = arr.shape
+            k0, log0 = 0, []
+        b = tiled.tile_size
         p, q = tiled.grid_rows, tiled.grid_cols
 
         tracer = self.tracer if self.tracer is not None and self.tracer.enabled else None
+        metrics = self.metrics
+        policy = self.retry_policy
+        if policy is None and self.resilient:
+            from ..resilience import DEFAULT_RETRY_POLICY
+
+            policy = DEFAULT_RETRY_POLICY
+        resilient = self.resilient
+
         # fork keeps worker startup cheap and the perf_counter clock
         # shared; elsewhere (Windows, macOS default) fall back to spawn
         # and rebase worker timestamps via a ClockSync handshake.
         start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         ctx = mp.get_context(start_method)
         workers: dict[str, tuple] = {}
+        dead: set[str] = set()
         clock_offset: dict[str, float] = {}
-        try:
-            for dev in self.plan.participants:
-                parent, child = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(child, p, q, tracer is not None, self.batch_updates),
-                    daemon=True,
-                )
-                proc.start()
-                child.close()
-                workers[dev] = (parent, proc)
 
-            def ask(dev: str, msg, xfer: tuple[str, float, str] | None = None):
-                """Round-trip one message; ``xfer=(src, bytes, tag)`` records
-                the send leg (pickle + pipe write) as a transfer."""
-                conn = workers[dev][0]
+        def spawn(dev: str) -> None:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child, p, q, tracer is not None, self.batch_updates,
+                    dev, self.chaos_plan, self.retry_policy, self.health_checks,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            workers[dev] = (parent, proc)
+
+        def reap(dev: str) -> None:
+            """Declare a worker dead and reclaim its process."""
+            dead.add(dev)
+            parent, proc = workers[dev]
+            try:
+                parent.close()
+            except OSError:
+                pass
+            proc.join(timeout=0.5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2)
+
+        def alive() -> list[str]:
+            return [d for d in self.plan.participants if d not in dead]
+
+        def fold_stats(delta: dict) -> None:
+            if metrics is None or not delta:
+                return
+            for name, n in delta.items():
+                if n:
+                    metrics.counter(f"resilience.{name}").inc(n)
+
+        def ask(dev: str, msg, xfer=None, n_kernels: int = 1):
+            """Round-trip one message; ``xfer=(src, bytes, tag)`` records
+            the send leg (pickle + pipe write) as a transfer.
+
+            In resilient mode every failure mode — EOF, error status,
+            missed deadline — surfaces as :class:`_WorkerDied` so the
+            panel transaction can fail over; otherwise failures raise
+            :class:`SimulationError` as before.
+            """
+            if dev in dead:
+                raise _WorkerDied(dev, "already declared dead")
+            conn = workers[dev][0]
+            try:
                 t0 = perf_counter()
                 conn.send(msg)
                 if tracer is not None and xfer is not None:
@@ -354,10 +658,237 @@ class MultiprocessRuntime:
                         src=src, dst=dev, num_bytes=nbytes,
                         start=t0, end=perf_counter(), tag=tag,
                     )
-                status, payload = conn.recv()
-                if status != "ok":
-                    raise SimulationError(f"worker {dev} failed: {payload}")
-                return payload
+                if policy is not None and policy.deadline is not None:
+                    budget = policy.deadline * max(1, n_kernels) + 1.0
+                    if not conn.poll(budget):
+                        if metrics is not None:
+                            metrics.counter("resilience.timeouts").inc()
+                        raise _WorkerDied(
+                            dev, f"no reply within {budget:.1f}s (hung?)"
+                        )
+                status, payload, stats = conn.recv()
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+                err = _WorkerDied(dev, f"pipe closed ({type(exc).__name__})")
+                if resilient:
+                    raise err from None
+                raise SimulationError(str(err)) from None
+            fold_stats(stats)
+            if status != "ok":
+                if resilient:
+                    raise _WorkerDied(dev, str(payload))
+                raise SimulationError(f"worker {dev} failed: {payload}")
+            return payload
+
+        # -- manager-side redundancy for failover -------------------------
+        # Pristine input columns + per-column base replay level.  A lost
+        # trailing column j is rebuilt by replaying panel factors
+        # base_level[j]+1 .. applied[j] against base[j].
+        base: dict[int, list[np.ndarray]] = {}
+        base_level: dict[int, int] = {}
+        applied: dict[int, int] = {}
+        panel_factors: dict[int, list] = {}
+        shadow_r: dict[int, list[np.ndarray]] = {}
+        panel_done: dict[int, bool] = {}
+        current_main = self.plan.main_device
+
+        def replay_column(j: int) -> list[np.ndarray]:
+            """Reconstruct trailing column ``j`` manager-side.
+
+            Replays the logged per-tile update kernels for panels
+            ``base_level[j]+1 .. applied[j]`` against the pristine base
+            column — the same kernels in the same order a per-tile
+            worker would have run, so the rebuilt column is
+            bit-identical to the lost one (see docs/RELIABILITY.md for
+            the batched-update caveat).
+            """
+            from ..kernels.geqrt import GEQRTResult
+            from ..kernels.tsqrt import TSQRTResult
+
+            col = [t.copy() for t in base[j]]
+            for kk in range(base_level[j] + 1, applied[j] + 1):
+                for key, v, tf, taus in panel_factors[kk]:
+                    kind, kp, row = key
+                    if kind == "G":
+                        f = GEQRTResult(r=np.empty(0), v=v, tf=tf, taus=taus)
+                        unmqr(f, col[row])
+                    else:
+                        f = TSQRTResult(
+                            r=np.empty((v.shape[1], v.shape[1])), v2=v, tf=tf, taus=taus
+                        )
+                        tsmqr(f, col[kp], col[row])
+            return col
+
+        def recover_column(j: int) -> list[np.ndarray]:
+            if panel_done.get(j):
+                return [t.copy() for t in shadow_r[j]]
+            return replay_column(j)
+
+        n_panels = min(p, q)
+        col_home = {j: self.plan.column_owner(j) for j in range(q)}
+        log: list[tuple[Task, object]] = list(log0)
+
+        def panel_owner(k: int) -> str:
+            if self.plan.panel_follows_column:
+                owner = col_home[k]
+                return owner if owner not in dead else current_main
+            return current_main
+
+        def note_death(dev: str, k: int, reason: str) -> None:
+            """Record one device death: reap it and re-elect the main.
+
+            Never raises — the recovery work (column migration) happens in
+            :func:`rehome_stranded`, which the panel transaction re-enters
+            until it succeeds even if further devices die during it.
+            """
+            nonlocal current_main
+            if dev in dead:
+                return
+            reap(dev)
+            if metrics is not None:
+                metrics.counter("resilience.worker_deaths").inc()
+                metrics.counter("resilience.failovers").inc()
+            survivors = alive()
+            if current_main == dev and survivors:
+                current_main = max(
+                    survivors,
+                    key=lambda d: self.plan.system.device(d).update_throughput(b),
+                )
+            if tracer is not None:
+                tracer.record_annotation(
+                    "failover",
+                    f"{dev} died at panel {k} ({reason}); main={current_main}",
+                    dev,
+                )
+
+        def rehome_stranded(k: int) -> None:
+            """Migrate every column stranded on a dead device to survivors.
+
+            Re-invokes the guide-array construction (paper Alg. 4) over
+            the surviving devices to decide the new homes; stranded
+            columns are rebuilt manager-side (shadow R / factor replay)
+            and installed with ``ReceiveColumn``.  May raise
+            :class:`_WorkerDied` if a survivor dies mid-migration — the
+            panel transaction loops back through :func:`note_death`.
+            """
+            from ..core.distribution import guide_for_participants
+            from ..errors import PlanError, ReproError
+
+            stranded = sorted(j for j in range(q) if col_home[j] in dead)
+            if not stranded:
+                return
+            survivors = alive()
+            if not survivors:
+                raise WorkerFailoverError(
+                    f"no surviving devices to fail over to at panel {k}; "
+                    f"columns {stranded} are unrecoverable in-flight"
+                )
+            try:
+                _ratio, guide = guide_for_participants(
+                    self.plan.system, survivors, current_main, p, q, b
+                )
+            except (PlanError, ReproError):
+                guide = list(survivors)
+            if not guide:
+                guide = list(survivors)
+            moved_to = []
+            for idx, j in enumerate(stranded):
+                new_owner = guide[idx % len(guide)]
+                tiles = recover_column(j)
+                ask(new_owner, ReceiveColumn(col=j, tiles=tiles))
+                col_home[j] = new_owner
+                moved_to.append(new_owner)
+            if tracer is not None:
+                tracer.record_annotation(
+                    "failover",
+                    f"migrated column(s) {stranded} -> "
+                    f"{{{', '.join(sorted(set(moved_to)))}}}",
+                    "manager",
+                )
+
+        def run_panel(k: int) -> None:
+            owner_p = panel_owner(k)
+            if col_home[k] != owner_p:
+                t0 = perf_counter()
+                tiles = ask(col_home[k], SendColumn(col=k))
+                ask(owner_p, ReceiveColumn(col=k, tiles=tiles))
+                if tracer is not None:
+                    tracer.record_transfer(
+                        src=col_home[k], dst=owner_p,
+                        num_bytes=float(sum(t.nbytes for t in tiles)),
+                        start=t0, end=perf_counter(), tag=f"col{k}",
+                    )
+                col_home[k] = owner_p
+            if not panel_done.get(k):
+                factors, r_col = ask(
+                    owner_p, FactorPanel(k=k), n_kernels=max(1, p - k)
+                )
+                panel_factors[k] = factors
+                shadow_r[k] = r_col
+                panel_done[k] = True
+                log.extend(_deserialize_log(factors, b))
+            factors = panel_factors[k]
+            bcast_bytes = float(sum(x.nbytes for f in factors for x in f[1:]))
+            # Broadcast to every device holding columns that have not yet
+            # absorbed this panel's update.
+            for dev in alive():
+                cols = [
+                    j for j in range(k + 1, q)
+                    if col_home[j] == dev and applied.get(j, -1) < k
+                ]
+                if not cols:
+                    continue
+                xfer = (owner_p, bcast_bytes, f"bcast{k}") if dev != owner_p else None
+                ask(
+                    dev,
+                    Update(k=k, factors=factors, cols=cols),
+                    xfer=xfer,
+                    n_kernels=len(cols) * max(1, p - k),
+                )
+                for j in cols:
+                    applied[j] = k
+            applied[k] = n_panels  # finished R column; never a replay target
+
+        def write_checkpoint(k: int) -> None:
+            """Panel-aligned format-2 snapshot after panel ``k``."""
+            from ..dag import build_dag
+            from .checkpoint import save_partial_factorization
+
+            # Gather live columns; fall back to manager-side recovery for
+            # any device that dies mid-gather (its columns are rebuilt at
+            # their last applied watermark, which a panel boundary makes
+            # exact; the stranded columns re-home at the next panel).
+            cols_by_j: dict[int, list[np.ndarray]] = {}
+            for dev in alive():
+                try:
+                    owned = ask(dev, Collect())
+                except _WorkerDied as exc:
+                    note_death(exc.device, k, f"died during checkpoint: {exc.reason}")
+                    continue
+                cols_by_j.update(owned)
+            for j in range(q):
+                if j not in cols_by_j:
+                    cols_by_j[j] = recover_column(j)
+            for j, tiles in cols_by_j.items():
+                for i in range(p):
+                    tiled.set_tile(i, j, tiles[i])
+            dag = build_dag(p, q, "TS", batch_updates=False)
+            completed = [t for t in dag.tasks if t.k <= k]
+            save_partial_factorization(
+                self.checkpoint_path, tiled, completed, log, arr_shape,
+                elimination="TS", batch_updates=False,
+            )
+            if metrics is not None:
+                metrics.counter("resilience.checkpoints").inc()
+            if tracer is not None:
+                tracer.record_annotation(
+                    "checkpoint",
+                    f"panel {k + 1}/{n_panels} -> {self.checkpoint_path}",
+                    "manager",
+                )
+
+        try:
+            for dev in self.plan.participants:
+                spawn(dev)
 
             # --- clock handshake (traced spawn runs only) ----------------
             if tracer is not None:
@@ -375,53 +906,75 @@ class MultiprocessRuntime:
                 d: {} for d in self.plan.participants
             }
             for j in range(q):
-                owner = self.plan.column_owner(j)
-                per_dev[owner][j] = [tiled.tile(i, j).copy() for i in range(p)]
+                owner = col_home[j]
+                tiles = [tiled.tile(i, j).copy() for i in range(p)]
+                per_dev[owner][j] = tiles
+                if resilient:
+                    base[j] = [t.copy() for t in tiles]
+                    base_level[j] = k0 - 1
+                    applied[j] = k0 - 1
+            for j in range(k0):  # resumed runs: finished R columns
+                panel_done[j] = True
+                shadow_r[j] = base.get(j, [tiled.tile(i, j).copy() for i in range(p)])
+                applied[j] = n_panels
             for dev, cols in per_dev.items():
                 ask(dev, LoadColumns(columns=cols))
 
             # --- panel loop (paper Sec. IV-D) ----------------------------
-            col_home = {j: self.plan.column_owner(j) for j in range(q)}
-            log: list[tuple[Task, object]] = []
-            n_panels = min(p, q)
-            for k in range(n_panels):
-                owner_p = self.plan.panel_owner(k)
-                if col_home[k] != owner_p:
-                    t0 = perf_counter()
-                    tiles = ask(col_home[k], SendColumn(col=k))
-                    ask(owner_p, ReceiveColumn(col=k, tiles=tiles))
-                    if tracer is not None:
-                        tracer.record_transfer(
-                            src=col_home[k], dst=owner_p,
-                            num_bytes=float(sum(t.nbytes for t in tiles)),
-                            start=t0, end=perf_counter(), tag=f"col{k}",
-                        )
-                    col_home[k] = owner_p
-                factors = ask(owner_p, FactorPanel(k=k))
-                bcast_bytes = float(sum(a.nbytes for f in factors for a in f[1:]))
-                # Broadcast to every device still holding columns > k.
-                for dev in self.plan.participants:
-                    if any(j > k and col_home[j] == dev for j in range(q)):
-                        xfer = (owner_p, bcast_bytes, f"bcast{k}") if dev != owner_p else None
-                        ask(dev, Update(k=k, factors=factors), xfer=xfer)
-                log.extend(_deserialize_log(factors, b))
+            since_ckpt = 0
+            for k in range(k0, n_panels):
+                if resilient:
+                    # Panel-as-transaction: any device death rolls the
+                    # loop back to re-home stranded columns and replay
+                    # the panel from its frontier.  The applied/
+                    # panel_done watermarks make the replay exact.
+                    while True:
+                        try:
+                            rehome_stranded(k)
+                            run_panel(k)
+                            break
+                        except _WorkerDied as exc:
+                            note_death(exc.device, k, exc.reason)
+                else:
+                    run_panel(k)
+                since_ckpt += 1
+                if (
+                    self.checkpoint_every is not None
+                    and self.checkpoint_path is not None
+                    and since_ckpt >= self.checkpoint_every
+                    and k + 1 < n_panels
+                ):
+                    write_checkpoint(k)
+                    since_ckpt = 0
 
             # --- gather the R factor (and traced worker event buffers) ----
-            for dev in self.plan.participants:
-                cols = ask(dev, Collect())
-                for j, tiles in cols.items():
+            gathered: set[int] = set()
+            for dev in list(alive()):
+                try:
+                    cols = ask(dev, Collect())
+                    for j, tiles in cols.items():
+                        for i in range(p):
+                            tiled.set_tile(i, j, tiles[i])
+                        gathered.add(j)
+                    if tracer is not None:
+                        off = clock_offset.get(dev, 0.0)
+                        for kind, k, row, row2, col, col_end, start, end in ask(
+                            dev, CollectEvents()
+                        ):
+                            tracer.record_task(
+                                Task(TaskKind[kind], k, row, row2, col, col_end),
+                                device=dev, start=start + off, end=end + off, tile_size=b,
+                            )
+                    ask(dev, Shutdown())
+                except _WorkerDied as exc:
+                    note_death(exc.device, n_panels, f"died at gather: {exc.reason}")
+            for j in range(q):  # columns lost between last panel and gather
+                if j not in gathered:
+                    if not resilient:
+                        raise SimulationError(f"column {j} lost at gather")
+                    tiles = recover_column(j)
                     for i in range(p):
                         tiled.set_tile(i, j, tiles[i])
-                if tracer is not None:
-                    off = clock_offset.get(dev, 0.0)
-                    for kind, k, row, row2, col, col_end, start, end in ask(
-                        dev, CollectEvents()
-                    ):
-                        tracer.record_task(
-                            Task(TaskKind[kind], k, row, row2, col, col_end),
-                            device=dev, start=start + off, end=end + off, tile_size=b,
-                        )
-                ask(dev, Shutdown())
         finally:
             for parent, proc in workers.values():
                 try:
@@ -432,7 +985,46 @@ class MultiprocessRuntime:
                 if proc.is_alive():  # pragma: no cover - hygiene
                     proc.terminate()
 
-        return TiledQRFactorization(r=tiled, log=log, shape=arr.shape)
+        return TiledQRFactorization(r=tiled, log=log, shape=arr_shape)
+
+    def _resume_state(self, resume):
+        """Validate a panel-aligned partial snapshot for this runtime."""
+        from ..dag import build_dag
+        from .checkpoint import CheckpointError
+
+        if resume.elimination != "TS" or resume.batch_updates:
+            raise CheckpointError(
+                "multiprocess resume requires a TS per-tile snapshot "
+                f"(got elimination={resume.elimination!r}, "
+                f"batch_updates={resume.batch_updates})"
+            )
+        tiled = resume.tiled
+        p, q = tiled.grid_rows, tiled.grid_cols
+        dag = build_dag(p, q, "TS", batch_updates=False)
+        completed = set(resume.completed)
+        dag.validate_completed(completed)
+        done_panels = 0
+        for k in range(min(p, q)):
+            panel = dag.panel_tasks(k)
+            n_done = sum(1 for t in panel if t in completed)
+            if n_done == len(panel):
+                done_panels = k + 1
+            elif n_done == 0:
+                break
+            else:
+                raise CheckpointError(
+                    f"multiprocess resume requires panel-aligned snapshots; "
+                    f"panel {k} is only partially complete ({n_done}/{len(panel)} "
+                    f"tasks) — resume it with the serial or threaded runtime"
+                )
+        if len(completed) != sum(
+            len(dag.panel_tasks(k)) for k in range(done_panels)
+        ):
+            raise CheckpointError(
+                "multiprocess resume requires panel-aligned snapshots — "
+                "resume this one with the serial or threaded runtime"
+            )
+        return tiled, done_panels, list(resume.log)
 
 
 def _deserialize_log(factors, b: int):

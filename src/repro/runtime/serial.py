@@ -9,8 +9,133 @@ from ..dag import build_dag
 from ..errors import ShapeError
 from ..kernels.workspace import Workspace
 from ..tiles import TiledMatrix
-from .core_exec import Factors, apply_task
+from .core_exec import Factors, apply_task, apply_task_resilient
 from .factorization import TiledQRFactorization
+
+
+def health_ref_norm(tiled) -> float:
+    """Pre-factorization Frobenius norm for the panel residual probes."""
+    from ..resilience.health import tiled_frobenius_norm
+
+    return tiled_frobenius_norm(tiled)
+
+
+def resolve_policy(retry_policy, chaos, health_checks):
+    """The effective retry policy, or None when the plain path suffices.
+
+    An explicit policy always wins; chaos or health checks without one
+    get the default policy (injected faults are meant to be *masked*,
+    which takes retries).  With none of the three, the runtimes skip the
+    resilience envelope entirely — zero overhead on the default path.
+    """
+    if retry_policy is not None:
+        return retry_policy
+    if chaos is not None or health_checks:
+        from ..resilience import DEFAULT_RETRY_POLICY
+
+        return DEFAULT_RETRY_POLICY
+    return None
+
+
+def coerce_input(a, tile_size: int, batch_updates: bool):
+    """Shared dense/tiled input handling: returns ``(tiled, shape)``."""
+    if isinstance(a, TiledMatrix):
+        return a, a.shape
+    arr = np.asarray(a)
+    if arr.ndim != 2:
+        raise ShapeError(f"expected a 2-D matrix, got ndim={arr.ndim}")
+    if arr.shape[0] < arr.shape[1]:
+        raise ShapeError(f"QR requires m >= n, got shape {arr.shape}")
+    tiled = TiledMatrix.from_dense(
+        arr, tile_size, storage="rowmajor" if batch_updates else "tiles"
+    )
+    return tiled, arr.shape
+
+
+def check_resume_state(resume, dag, tiled, elimination: str, batch_updates: bool):
+    """Validate a :class:`~repro.runtime.checkpoint.PartialState` against
+    the runtime's DAG and return its completed set.
+
+    Raises :class:`~repro.runtime.checkpoint.CheckpointError` when the
+    snapshot was taken under a different DAG configuration (resuming
+    would re-apply work already in the tiles) and
+    :class:`~repro.errors.DAGError` when the completed set is not a
+    legal execution state.
+    """
+    from .checkpoint import CheckpointError
+
+    if resume.elimination != elimination or resume.batch_updates != batch_updates:
+        raise CheckpointError(
+            f"snapshot was taken with elimination={resume.elimination!r} "
+            f"batch_updates={resume.batch_updates}, but the runtime is "
+            f"configured for elimination={elimination!r} "
+            f"batch_updates={batch_updates}"
+        )
+    snap = resume.tiled
+    if (snap.grid_rows, snap.grid_cols) != (tiled.grid_rows, tiled.grid_cols):
+        raise CheckpointError(
+            f"snapshot grid {snap.grid_rows}x{snap.grid_cols} does not "
+            f"match the target matrix grid {tiled.grid_rows}x{tiled.grid_cols}"
+        )
+    if tuple(resume.shape) != tuple(tiled.shape):
+        raise CheckpointError(
+            f"snapshot factors a {resume.shape[0]}x{resume.shape[1]} matrix, "
+            f"but the target is {tiled.shape[0]}x{tiled.shape[1]}"
+        )
+    completed = set(resume.completed)
+    dag.validate_completed(completed)
+    return completed
+
+
+class _CheckpointWriter:
+    """Periodic partial-snapshot writer shared by the runtimes.
+
+    Counts newly completed tasks and, every ``every`` completions,
+    writes an atomic format-2 snapshot to ``path``.  Call only at
+    quiescent points (the caller guarantees no task is in flight).
+    """
+
+    def __init__(self, every, path, dag, tiled, shape, metrics=None, tracer=None):
+        if every is not None and every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {every}")
+        self.every = every
+        self.path = path
+        self.dag = dag
+        self.tiled = tiled
+        self.shape = shape
+        self.metrics = metrics
+        self.tracer = tracer
+        self._since = 0
+        self.enabled = every is not None and path is not None
+
+    def task_done(self) -> bool:
+        """Count one completion; True when a snapshot is now due."""
+        if not self.enabled:
+            return False
+        self._since += 1
+        return self._since >= self.every
+
+    def write(self, completed, log, device: str = "local") -> None:
+        from .checkpoint import save_partial_factorization
+
+        save_partial_factorization(
+            self.path,
+            self.tiled,
+            completed,
+            log,
+            self.shape,
+            self.dag.elimination,
+            self.dag.batch_updates,
+        )
+        self._since = 0
+        if self.metrics is not None:
+            self.metrics.counter("resilience.checkpoints").inc()
+        if self.tracer is not None:
+            self.tracer.record_annotation(
+                "checkpoint",
+                f"{len(completed)}/{len(self.dag.tasks)} tasks -> {self.path}",
+                device,
+            )
 
 
 class SerialRuntime:
@@ -34,6 +159,25 @@ class SerialRuntime:
         GEMMs per reflector factor per tile row.  Dense inputs are tiled
         in row-major storage so the panels are zero-copy views.  Results
         match the per-tile path (see ``docs/PERFORMANCE.md``).
+    retry_policy:
+        Optional :class:`repro.resilience.RetryPolicy`; tasks that fail
+        retryably are replayed from snapshots of their written tiles
+        (see :func:`~repro.runtime.core_exec.apply_task_resilient`).
+    chaos:
+        Optional :class:`repro.resilience.ChaosEngine` injecting faults
+        per its plan (tests and ``tiledqr chaos``).
+    health_checks:
+        NaN/Inf-check every task's written tiles after the kernel;
+        failures raise :class:`~repro.errors.NumericalHealthError` and
+        go through the retry policy.
+    metrics:
+        Optional :class:`repro.observability.MetricsRegistry` receiving
+        the ``resilience.*`` counters.
+    checkpoint_every / checkpoint_path:
+        When both are set, write an atomic partial snapshot (format 2,
+        see :mod:`repro.runtime.checkpoint`) after every
+        ``checkpoint_every`` completed tasks.  ``resume_factorization``
+        finishes such a run.
     """
 
     def __init__(
@@ -42,13 +186,27 @@ class SerialRuntime:
         progress=None,
         tracer=None,
         batch_updates: bool = False,
+        retry_policy=None,
+        chaos=None,
+        health_checks: bool = False,
+        metrics=None,
+        checkpoint_every: int | None = None,
+        checkpoint_path=None,
     ):
         self.elimination = elimination
         self.progress = progress
         self.tracer = tracer
         self.batch_updates = batch_updates
+        self.retry_policy = retry_policy
+        self.chaos = chaos
+        self.health_checks = health_checks
+        self.metrics = metrics
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
 
-    def factorize(self, a, tile_size: int = DEFAULT_TILE_SIZE) -> TiledQRFactorization:
+    def factorize(
+        self, a, tile_size: int = DEFAULT_TILE_SIZE, resume=None
+    ) -> TiledQRFactorization:
         """Tiled QR factorization of a dense or tiled matrix.
 
         Parameters
@@ -58,44 +216,90 @@ class SerialRuntime:
             :class:`repro.tiles.TiledMatrix` (consumed: tiles mutated).
         tile_size:
             Tile edge when ``a`` is dense (ignored otherwise).
+        resume:
+            Optional :class:`~repro.runtime.checkpoint.PartialState`;
+            completed tasks are skipped and the reflector log is seeded
+            from the snapshot (``a`` should be the snapshot's tiles —
+            use :func:`~repro.runtime.checkpoint.resume_factorization`).
 
         Returns
         -------
         TiledQRFactorization
         """
-        if isinstance(a, TiledMatrix):
-            tiled = a
-            shape = tiled.shape
-        else:
-            arr = np.asarray(a)
-            if arr.ndim != 2:
-                raise ShapeError(f"expected a 2-D matrix, got ndim={arr.ndim}")
-            if arr.shape[0] < arr.shape[1]:
-                raise ShapeError(f"QR requires m >= n, got shape {arr.shape}")
-            tiled = TiledMatrix.from_dense(
-                arr, tile_size, storage="rowmajor" if self.batch_updates else "tiles"
-            )
-            shape = arr.shape
+        tiled, shape = coerce_input(a, tile_size, self.batch_updates)
         dag = build_dag(
             tiled.grid_rows, tiled.grid_cols, self.elimination, self.batch_updates
         )
         factors: dict[tuple, Factors] = {}
-        log = []
+        log: list = []
+        completed: set = set()
+        completed_order: list = []
+        if resume is not None:
+            completed = check_resume_state(
+                resume, dag, tiled, self.elimination, self.batch_updates
+            )
+            completed_order = list(resume.completed)
+            log = list(resume.log)
+            for task, f in log:
+                key = (
+                    ("Vg", task.row, task.k)
+                    if task.kind.name == "GEQRT"
+                    else ("Ve", task.row, task.k)
+                )
+                factors[key] = f
         total = len(dag.tasks)
         tracer = self.tracer if self.tracer is not None and self.tracer.enabled else None
         b = tiled.tile_size
         workspace = Workspace()
-        for done, task in enumerate(dag.tasks, start=1):
-            if tracer is not None:
-                with tracer.task_span(task, device="serial", tile_size=b):
-                    produced = apply_task(task, tiled, factors, workspace)
+        policy = resolve_policy(self.retry_policy, self.chaos, self.health_checks)
+        ref_norm = health_ref_norm(tiled) if self.health_checks else None
+        ckpt = _CheckpointWriter(
+            self.checkpoint_every, self.checkpoint_path, dag, tiled, shape,
+            self.metrics, tracer,
+        )
+        done = len(completed)
+        for task in dag.tasks:
+            if task in completed:
+                continue
+            span = (
+                tracer.task_span(task, device="serial", tile_size=b)
+                if tracer is not None
+                else None
+            )
+            if policy is not None:
+                with span if span is not None else _NULL_CTX:
+                    produced = apply_task_resilient(
+                        task, tiled, factors, workspace,
+                        policy=policy, chaos=self.chaos,
+                        health=self.health_checks, health_ref_norm=ref_norm,
+                        metrics=self.metrics,
+                        tracer=tracer, device="serial",
+                    )
             else:
-                produced = apply_task(task, tiled, factors, workspace)
+                with span if span is not None else _NULL_CTX:
+                    produced = apply_task(task, tiled, factors, workspace)
+            done += 1
             if produced is not None:
                 log.append((task, produced))
+            completed_order.append(task)
+            if ckpt.task_done():
+                ckpt.write(completed_order, log, device="serial")
             if self.progress is not None:
                 self.progress(done, total, task)
         return TiledQRFactorization(r=tiled, log=log, shape=shape)
+
+
+class _NullCtx:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CTX = _NullCtx()
 
 
 def tiled_qr(

@@ -18,6 +18,18 @@ ready batch is *split into contiguous column chunks* — one per worker —
 that execute concurrently (they write disjoint column ranges of the same
 tile row, so no synchronization is needed); the batch's successors are
 released only when every chunk has finished.
+
+Failure semantics: the first unrecovered error sets a shared cancel
+flag.  Workers check it *before* starting any task, so no further kernel
+begins after the failure — already-queued tasks are dropped, not
+drained.  With a retry policy, retryable failures are absorbed inside
+:func:`~repro.runtime.core_exec.apply_task_resilient` and only
+exhausted/unretryable errors cancel the run.
+
+Mid-run checkpoints use a stop-the-world drain: the worker that crosses
+the checkpoint threshold pauses dispatch, waits for in-flight kernels to
+finish, snapshots the quiescent state, and resumes — so every snapshot
+is a downward-closed frontier the resume path can trust.
 """
 
 from __future__ import annotations
@@ -33,8 +45,15 @@ from ..dag.tasks import Task
 from ..errors import ShapeError, SimulationError
 from ..kernels.workspace import Workspace
 from ..tiles import TiledMatrix
-from .core_exec import Factors, apply_task
+from .core_exec import Factors, apply_task, apply_task_resilient
 from .factorization import TiledQRFactorization
+from .serial import (
+    _CheckpointWriter,
+    check_resume_state,
+    coerce_input,
+    health_ref_norm,
+    resolve_policy,
+)
 
 
 def split_batch(task: Task, parts: int) -> list[Task]:
@@ -73,10 +92,16 @@ class ThreadedRuntime:
         docstring); each worker owns a private
         :class:`~repro.kernels.workspace.Workspace` arena so the hot
         path's GEMMs never allocate.
+    retry_policy, chaos, health_checks, metrics:
+        Resilience controls, identical to
+        :class:`~repro.runtime.serial.SerialRuntime`'s.
+    checkpoint_every / checkpoint_path:
+        Periodic quiescent-point snapshots (see module docstring).
 
     A kernel exception in any worker aborts the factorization and
     re-raises in the calling thread, annotated with the failing task;
-    remaining workers drain and exit rather than hanging.
+    queued tasks are cancelled immediately — no task starts after the
+    first fatal error.
     """
 
     def __init__(
@@ -85,6 +110,12 @@ class ThreadedRuntime:
         elimination: str = "TS",
         tracer=None,
         batch_updates: bool = False,
+        retry_policy=None,
+        chaos=None,
+        health_checks: bool = False,
+        metrics=None,
+        checkpoint_every: int | None = None,
+        checkpoint_path=None,
     ):
         if num_workers < 1:
             raise ValueError(f"need at least one worker, got {num_workers}")
@@ -92,37 +123,58 @@ class ThreadedRuntime:
         self.elimination = elimination
         self.tracer = tracer
         self.batch_updates = batch_updates
+        self.retry_policy = retry_policy
+        self.chaos = chaos
+        self.health_checks = health_checks
+        self.metrics = metrics
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
 
-    def factorize(self, a, tile_size: int = DEFAULT_TILE_SIZE) -> TiledQRFactorization:
+    def factorize(
+        self, a, tile_size: int = DEFAULT_TILE_SIZE, resume=None
+    ) -> TiledQRFactorization:
         """Factorize ``a``; same contract as :meth:`SerialRuntime.factorize`."""
-        if isinstance(a, TiledMatrix):
-            tiled = a
-            shape = tiled.shape
-        else:
-            arr = np.asarray(a)
-            if arr.ndim != 2:
-                raise ShapeError(f"expected a 2-D matrix, got ndim={arr.ndim}")
-            if arr.shape[0] < arr.shape[1]:
-                raise ShapeError(f"QR requires m >= n, got shape {arr.shape}")
-            tiled = TiledMatrix.from_dense(
-                arr, tile_size, storage="rowmajor" if self.batch_updates else "tiles"
-            )
-            shape = arr.shape
+        tiled, shape = coerce_input(a, tile_size, self.batch_updates)
 
         dag = build_dag(
             tiled.grid_rows, tiled.grid_cols, self.elimination, self.batch_updates
         )
-        remaining = {t: len(dag.preds[t]) for t in dag.tasks}
-        ready: "queue.Queue[Task | None]" = queue.Queue()
-
         factors: dict[tuple, Factors] = {}
         log: list[tuple[Task, Factors]] = []
+        completed_set: set[Task] = set()
+        completed_order: list[Task] = []
+        if resume is not None:
+            completed_set = check_resume_state(
+                resume, dag, tiled, self.elimination, self.batch_updates
+            )
+            completed_order = list(resume.completed)
+            log = list(resume.log)
+            for task, f in log:
+                key = (
+                    ("Vg", task.row, task.k)
+                    if task.kind.name == "GEQRT"
+                    else ("Ve", task.row, task.k)
+                )
+                factors[key] = f
+
+        remaining = {
+            t: sum(1 for d in dag.preds[t] if d not in completed_set)
+            for t in dag.tasks
+            if t not in completed_set
+        }
+        ready: "queue.Queue[Task | None]" = queue.Queue()
+
         lock = threading.Lock()
-        done_count = [0]
+        cond = threading.Condition(lock)
+        done_count = [len(completed_set)]
         total = len(dag.tasks)
         errors: list[BaseException] = []
         all_done = threading.Event()
-        if total == 0:
+        cancel = threading.Event()
+        # Stop-the-world checkpoint state, all guarded by `cond`:
+        inflight = [0]
+        paused = [False]
+        if done_count[0] == total:
             all_done.set()
 
         # Chunked batch bookkeeping: chunk task -> parent DAG task, and
@@ -145,11 +197,28 @@ class ThreadedRuntime:
             ready.put(task)
 
         for t in dag.tasks:
-            if remaining[t] == 0:
+            if t not in completed_set and remaining[t] == 0:
                 enqueue(t)
 
         tracer = self.tracer if self.tracer is not None and self.tracer.enabled else None
         b = tiled.tile_size
+        policy = resolve_policy(self.retry_policy, self.chaos, self.health_checks)
+        ref_norm = health_ref_norm(tiled) if self.health_checks else None
+        ckpt = _CheckpointWriter(
+            self.checkpoint_every, self.checkpoint_path, dag, tiled, shape,
+            self.metrics, tracer,
+        )
+
+        def fail(exc: BaseException) -> None:
+            """First-error path: record, cancel all pending work, wake everyone."""
+            with cond:
+                errors.append(exc)
+                # A pauser waiting for quiescence must not deadlock on a
+                # worker that died instead of decrementing inflight.
+                paused[0] = False
+                cond.notify_all()
+            cancel.set()
+            all_done.set()
 
         def worker(index: int) -> None:
             device = f"worker-{index}"
@@ -158,29 +227,52 @@ class ThreadedRuntime:
                 task = ready.get()
                 if task is None:
                     return
+                if cancel.is_set():
+                    continue  # cancelled: drop the task without starting it
+                with cond:
+                    while paused[0] and not cancel.is_set():
+                        cond.wait()
+                    if cancel.is_set():
+                        continue
+                    inflight[0] += 1
+                def run_one(t: Task):
+                    if policy is not None:
+                        return apply_task_resilient(
+                            t, tiled, factors, workspace,
+                            policy=policy, chaos=self.chaos,
+                            health=self.health_checks, health_ref_norm=ref_norm,
+                            metrics=self.metrics,
+                            tracer=tracer, device=device,
+                        )
+                    return apply_task(t, tiled, factors, workspace)
+
                 try:
                     if tracer is not None:
                         with tracer.task_span(task, device=device, tile_size=b):
-                            produced = apply_task(task, tiled, factors, workspace)
+                            produced = run_one(task)
                     else:
-                        produced = apply_task(task, tiled, factors, workspace)
+                        produced = run_one(task)
                 except BaseException as exc:  # propagate to the caller
+                    with cond:
+                        inflight[0] -= 1
+                        cond.notify_all()
                     if hasattr(exc, "add_note"):  # 3.11+
                         exc.add_note(f"while executing task {task.label()} on {device}")
-                    with lock:
-                        errors.append(exc)
-                    all_done.set()
+                    fail(exc)
                     return
-                with lock:
+                with cond:
+                    inflight[0] -= 1
                     parent = chunk_parent.pop(task, None)
                     if parent is not None:
                         chunk_left[parent] -= 1
                         if chunk_left[parent] > 0:
+                            cond.notify_all()
                             continue  # siblings still running; not done yet
                         del chunk_left[parent]
                         task = parent  # the DAG-level task just completed
                     if produced is not None:
                         log.append((task, produced))
+                    completed_order.append(task)
                     done_count[0] += 1
                     finished = done_count[0] == total
                     newly_ready = []
@@ -190,6 +282,22 @@ class ThreadedRuntime:
                             newly_ready.append(succ)
                     for s in newly_ready:
                         enqueue(s)
+                    if ckpt.task_done() and not finished and not cancel.is_set():
+                        # Stop the world: block new dispatch, drain
+                        # in-flight kernels, snapshot, resume.
+                        paused[0] = True
+                        while inflight[0] > 0 and not cancel.is_set():
+                            cond.wait()
+                        if not cancel.is_set():
+                            try:
+                                ckpt.write(completed_order, log, device=device)
+                            except BaseException as exc:
+                                paused[0] = False
+                                cond.notify_all()
+                                fail(exc)
+                                return
+                        paused[0] = False
+                    cond.notify_all()
                 if finished:
                     all_done.set()
 

@@ -23,6 +23,21 @@ class TaskRecord:
 
 
 @dataclass(frozen=True)
+class AnnotationRecord:
+    """One out-of-band runtime event (resilience, lifecycle markers).
+
+    Annotations never affect makespan/compute/communication accounting —
+    they exist so a trace *shows what happened* around the kernels:
+    retries, injected faults, failovers, checkpoints.
+    """
+
+    kind: str  # "retry" | "fault" | "failover" | "timeout" | "checkpoint" | ...
+    label: str
+    device: str
+    t: float = 0.0
+
+
+@dataclass(frozen=True)
 class TransferRecord:
     """One data movement over a link."""
 
@@ -98,6 +113,7 @@ class ExecutionTrace:
     tasks: list[TaskRecord] = field(default_factory=list)
     transfers: list[TransferRecord] = field(default_factory=list)
     numeric_log: list = field(default_factory=list)
+    annotations: list[AnnotationRecord] = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
