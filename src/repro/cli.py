@@ -23,6 +23,9 @@ Subcommands:
   trajectory point.
 * ``perf`` — compare the newest ``BENCH_*.json`` points against their
   trajectory baselines (``--check`` gates CI).
+* ``backends`` — list the registered kernel backends; ``--check`` runs
+  the cross-backend conformance harness (every backend vs the reference
+  oracle) and exits nonzero on any mismatch.
 * ``list`` — list available experiments.
 """
 
@@ -106,8 +109,11 @@ def _cmd_plan(args) -> int:
             print(f"cannot use profile store {args.profile}: {exc}", file=sys.stderr)
             return 2
         print(f"using measured kernel times from {args.profile} "
-              f"({store.num_runs} run(s), devices {store.devices()})")
-    opt = Optimizer(system)
+              f"({store.num_runs} run(s), devices {store.devices()}, "
+              f"backends {store.backends()})")
+        opt = Optimizer(system, profile=store)
+    else:
+        opt = Optimizer(system)
     audit = DecisionAudit()
     plan = opt.plan(matrix_size=args.n, tile_size=args.tile_size, audit=audit)
     print(system.describe(args.tile_size))
@@ -126,6 +132,56 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_backends(args) -> int:
+    """List registered kernel backends; --check runs the conformance harness."""
+    import json
+    from pathlib import Path
+
+    from .kernels.backends import DEFAULT_BACKEND, backend_info
+
+    if args.check:
+        from .kernels.backends.conformance import run_conformance
+
+        report = run_conformance()
+        print(report.to_text())
+        if args.json:
+            Path(args.json).write_text(report.to_json())
+            print(f"conformance report written to {args.json}")
+        return 0 if report.passed else 1
+    info = backend_info()
+    if args.json:
+        Path(args.json).write_text(json.dumps(info, indent=1))
+        print(f"backend listing written to {args.json}")
+        return 0
+    print("registered kernel backends:")
+    for b in info:
+        flags = [f for f, on in (
+            ("default", b["default"]),
+            ("compiled", b["compiled"]),
+            ("bit-exact", b["bit_exact"]),
+        ) if on]
+        tag = f"  [{', '.join(flags)}]" if flags else ""
+        print(f"  {b['name']:12s} {b['description']}{tag}")
+    print(
+        "\nselect with `--backend NAME` on factorize/trace; verify with "
+        "`tiledqr backends --check`"
+    )
+    return 0
+
+
+def _resolve_backend_arg(name):
+    """Fail fast (exit code 2) on an unknown --backend name."""
+    from .errors import KernelError
+    from .kernels.backends import resolve_backend
+
+    try:
+        resolve_backend(name)
+    except KernelError as exc:
+        print(str(exc), file=sys.stderr)
+        return False
+    return True
+
+
 def _cmd_factorize(args) -> int:
     from .core.executor import TiledQR
     from .devices.registry import paper_testbed
@@ -134,6 +190,8 @@ def _cmd_factorize(args) -> int:
     if args.n > 2048:
         print("numeric factorization is NumPy-bound; use n <= 2048", file=sys.stderr)
         return 2
+    if not _resolve_backend_arg(args.backend):
+        return 2
     rng = np.random.default_rng(args.seed)
     a = rng.standard_normal((args.n, args.n))
 
@@ -141,7 +199,12 @@ def _cmd_factorize(args) -> int:
         return _factorize_checkpointed(args, a)
 
     qr = TiledQR(paper_testbed())
-    run = qr.factorize(a, tile_size=args.tile_size, batch_updates=args.batch_updates)
+    run = qr.factorize(
+        a,
+        tile_size=args.tile_size,
+        batch_updates=args.batch_updates,
+        backend=args.backend,
+    )
     fact = run.factorization
     err = frobenius_relative_error(fact.apply_q(fact.r_dense()), a)
     print(run.plan.describe())
@@ -177,6 +240,7 @@ def _factorize_checkpointed(args, a) -> int:
         metrics=metrics,
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint_out,
+        backend=args.backend,
     )
     if args.runtime == "threaded":
         runtime = ThreadedRuntime(num_workers=args.workers, **kwargs)
@@ -360,7 +424,10 @@ def _write_chrome(trace, path: str) -> None:
     print(f"Chrome trace written to {p} (open in chrome://tracing or Perfetto)")
 
 
-def _update_profile(trace, tile_size: int, path: str, meta: dict | None = None) -> None:
+def _update_profile(
+    trace, tile_size: int, path: str, meta: dict | None = None,
+    backend: str = "reference",
+) -> None:
     from pathlib import Path
     from time import strftime
 
@@ -371,7 +438,8 @@ def _update_profile(trace, tile_size: int, path: str, meta: dict | None = None) 
     store = ProfileStore.load(path) if Path(path).is_file() else ProfileStore()
     try:
         rid = store.ingest_trace(
-            trace, tile_size, recorded_at=strftime("%Y-%m-%dT%H:%M:%S"), meta=meta
+            trace, tile_size, recorded_at=strftime("%Y-%m-%dT%H:%M:%S"), meta=meta,
+            backend=backend,
         )
     except ObservabilityError as exc:
         print(f"profile store not updated: {exc}", file=sys.stderr)
@@ -435,6 +503,8 @@ def _cmd_trace(args) -> int:
     if n > 2048:
         print("numeric factorization is NumPy-bound; use n <= 2048", file=sys.stderr)
         return 2
+    if not _resolve_backend_arg(args.backend):
+        return 2
 
     metrics = MetricsRegistry()
     tracer = Tracer(metrics=metrics)
@@ -444,14 +514,15 @@ def _cmd_trace(args) -> int:
     if args.runtime == "serial":
         from .runtime.serial import SerialRuntime
 
-        SerialRuntime(tracer=tracer, batch_updates=args.batch_updates).factorize(
-            a, args.tile_size
-        )
+        SerialRuntime(
+            tracer=tracer, batch_updates=args.batch_updates, backend=args.backend
+        ).factorize(a, args.tile_size)
     elif args.runtime == "threaded":
         from .runtime.threaded import ThreadedRuntime
 
         ThreadedRuntime(
-            num_workers=args.workers, tracer=tracer, batch_updates=args.batch_updates
+            num_workers=args.workers, tracer=tracer,
+            batch_updates=args.batch_updates, backend=args.backend,
         ).factorize(a, args.tile_size)
     else:
         from .core.optimizer import Optimizer
@@ -463,7 +534,8 @@ def _cmd_trace(args) -> int:
             matrix_size=n, tile_size=args.tile_size, audit=DecisionAudit()
         )
         MultiprocessRuntime(
-            plan, tracer=tracer, batch_updates=args.batch_updates
+            plan, tracer=tracer, batch_updates=args.batch_updates,
+            backend=args.backend,
         ).factorize(a, args.tile_size)
     trace = tracer.to_trace()
     print(f"traced real run: {args.runtime} runtime, n={n}, b={args.tile_size}")
@@ -494,6 +566,7 @@ def _cmd_trace(args) -> int:
             batch_updates=args.batch_updates,
             workers=args.workers if args.runtime == "threaded" else None,
             seed=args.seed,
+            backend=args.backend or "reference",
             decisions=(
                 plan.notes["audit"].to_dict()["decisions"]
                 if plan is not None else None
@@ -509,7 +582,11 @@ def _cmd_trace(args) -> int:
             trace,
             args.tile_size,
             args.profile_out,
-            meta={"runtime": args.runtime, "n": n, "seed": args.seed},
+            meta={
+                "runtime": args.runtime, "n": n, "seed": args.seed,
+                "backend": args.backend or "reference",
+            },
+            backend=args.backend or "reference",
         )
     if args.perf_out:
         path = record_traced_run(
@@ -620,6 +697,13 @@ def main(argv: list[str] | None = None) -> int:
         choices=["serial", "threaded"],
         default="serial",
         help="executor for checkpointed/resumed runs (default: serial)",
+    )
+    p_fact.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="kernel backend to execute with (see `tiledqr backends`; "
+        "default: the plan's selected backend, falling back to reference)",
     )
     p_fact.add_argument("--workers", type=int, default=4, help="threaded worker count")
     p_fact.add_argument(
@@ -760,7 +844,34 @@ def main(argv: list[str] | None = None) -> int:
         help="append makespan/compute time to this perf trajectory "
         "(checked by `tiledqr perf --check`)",
     )
+    p_trace.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="kernel backend to trace (see `tiledqr backends`); recorded "
+        "runs tag their profile-store timings with it, which feeds the "
+        "planner's backend selection",
+    )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_back = sub.add_parser(
+        "backends",
+        help="list registered kernel backends; --check runs the "
+        "cross-backend conformance harness",
+    )
+    p_back.add_argument(
+        "--check",
+        action="store_true",
+        help="run every registered backend against the reference oracle "
+        "over the conformance shape sweep; exit nonzero on any mismatch",
+    )
+    p_back.add_argument(
+        "--json",
+        metavar="OUT.json",
+        help="write the listing (or, with --check, the conformance report) "
+        "to this path",
+    )
+    p_back.set_defaults(func=_cmd_backends)
 
     p_perf = sub.add_parser(
         "perf",

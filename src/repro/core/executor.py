@@ -146,6 +146,7 @@ class TiledQR:
         coexecute: bool = False,
         tracer=None,
         batch_updates: bool = False,
+        backend=None,
     ) -> TiledQRRun:
         """Numerically factorize ``a`` under an optimized plan.
 
@@ -169,6 +170,11 @@ class TiledQR:
             Execute trailing-matrix updates as coarsened row-panel
             batches (ignored under ``coexecute``, which follows the
             simulator's per-tile schedule).  See ``docs/PERFORMANCE.md``.
+        backend:
+            Kernel backend for the numeric execution — a registered name
+            or :class:`~repro.kernels.backends.KernelBackend` object
+            (``None`` = the plan's selected backend for its main device,
+            falling back to ``reference``).  See ``docs/KERNELS.md``.
         """
         arr = np.asarray(a)
         if arr.ndim != 2:
@@ -192,8 +198,13 @@ class TiledQR:
             report = trace.report(grid=tiled.grid_shape, plan=p.describe())
             report.meta["trace"] = trace
             return TiledQRRun(plan=p, report=report, factorization=fact)
+        if backend is None:
+            selected = p.notes.get("backends") if isinstance(p.notes, dict) else None
+            if isinstance(selected, dict):
+                backend = selected.get(p.main_device)
         fact = SerialRuntime(
-            self.elimination, tracer=tracer, batch_updates=batch_updates
+            self.elimination, tracer=tracer, batch_updates=batch_updates,
+            backend=backend,
         ).factorize(arr, p.tile_size)
         if simulate:
             run = self.simulate(n, p.tile_size, plan=p)

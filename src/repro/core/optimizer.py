@@ -14,6 +14,7 @@ from ..config import DEFAULT_TILE_SIZE, ELEMENT_SIZE_BYTES
 from ..devices.registry import SystemSpec
 from ..errors import PlanError
 from ..observability.decisions import DecisionAudit
+from .backend_select import select_kernel_backends
 from .device_count import order_by_update_speed, select_num_devices
 from .distribution import guide_for_participants
 from .main_device import select_main_device
@@ -33,6 +34,11 @@ class Optimizer:
         Interconnect; defaults to the paper's PCIe star over ``system``.
     element_size:
         Bytes per matrix element for the Eq. 11 communication model.
+    profile:
+        Optional :class:`~repro.observability.profile.ProfileStore` of
+        measured kernel timings; when it carries backend-tagged
+        measurements, :meth:`plan` selects the fastest measured kernel
+        backend per participant device (``plan.notes["backends"]``).
     """
 
     def __init__(
@@ -41,11 +47,13 @@ class Optimizer:
         topology: Topology | None = None,
         element_size: int = ELEMENT_SIZE_BYTES,
         main_updates: str = "residual",
+        profile=None,
     ):
         self.system = system
         self.topology = topology if topology is not None else pcie_star(system.devices)
         self.element_size = element_size
         self.main_updates = main_updates
+        self.profile = profile
 
     # -- pipeline stages --------------------------------------------------
 
@@ -118,6 +126,9 @@ class Optimizer:
         )
         guide = tuple(guide_list)
         ratio = [ratio_map[d] for d in participants]
+        backends = select_kernel_backends(
+            participants, tile_size, profile=self.profile, audit=audit
+        )
         logger.debug(
             "plan %dx%d b=%d: main=%s (Alg.2%s), p=%d of %d (Alg.3 "
             "optimum %d), ratio=%s guide_len=%d",
@@ -138,5 +149,6 @@ class Optimizer:
                 "ratio": ratio,
                 "grid": (grid_rows, grid_cols),
                 "audit": audit,
+                "backends": backends,
             },
         )

@@ -20,15 +20,24 @@ factor ``Tf`` such that ``Q = I - V @ Tf @ V.T`` and
 
 from .householder import HouseholderReflector, make_reflector, apply_reflector
 from .blockreflector import build_t_factor, apply_block_reflector
-from .workspace import Workspace, thread_workspace
+from .workspace import Workspace, thread_workspace, drain_fallbacks
 from .geqrt import GEQRTResult, geqrt
 from .unmqr import unmqr
 from .tsqrt import TSQRTResult, tsqrt
 from .tsmqr import tsmqr
 from .ttqrt import ttqrt
 from .ttmqr import ttmqr
-from .batched import tsmqr_batch, unmqr_batch
+from .batched import tsmqr_batch, ttmqr_batch, unmqr_batch
 from .tsqr import TSQRResult, tsqr
+from .backends import (
+    KernelBackend,
+    FunctionBackend,
+    register_backend,
+    get_backend,
+    available_backends,
+    resolve_backend,
+    DEFAULT_BACKEND,
+)
 from .flops import (
     flops_geqrt,
     flops_unmqr,
@@ -57,6 +66,7 @@ __all__ = [
     "apply_block_reflector",
     "Workspace",
     "thread_workspace",
+    "drain_fallbacks",
     "GEQRTResult",
     "geqrt",
     "unmqr",
@@ -67,8 +77,16 @@ __all__ = [
     "tsmqr_batch",
     "ttqrt",
     "ttmqr",
+    "ttmqr_batch",
     "TSQRResult",
     "tsqr",
+    "KernelBackend",
+    "FunctionBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "resolve_backend",
+    "DEFAULT_BACKEND",
     "flops_geqrt",
     "flops_unmqr",
     "flops_unmqr_batch",

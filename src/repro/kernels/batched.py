@@ -106,3 +106,22 @@ def tsmqr_batch(
             f"{panel1.shape} vs {panel2.shape}"
         )
     return tsmqr(factors, panel1, panel2, transpose=transpose, workspace=workspace)
+
+
+def ttmqr_batch(
+    factors: TSQRTResult,
+    panel1: np.ndarray,
+    panel2: np.ndarray,
+    transpose: bool = True,
+    workspace: Workspace | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply one TTQRT factor to a stacked pair of row panels.
+
+    The TT counterpart of :func:`tsmqr_batch`: numerically the same
+    application (only ``V2``/``Tf`` are seen), kept as a named entry
+    point so backends can specialize the triangular-``V2`` case and so
+    the ``TTMQR_BATCH`` DAG tasks have a first-class kernel.
+    """
+    if factors.kind != "TT":
+        raise KernelError(f"ttmqr_batch requires TT factors, got kind={factors.kind!r}")
+    return tsmqr_batch(factors, panel1, panel2, transpose=transpose, workspace=workspace)

@@ -102,13 +102,15 @@ def apply_block_reflector(
     if tf.shape != (k, k):
         raise KernelError(f"Tf must have shape ({k}, {k}), got {tf.shape}")
     tf_op = tf.T if transpose else tf
+    ws = workspace if workspace is not None else thread_workspace()
     if v.dtype != c.dtype or tf.dtype != c.dtype:
         # Mixed dtypes would make matmul's result dtype differ from the
         # scratch; rare (tests only), so take the allocating path.
+        # Counted so the hot path can prove it never lands here.
+        ws.note_fallback()
         w = tf_op @ (v.T @ c)
         c -= v @ w
         return c
-    ws = workspace if workspace is not None else thread_workspace()
     n = c.shape[1]
     w = ws.temp("abr.w", (k, n), c.dtype)
     np.matmul(v.T, c, out=w)

@@ -68,15 +68,17 @@ def tsmqr(
             f"c1/c2 column counts differ: {c1.shape[1]} vs {c2.shape[1]}"
         )
     tf = factors.tf.T if transpose else factors.tf
+    ws = workspace if workspace is not None else thread_workspace()
     if c1.dtype != c2.dtype or v2.dtype != c1.dtype or tf.dtype != c1.dtype:
         # Mixed dtypes (tests only): matmul-out scratch would mismatch
         # the promoted result dtype, so fall back to allocating GEMMs.
+        # Counted so the hot path can prove it never lands here.
+        ws.note_fallback()
         w = c1 + v2.T @ c2
         w = tf @ w
         c1 -= w
         c2 -= v2 @ w
         return c1, c2
-    ws = workspace if workspace is not None else thread_workspace()
     n = c1.shape[1]
     w = ws.temp("tsmqr.w", (b, n), c1.dtype)
     np.matmul(v2.T, c2, out=w)

@@ -14,6 +14,7 @@ import numpy as np
 from ..errors import KernelError
 from .tsqrt import TSQRTResult
 from .tsmqr import tsmqr
+from .workspace import Workspace
 
 
 def ttmqr(
@@ -21,6 +22,7 @@ def ttmqr(
     c1: np.ndarray,
     c2: np.ndarray,
     transpose: bool = True,
+    workspace: Workspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Apply a TTQRT orthogonal factor to a stacked tile pair in place.
 
@@ -28,4 +30,4 @@ def ttmqr(
     """
     if factors.kind != "TT":
         raise KernelError(f"ttmqr requires TT factors, got kind={factors.kind!r}")
-    return tsmqr(factors, c1, c2, transpose=transpose)
+    return tsmqr(factors, c1, c2, transpose=transpose, workspace=workspace)

@@ -27,12 +27,21 @@ class Workspace:
     a request outgrows it — so steady-state kernel execution performs no
     heap allocation.  Contents are undefined on entry; callers must
     fully overwrite what they read.
+
+    ``fallbacks`` counts the kernel calls that could *not* use the arena
+    (mixed operand dtypes force freshly allocated GEMM temporaries —
+    see :func:`~repro.kernels.blockreflector.apply_block_reflector` /
+    :func:`~repro.kernels.tsmqr.tsmqr`).  A nonzero count on the hot
+    path means per-call heap allocation is back; the runtimes surface it
+    as the ``kernel.workspace.fallbacks`` metric via
+    :func:`drain_fallbacks`.
     """
 
-    __slots__ = ("_buffers",)
+    __slots__ = ("_buffers", "fallbacks")
 
     def __init__(self):
         self._buffers: dict[tuple, np.ndarray] = {}
+        self.fallbacks: int = 0
 
     def temp(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
         """An uninitialized ``shape`` scratch array unique to ``name``.
@@ -57,6 +66,10 @@ class Workspace:
         """Total bytes currently held by the arena."""
         return sum(b.nbytes for b in self._buffers.values())
 
+    def note_fallback(self) -> None:
+        """Record one allocating (non-arena) kernel call."""
+        self.fallbacks += 1
+
     def clear(self) -> None:
         """Release every buffer (views handed out earlier stay valid)."""
         self._buffers.clear()
@@ -80,3 +93,21 @@ def thread_workspace() -> Workspace:
         ws = Workspace()
         _local.workspace = ws
     return ws
+
+
+def drain_fallbacks(metrics, *workspaces: Workspace) -> int:
+    """Fold accumulated fallback counts into ``metrics`` and reset them.
+
+    Increments the ``kernel.workspace.fallbacks`` counter by the summed
+    :attr:`Workspace.fallbacks` of the given arenas (when ``metrics`` is
+    not ``None`` and the sum is nonzero) and zeroes the per-arena
+    counters, so repeated runs report deltas rather than lifetimes.
+    Returns the drained total either way.
+    """
+    total = 0
+    for ws in workspaces:
+        total += ws.fallbacks
+        ws.fallbacks = 0
+    if metrics is not None and total:
+        metrics.counter("kernel.workspace.fallbacks").inc(total)
+    return total

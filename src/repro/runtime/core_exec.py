@@ -23,7 +23,7 @@ from typing import Union
 from ..dag.builder import task_accesses
 from ..dag.tasks import Task, TaskKind
 from ..errors import DAGError, RetryExhaustedError, TaskTimeoutError
-from ..kernels import geqrt, tsqrt, ttqrt, unmqr, tsmqr, unmqr_batch, tsmqr_batch
+from ..kernels.backends import KernelBackend, resolve_backend
 from ..kernels.geqrt import GEQRTResult
 from ..kernels.tsqrt import TSQRTResult
 from ..kernels.workspace import Workspace
@@ -37,6 +37,7 @@ def apply_task(
     a: TiledMatrix,
     factors: dict[tuple, Factors],
     workspace: Workspace | None = None,
+    backend: KernelBackend | None = None,
 ) -> Factors | None:
     """Execute one task against the tiled matrix, in place.
 
@@ -53,38 +54,45 @@ def apply_task(
     workspace:
         Scratch arena for the update kernels' GEMMs.  Must be private to
         the calling worker; ``None`` uses the thread-local default.
+    backend:
+        The :class:`~repro.kernels.backends.KernelBackend` executing the
+        kernels; ``None`` means the ``reference`` backend.  Runtimes
+        resolve this once per run and pass the object, so the per-task
+        cost is one attribute lookup.
 
     Returns
     -------
     The factors produced (for factorization tasks) or ``None`` (updates).
     """
+    kern = backend if backend is not None else resolve_backend(None)
     k = task.k
     if task.kind is TaskKind.GEQRT:
-        f = geqrt(a.tile(task.row, k))
+        f = kern.geqrt(a.tile(task.row, k))
         a.set_tile(task.row, k, f.r)
         factors[("Vg", task.row, k)] = f
         return f
     if task.kind is TaskKind.UNMQR:
         f = factors[("Vg", task.row, k)]
-        unmqr(f, a.tile(task.row, task.col), workspace=workspace)
+        kern.unmqr(f, a.tile(task.row, task.col), workspace=workspace)
         return None
     if task.kind is TaskKind.UNMQR_BATCH:
         f = factors[("Vg", task.row, k)]
         panel = a.row_panel(task.row, task.col, task.col_end)
-        unmqr_batch(f, panel, workspace=workspace)
+        kern.unmqr_batch(f, panel, workspace=workspace)
         a.scatter_row_panel(task.row, task.col, task.col_end, panel)
         return None
     if task.kind in (TaskKind.TSQRT, TaskKind.TTQRT):
         top = a.tile(task.row2, k)
         bot = a.tile(task.row, k)
-        fe = tsqrt(top, bot) if task.kind is TaskKind.TSQRT else ttqrt(top, bot)
+        fe = kern.tsqrt(top, bot) if task.kind is TaskKind.TSQRT else kern.ttqrt(top, bot)
         a.set_tile(task.row2, k, fe.r)
         bot[...] = 0.0
         factors[("Ve", task.row, k)] = fe
         return fe
     if task.kind in (TaskKind.TSMQR, TaskKind.TTMQR):
         fe = factors[("Ve", task.row, k)]
-        tsmqr(
+        fn = kern.tsmqr if task.kind is TaskKind.TSMQR else kern.ttmqr
+        fn(
             fe,
             a.tile(task.row2, task.col),
             a.tile(task.row, task.col),
@@ -93,9 +101,10 @@ def apply_task(
         return None
     if task.kind in (TaskKind.TSMQR_BATCH, TaskKind.TTMQR_BATCH):
         fe = factors[("Ve", task.row, k)]
+        fn = kern.tsmqr_batch if task.kind is TaskKind.TSMQR_BATCH else kern.ttmqr_batch
         top = a.row_panel(task.row2, task.col, task.col_end)
         bot = a.row_panel(task.row, task.col, task.col_end)
-        tsmqr_batch(fe, top, bot, workspace=workspace)
+        fn(fe, top, bot, workspace=workspace)
         a.scatter_row_panel(task.row2, task.col, task.col_end, top)
         a.scatter_row_panel(task.row, task.col, task.col_end, bot)
         return None
@@ -129,6 +138,7 @@ def apply_task_resilient(
     workspace: Workspace | None = None,
     *,
     policy,
+    backend: KernelBackend | None = None,
     chaos=None,
     health: bool = False,
     health_ref_norm: float | None = None,
@@ -184,7 +194,7 @@ def apply_task_resilient(
             t0 = perf_counter()
             if chaos is not None:
                 chaos.before_task(task, device)
-            produced = apply_task(task, a, factors, workspace)
+            produced = apply_task(task, a, factors, workspace, backend=backend)
             elapsed = perf_counter() - t0
             if policy.deadline is not None and elapsed > policy.deadline:
                 raise TaskTimeoutError(

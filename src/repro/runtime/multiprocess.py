@@ -64,7 +64,7 @@ import numpy as np
 
 from ..core.plan import DistributionPlan
 from ..errors import ShapeError, SimulationError, WorkerFailoverError
-from ..kernels import geqrt, tsmqr, tsmqr_batch, tsqrt, unmqr, unmqr_batch
+from ..kernels.backends import resolve_backend
 from ..kernels.workspace import Workspace
 from ..tiles import TiledMatrix
 from .factorization import TiledQRFactorization
@@ -227,12 +227,16 @@ def _worker_main(
     fault_plan=None,
     retry_policy=None,
     health: bool = False,
+    backend_name: str = "reference",
 ) -> None:
     """Worker process body: owns columns, executes kernels on demand."""
     columns: dict[int, list[np.ndarray]] = {}
     events: list[tuple] = []
     workspace = Workspace()
-    stats = {"retries": 0, "faults_injected": 0}
+    # Backends travel by *name* (registered in every process at import),
+    # not by pickled object, so spawn and fork behave identically.
+    kern = resolve_backend(backend_name)
+    stats = {"retries": 0, "faults_injected": 0, "workspace_fallbacks": 0}
     chaos = None
     if fault_plan is not None:
         from ..resilience import ChaosEngine
@@ -245,9 +249,11 @@ def _worker_main(
         policy = DEFAULT_RETRY_POLICY
 
     def reply(status: str, payload) -> None:
+        stats["workspace_fallbacks"] += workspace.fallbacks
+        workspace.fallbacks = 0
         delta = dict(stats)
-        stats["retries"] = 0
-        stats["faults_injected"] = 0
+        for key in stats:
+            stats[key] = 0
         conn.send((status, payload, delta))
 
     # Per-column squared norms of the data this worker holds, maintained
@@ -363,7 +369,7 @@ def _worker_main(
 
                 def do_geqrt():
                     with timed("GEQRT", k, k, k, k):
-                        fg = geqrt(col[k])
+                        fg = kern.geqrt(col[k])
                     col[k] = fg.r.copy()
                     return fg
 
@@ -374,7 +380,7 @@ def _worker_main(
 
                     def do_tsqrt(i=i):
                         with timed("TSQRT", k, i, k, k):
-                            fe = tsqrt(col[k], col[i])
+                            fe = kern.tsqrt(col[k], col[i])
                         col[k] = fe.r.copy()
                         col[i][...] = 0.0
                         return fe
@@ -408,7 +414,7 @@ def _worker_main(
                                 def do_batch(j0=j0, j1=j1, f=f, kk=kk, row=row):
                                     panel = gather(j0, j1, row)
                                     with timed("UNMQR_BATCH", kk, row, row, j0, j1):
-                                        unmqr_batch(f, panel, workspace=workspace)
+                                        kern.unmqr_batch(f, panel, workspace=workspace)
                                     scatter(j0, j1, row, panel)
 
                                 task = Task(TaskKind.UNMQR_BATCH, kk, row, row, j0, j1)
@@ -425,7 +431,7 @@ def _worker_main(
 
                                 def do_unmqr(col_idx=col_idx, f=f, kk=kk, row=row):
                                     with timed("UNMQR", kk, row, row, col_idx):
-                                        unmqr(f, columns[col_idx][row], workspace=workspace)
+                                        kern.unmqr(f, columns[col_idx][row], workspace=workspace)
 
                                 task = Task(TaskKind.UNMQR, kk, row, row, col_idx)
                                 run_kernel(
@@ -445,7 +451,7 @@ def _worker_main(
                                     top = gather(j0, j1, kk)
                                     bot = gather(j0, j1, row)
                                     with timed("TSMQR_BATCH", kk, row, kk, j0, j1):
-                                        tsmqr_batch(f, top, bot, workspace=workspace)
+                                        kern.tsmqr_batch(f, top, bot, workspace=workspace)
                                     scatter(j0, j1, kk, top)
                                     scatter(j0, j1, row, bot)
 
@@ -461,7 +467,7 @@ def _worker_main(
 
                                 def do_tsmqr(col_idx=col_idx, f=f, kk=kk, row=row):
                                     with timed("TSMQR", kk, row, kk, col_idx):
-                                        tsmqr(
+                                        kern.tsmqr(
                                             f,
                                             columns[col_idx][kk],
                                             columns[col_idx][row],
@@ -525,6 +531,14 @@ class MultiprocessRuntime:
     checkpoint_every / checkpoint_path:
         Write a panel-aligned format-2 snapshot every
         ``checkpoint_every`` *panels* (see module docstring).
+    backend:
+        Kernel backend *name* (or backend object carrying a registered
+        name).  Workers resolve the name in their own process — the
+        backend must therefore be registered at import time in every
+        interpreter, which all shipped backends are.  The manager's
+        failover replay uses the same backend, so reconstructed columns
+        match the lost ones bit for bit when the backend is
+        deterministic.
 
     Notes
     -----
@@ -544,6 +558,7 @@ class MultiprocessRuntime:
         metrics=None,
         checkpoint_every: int | None = None,
         checkpoint_path=None,
+        backend=None,
     ):
         self.plan = plan
         self.tracer = tracer
@@ -554,6 +569,7 @@ class MultiprocessRuntime:
         self.metrics = metrics
         self.checkpoint_every = checkpoint_every
         self.checkpoint_path = checkpoint_path
+        self.backend = resolve_backend(backend)
 
     @property
     def resilient(self) -> bool:
@@ -607,6 +623,7 @@ class MultiprocessRuntime:
                 args=(
                     child, p, q, tracer is not None, self.batch_updates,
                     dev, self.chaos_plan, self.retry_policy, self.health_checks,
+                    self.backend.name,
                 ),
                 daemon=True,
             )
@@ -634,7 +651,11 @@ class MultiprocessRuntime:
             if metrics is None or not delta:
                 return
             for name, n in delta.items():
-                if n:
+                if not n:
+                    continue
+                if name == "workspace_fallbacks":
+                    metrics.counter("kernel.workspace.fallbacks").inc(n)
+                else:
                     metrics.counter(f"resilience.{name}").inc(n)
 
         def ask(dev: str, msg, xfer=None, n_kernels: int = 1):
@@ -710,12 +731,12 @@ class MultiprocessRuntime:
                     kind, kp, row = key
                     if kind == "G":
                         f = GEQRTResult(r=np.empty(0), v=v, tf=tf, taus=taus)
-                        unmqr(f, col[row])
+                        self.backend.unmqr(f, col[row])
                     else:
                         f = TSQRTResult(
                             r=np.empty((v.shape[1], v.shape[1])), v2=v, tf=tf, taus=taus
                         )
-                        tsmqr(f, col[kp], col[row])
+                        self.backend.tsmqr(f, col[kp], col[row])
             return col
 
         def recover_column(j: int) -> list[np.ndarray]:

@@ -7,7 +7,8 @@ import numpy as np
 from ..config import DEFAULT_TILE_SIZE
 from ..dag import build_dag
 from ..errors import ShapeError
-from ..kernels.workspace import Workspace
+from ..kernels.backends import resolve_backend
+from ..kernels.workspace import Workspace, drain_fallbacks
 from ..tiles import TiledMatrix
 from .core_exec import Factors, apply_task, apply_task_resilient
 from .factorization import TiledQRFactorization
@@ -178,6 +179,11 @@ class SerialRuntime:
         see :mod:`repro.runtime.checkpoint`) after every
         ``checkpoint_every`` completed tasks.  ``resume_factorization``
         finishes such a run.
+    backend:
+        Kernel backend executing the tile kernels — a registered name,
+        a :class:`~repro.kernels.backends.KernelBackend` object, or
+        ``None`` for the ``reference`` backend.  Resolved once at
+        construction (unknown names fail fast, not mid-factorization).
     """
 
     def __init__(
@@ -192,6 +198,7 @@ class SerialRuntime:
         metrics=None,
         checkpoint_every: int | None = None,
         checkpoint_path=None,
+        backend=None,
     ):
         self.elimination = elimination
         self.progress = progress
@@ -203,6 +210,7 @@ class SerialRuntime:
         self.metrics = metrics
         self.checkpoint_every = checkpoint_every
         self.checkpoint_path = checkpoint_path
+        self.backend = resolve_backend(backend)
 
     def factorize(
         self, a, tile_size: int = DEFAULT_TILE_SIZE, resume=None
@@ -270,14 +278,16 @@ class SerialRuntime:
                 with span if span is not None else _NULL_CTX:
                     produced = apply_task_resilient(
                         task, tiled, factors, workspace,
-                        policy=policy, chaos=self.chaos,
+                        policy=policy, backend=self.backend, chaos=self.chaos,
                         health=self.health_checks, health_ref_norm=ref_norm,
                         metrics=self.metrics,
                         tracer=tracer, device="serial",
                     )
             else:
                 with span if span is not None else _NULL_CTX:
-                    produced = apply_task(task, tiled, factors, workspace)
+                    produced = apply_task(
+                        task, tiled, factors, workspace, backend=self.backend
+                    )
             done += 1
             if produced is not None:
                 log.append((task, produced))
@@ -286,6 +296,7 @@ class SerialRuntime:
                 ckpt.write(completed_order, log, device="serial")
             if self.progress is not None:
                 self.progress(done, total, task)
+        drain_fallbacks(self.metrics, workspace)
         return TiledQRFactorization(r=tiled, log=log, shape=shape)
 
 
@@ -307,9 +318,13 @@ def tiled_qr(
     tile_size: int = DEFAULT_TILE_SIZE,
     elimination: str = "TS",
     batch_updates: bool = False,
+    backend=None,
 ) -> TiledQRFactorization:
     """One-call tiled QR: ``f = tiled_qr(A); Q, R = f.q_dense(), f.r_dense()``.
 
-    This is the package's quickstart entry point.
+    This is the package's quickstart entry point.  ``backend`` names a
+    registered kernel backend (``tiledqr backends`` lists them).
     """
-    return SerialRuntime(elimination, batch_updates=batch_updates).factorize(a, tile_size)
+    return SerialRuntime(
+        elimination, batch_updates=batch_updates, backend=backend
+    ).factorize(a, tile_size)

@@ -43,7 +43,8 @@ from ..config import DEFAULT_TILE_SIZE
 from ..dag import build_dag
 from ..dag.tasks import Task
 from ..errors import ShapeError, SimulationError
-from ..kernels.workspace import Workspace
+from ..kernels.backends import resolve_backend
+from ..kernels.workspace import Workspace, drain_fallbacks
 from ..tiles import TiledMatrix
 from .core_exec import Factors, apply_task, apply_task_resilient
 from .factorization import TiledQRFactorization
@@ -97,6 +98,11 @@ class ThreadedRuntime:
         :class:`~repro.runtime.serial.SerialRuntime`'s.
     checkpoint_every / checkpoint_path:
         Periodic quiescent-point snapshots (see module docstring).
+    backend:
+        Kernel backend (name, object, or ``None`` for ``reference``),
+        shared by every worker — backend objects must therefore be
+        thread-safe for concurrent kernel calls (the shipped ones are
+        stateless).
 
     A kernel exception in any worker aborts the factorization and
     re-raises in the calling thread, annotated with the failing task;
@@ -116,6 +122,7 @@ class ThreadedRuntime:
         metrics=None,
         checkpoint_every: int | None = None,
         checkpoint_path=None,
+        backend=None,
     ):
         if num_workers < 1:
             raise ValueError(f"need at least one worker, got {num_workers}")
@@ -129,6 +136,7 @@ class ThreadedRuntime:
         self.metrics = metrics
         self.checkpoint_every = checkpoint_every
         self.checkpoint_path = checkpoint_path
+        self.backend = resolve_backend(backend)
 
     def factorize(
         self, a, tile_size: int = DEFAULT_TILE_SIZE, resume=None
@@ -220,9 +228,11 @@ class ThreadedRuntime:
             cancel.set()
             all_done.set()
 
+        workspaces = [Workspace() for _ in range(self.num_workers)]
+
         def worker(index: int) -> None:
             device = f"worker-{index}"
-            workspace = Workspace()
+            workspace = workspaces[index]
             while True:
                 task = ready.get()
                 if task is None:
@@ -239,12 +249,12 @@ class ThreadedRuntime:
                     if policy is not None:
                         return apply_task_resilient(
                             t, tiled, factors, workspace,
-                            policy=policy, chaos=self.chaos,
+                            policy=policy, backend=self.backend, chaos=self.chaos,
                             health=self.health_checks, health_ref_norm=ref_norm,
                             metrics=self.metrics,
                             tracer=tracer, device=device,
                         )
-                    return apply_task(t, tiled, factors, workspace)
+                    return apply_task(t, tiled, factors, workspace, backend=self.backend)
 
                 try:
                     if tracer is not None:
@@ -314,6 +324,7 @@ class ThreadedRuntime:
             ready.put(None)
         for th in threads:
             th.join()
+        drain_fallbacks(self.metrics, *workspaces)
 
         if errors:
             raise errors[0]

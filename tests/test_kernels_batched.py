@@ -15,7 +15,6 @@ from pathlib import Path
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.dag import build_dag
 from repro.dag.tasks import Task, TaskKind
@@ -42,6 +41,7 @@ from repro.runtime.multiprocess import MultiprocessRuntime
 from repro.runtime.serial import SerialRuntime, tiled_qr
 from repro.runtime.threaded import ThreadedRuntime, split_batch
 from repro.tiles import TiledMatrix
+from tests.strategies import batch_tile_sizes, batch_widths, wide_seeds
 
 PARITY_TOL = 1e-12
 
@@ -83,11 +83,7 @@ class TestBatchedKernelParity:
     """Fused kernels == per-tile loops, property-tested over shapes."""
 
     @settings(max_examples=25, deadline=None)
-    @given(
-        b=st.integers(min_value=2, max_value=8),
-        ntiles=st.integers(min_value=1, max_value=5),
-        seed=st.integers(min_value=0, max_value=2**31 - 1),
-    )
+    @given(b=batch_tile_sizes, ntiles=batch_widths, seed=wide_seeds)
     def test_unmqr_batch_matches_per_tile(self, b, ntiles, seed):
         rng = np.random.default_rng(seed)
         f = geqrt(rng.standard_normal((b, b)))
@@ -100,11 +96,7 @@ class TestBatchedKernelParity:
         np.testing.assert_allclose(batched, loop, atol=PARITY_TOL, rtol=0)
 
     @settings(max_examples=25, deadline=None)
-    @given(
-        b=st.integers(min_value=2, max_value=8),
-        ntiles=st.integers(min_value=1, max_value=5),
-        seed=st.integers(min_value=0, max_value=2**31 - 1),
-    )
+    @given(b=batch_tile_sizes, ntiles=batch_widths, seed=wide_seeds)
     def test_tsmqr_batch_matches_per_tile(self, b, ntiles, seed):
         rng = np.random.default_rng(seed)
         f = tsqrt(rng.standard_normal((b, b)), rng.standard_normal((b, b)))

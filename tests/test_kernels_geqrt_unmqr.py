@@ -2,10 +2,11 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.errors import KernelError
 from repro.kernels import geqrt, unmqr
+from tests.strategies import random_tile, seeds, tile_sizes
 
 
 class TestGEQRT:
@@ -59,10 +60,10 @@ class TestGEQRT:
         f = geqrt(rng.standard_normal((10, 4)))
         assert f.tile_shape == (10, 4)
 
-    @given(st.integers(1, 20), st.integers(0, 500))
+    @given(tile_sizes, seeds)
     @settings(max_examples=25, deadline=None)
     def test_property_orthogonal_factor(self, b, seed):
-        a = np.random.default_rng(seed).standard_normal((b, b))
+        a = random_tile(seed, (b, b))
         f = geqrt(a)
         q = f.q_dense()
         assert np.linalg.norm(q.T @ q - np.eye(b)) < 1e-9 * b

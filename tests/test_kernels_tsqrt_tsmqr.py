@@ -2,14 +2,12 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.errors import KernelError
 from repro.kernels import geqrt, tsmqr, tsqrt, ttmqr, ttqrt
-
-
-def _random_triangular(rng, b):
-    return np.triu(rng.standard_normal((b, b)))
+from tests.strategies import random_triangular as _random_triangular
+from tests.strategies import seeds, small_tile_sizes
 
 
 class TestTSQRT:
@@ -65,11 +63,11 @@ class TestTSQRT:
         with pytest.raises(KernelError):
             tsqrt(rng.standard_normal((4, 4)), rng.standard_normal((4, 3)))
 
-    @given(st.integers(1, 12), st.integers(0, 300))
+    @given(small_tile_sizes, seeds)
     @settings(max_examples=25, deadline=None)
     def test_property_elimination_zeroes_bottom(self, b, seed):
         rng = np.random.default_rng(seed)
-        r1 = np.triu(rng.standard_normal((b, b)))
+        r1 = _random_triangular(rng, b)
         a2 = rng.standard_normal((b, b))
         f = tsqrt(r1, a2)
         c1, c2 = r1.copy(), a2.copy()

@@ -319,7 +319,9 @@ class TestDecisionAudit:
         audit = DecisionAudit()
         plan = Optimizer(paper_testbed()).plan(matrix_size=2048, tile_size=512, audit=audit)
         stages = [r.stage for r in audit.records]
-        assert stages == ["main_device", "device_count", "distribution"]
+        assert stages == [
+            "main_device", "device_count", "distribution", "kernel_backend",
+        ]
         assert plan.notes["audit"] is audit
         main_rec = audit.get("main_device")
         assert main_rec.chosen == plan.main_device
@@ -351,7 +353,7 @@ class TestDecisionAudit:
         Optimizer(paper_testbed()).plan(matrix_size=2048, tile_size=512, audit=audit)
         doc = audit.to_dict()
         json.dumps(doc)  # must be JSONL-meta safe
-        assert len(doc["decisions"]) == 3
+        assert len(doc["decisions"]) == 4
 
     def test_single_device_system_records_shortcut(self):
         from repro.devices.registry import SystemSpec

@@ -1,0 +1,125 @@
+"""Workspace arena guarantees: zero steady-state allocation, counted fallbacks.
+
+The arena exists so kernel GEMMs never hit the heap on the hot path;
+the ``fallbacks`` counter exists so we *notice* if they do.  These
+tests pin both halves: the float64 path performs no allocation (and no
+fallbacks) once warm, the mixed-dtype escape hatch increments the
+counter, and :func:`drain_fallbacks` folds the counts into the
+``kernel.workspace.fallbacks`` metric across every runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import Workspace, drain_fallbacks, geqrt, tsmqr, tsqrt, unmqr
+from repro.observability import MetricsRegistry
+from repro.runtime.multiprocess import MultiprocessRuntime
+from repro.runtime.serial import SerialRuntime
+from repro.runtime.threaded import ThreadedRuntime
+from tests.strategies import random_tile, random_triangular
+
+
+class TestSteadyStateAllocations:
+    def test_float64_hot_path_never_falls_back_or_grows(self, rng):
+        b = 16
+        ws = Workspace()
+        fg = geqrt(rng.standard_normal((b, b)))
+        fe = tsqrt(random_triangular(rng, b), rng.standard_normal((b, b)))
+        # Warm-up: first call at each (name, width) sizes the buffers.
+        unmqr(fg, rng.standard_normal((b, 3 * b)), workspace=ws)
+        tsmqr(fe, rng.standard_normal((b, 3 * b)), rng.standard_normal((b, 3 * b)), workspace=ws)
+        warm_bytes = ws.nbytes
+        assert warm_bytes > 0
+        for _ in range(20):
+            unmqr(fg, rng.standard_normal((b, 3 * b)), workspace=ws)
+            tsmqr(
+                fe,
+                rng.standard_normal((b, 3 * b)),
+                rng.standard_normal((b, 3 * b)),
+                workspace=ws,
+            )
+        assert ws.fallbacks == 0
+        assert ws.nbytes == warm_bytes  # steady state: no reallocation
+
+    def test_narrower_requests_reuse_the_warm_buffer(self, rng):
+        b = 8
+        ws = Workspace()
+        fg = geqrt(rng.standard_normal((b, b)))
+        unmqr(fg, rng.standard_normal((b, 4 * b)), workspace=ws)
+        warm_bytes = ws.nbytes
+        for width in (4 * b, 2 * b, b, 1):
+            unmqr(fg, rng.standard_normal((b, width)), workspace=ws)
+        assert ws.nbytes == warm_bytes
+
+    def test_serial_float64_factorization_reports_zero_fallbacks(self, rng):
+        metrics = MetricsRegistry()
+        SerialRuntime(metrics=metrics).factorize(rng.standard_normal((64, 64)), 16)
+        counters = metrics.snapshot()["counters"]
+        assert counters.get("kernel.workspace.fallbacks", 0) == 0
+
+
+class TestMixedDtypeFallbacks:
+    def test_mixed_dtype_unmqr_increments_counter(self, rng):
+        ws = Workspace()
+        f = geqrt(rng.standard_normal((8, 8)))  # float64 factors
+        c = random_tile(rng, (8, 4), np.float32)
+        unmqr(f, c, workspace=ws)
+        assert ws.fallbacks == 1
+        unmqr(f, c, workspace=ws)
+        assert ws.fallbacks == 2
+
+    def test_mixed_dtype_tsmqr_increments_counter(self, rng):
+        ws = Workspace()
+        f = tsqrt(random_triangular(rng, 8), rng.standard_normal((8, 8)))
+        c1 = random_tile(rng, (8, 4), np.float32)
+        c2 = random_tile(rng, (8, 4), np.float32)
+        tsmqr(f, c1, c2, workspace=ws)
+        assert ws.fallbacks >= 1
+
+    def test_matching_float32_does_not_fall_back(self, rng):
+        ws = Workspace()
+        a = random_tile(rng, (8, 8), np.float32)
+        f = geqrt(a)  # float32 factors
+        unmqr(f, random_tile(rng, (8, 4), np.float32), workspace=ws)
+        assert ws.fallbacks == 0
+
+
+class TestDrainFallbacks:
+    def test_folds_and_resets(self):
+        metrics = MetricsRegistry()
+        w1, w2 = Workspace(), Workspace()
+        w1.fallbacks, w2.fallbacks = 3, 4
+        assert drain_fallbacks(metrics, w1, w2) == 7
+        assert (w1.fallbacks, w2.fallbacks) == (0, 0)
+        assert metrics.snapshot()["counters"]["kernel.workspace.fallbacks"] == 7
+        # Second drain reports the delta (zero), not the lifetime total.
+        assert drain_fallbacks(metrics, w1, w2) == 0
+        assert metrics.snapshot()["counters"]["kernel.workspace.fallbacks"] == 7
+
+    def test_zero_total_creates_no_counter(self):
+        metrics = MetricsRegistry()
+        assert drain_fallbacks(metrics, Workspace()) == 0
+        assert "kernel.workspace.fallbacks" not in metrics.snapshot()["counters"]
+
+    def test_none_metrics_still_resets(self):
+        ws = Workspace()
+        ws.fallbacks = 5
+        assert drain_fallbacks(None, ws) == 5
+        assert ws.fallbacks == 0
+
+    def test_threaded_runtime_drains_worker_arenas(self, rng):
+        metrics = MetricsRegistry()
+        ThreadedRuntime(3, metrics=metrics).factorize(rng.standard_normal((64, 64)), 16)
+        counters = metrics.snapshot()["counters"]
+        assert counters.get("kernel.workspace.fallbacks", 0) == 0
+
+    def test_multiprocess_runtime_folds_worker_fallbacks(self, rng, optimizer):
+        metrics = MetricsRegistry()
+        plan = optimizer.plan(matrix_size=64, tile_size=16)
+        MultiprocessRuntime(plan, metrics=metrics).factorize(
+            rng.standard_normal((64, 64)), 16
+        )
+        counters = metrics.snapshot()["counters"]
+        # float64 end to end: the piggybacked per-reply stats must sum to 0.
+        assert counters.get("kernel.workspace.fallbacks", 0) == 0
