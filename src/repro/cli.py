@@ -115,10 +115,13 @@ def _cmd_plan(args) -> int:
     else:
         opt = Optimizer(system)
     audit = DecisionAudit()
-    plan = opt.plan(matrix_size=args.n, tile_size=args.tile_size, audit=audit)
+    plan = opt.plan(
+        matrix_size=args.n, tile_size=args.tile_size, audit=audit, tree=args.tree
+    )
     print(system.describe(args.tile_size))
     print()
     print(plan.describe())
+    print(f"elimination tree: {plan.notes['tree']} (--tree {args.tree})")
     print(f"Alg. 3 prediction (p*, per-p Top+Tcomm):")
     for row in plan.notes["predicted"]:
         marker = " <-- selected" if row.num_devices == plan.num_devices else ""
@@ -182,6 +185,34 @@ def _resolve_backend_arg(name):
     return True
 
 
+#: ``--tree`` vocabulary: auto-selection, canonical names, seed aliases.
+def _tree_choices():
+    from .dag.trees import ALIASES, AUTO, tree_names
+
+    return [AUTO, *tree_names(), *ALIASES]
+
+
+def _resolve_tree_cli(tree, n: int, tile_size: int) -> str:
+    """Canonical tree for a ``--tree`` value (``None`` -> seed default).
+
+    ``auto`` delegates to the optimizer's simulated tree selection on
+    the paper testbed at the run's grid size.
+    """
+    from .dag.trees import AUTO, canonical_tree
+
+    if tree is None:
+        return canonical_tree("TS")
+    if str(tree).lower() == AUTO:
+        from .core.optimizer import Optimizer
+        from .devices.registry import paper_testbed
+
+        opt = Optimizer(paper_testbed())
+        plan = opt.plan(matrix_size=n, tile_size=tile_size)
+        grid = -(-n // tile_size)
+        return opt.select_tree(AUTO, grid, grid, tile_size, plan)
+    return canonical_tree(tree)
+
+
 def _cmd_factorize(args) -> int:
     from .core.executor import TiledQR
     from .devices.registry import paper_testbed
@@ -204,10 +235,13 @@ def _cmd_factorize(args) -> int:
         tile_size=args.tile_size,
         batch_updates=args.batch_updates,
         backend=args.backend,
+        tree=args.tree,
     )
     fact = run.factorization
     err = frobenius_relative_error(fact.apply_q(fact.r_dense()), a)
     print(run.plan.describe())
+    if args.tree is not None:
+        print(f"elimination tree: {run.plan.notes.get('tree')} (--tree {args.tree})")
     print(f"numeric: ||A - QR||/||A|| = {err:.3e}")
     print(f"simulated heterogeneous makespan: {run.report.makespan*1e3:.3f} ms")
     print(f"simulated communication share: {run.report.comm_fraction*100:.1f}%")
@@ -236,20 +270,22 @@ def _factorize_checkpointed(args, a) -> int:
         return 2
     metrics = MetricsRegistry()
     kwargs = dict(
+        elimination=_resolve_tree_cli(args.tree, args.n, args.tile_size),
         batch_updates=args.batch_updates,
         metrics=metrics,
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint_out,
         backend=args.backend,
     )
-    if args.runtime == "threaded":
-        runtime = ThreadedRuntime(num_workers=args.workers, **kwargs)
-    else:
-        runtime = SerialRuntime(**kwargs)
 
     try:
         if args.resume:
             state = load_partial_factorization(args.resume)
+            if args.tree is None:
+                # No explicit --tree: adopt the snapshot's recorded tree.
+                # An explicit --tree that disagrees with the snapshot is
+                # a CheckpointError from the runtime's resume validation.
+                kwargs["elimination"] = state.elimination
             if state.shape != a.shape:
                 print(
                     f"snapshot {args.resume} is for a {state.shape} matrix, "
@@ -259,8 +295,16 @@ def _factorize_checkpointed(args, a) -> int:
                 return 2
             ntasks = len(state.completed)
             print(f"resuming from {args.resume} ({ntasks} task(s) already done)")
+            if args.runtime == "threaded":
+                runtime = ThreadedRuntime(num_workers=args.workers, **kwargs)
+            else:
+                runtime = SerialRuntime(**kwargs)
             fact = resume_factorization(args.resume, runtime=runtime)
         else:
+            if args.runtime == "threaded":
+                runtime = ThreadedRuntime(num_workers=args.workers, **kwargs)
+            else:
+                runtime = SerialRuntime(**kwargs)
             fact = runtime.factorize(a, args.tile_size)
     except (CheckpointError, ReproError) as exc:
         print(f"factorization failed: {exc}", file=sys.stderr)
@@ -302,9 +346,10 @@ def _cmd_chaos(args) -> int:
         return 2
     rng = np.random.default_rng(args.seed)
     a = rng.standard_normal((args.n, args.n))
+    tree = _resolve_tree_cli(args.tree, args.n, args.tile_size)
 
     t0 = perf_counter()
-    clean = tiled_qr(a, args.tile_size)
+    clean = tiled_qr(a, args.tile_size, elimination=tree)
     clean_seconds = perf_counter() - t0
 
     metrics = MetricsRegistry()
@@ -330,6 +375,7 @@ def _cmd_chaos(args) -> int:
 
             fact = MultiprocessRuntime(
                 dist,
+                elimination=tree,
                 tracer=tracer,
                 retry_policy=policy,
                 chaos_plan=plan,
@@ -339,6 +385,7 @@ def _cmd_chaos(args) -> int:
         else:
             chaos = ChaosEngine(plan, metrics=metrics, tracer=tracer)
             kwargs = dict(
+                elimination=tree,
                 tracer=tracer,
                 retry_policy=policy,
                 chaos=chaos,
@@ -400,8 +447,10 @@ def _cmd_gantt(args) -> int:
     opt = Optimizer(system, topology)
     plan = opt.plan(matrix_size=args.n, tile_size=args.tile_size)
     grid = -(-args.n // plan.tile_size)
-    dag = build_dag(grid, grid)
+    tree = _resolve_tree_cli(args.tree, args.n, args.tile_size)
+    dag = build_dag(grid, grid, tree)
     trace = DiscreteEventSimulator(system, topology).run(dag, plan)
+    trace.meta["elimination"] = tree
     print(plan.describe())
     print()
     print(ascii_gantt(trace, width=args.width))
@@ -510,18 +559,20 @@ def _cmd_trace(args) -> int:
     tracer = Tracer(metrics=metrics)
     rng = np.random.default_rng(args.seed)
     a = rng.standard_normal((n, n))
+    tree = _resolve_tree_cli(args.tree, n, args.tile_size)
     plan = None
     if args.runtime == "serial":
         from .runtime.serial import SerialRuntime
 
         SerialRuntime(
-            tracer=tracer, batch_updates=args.batch_updates, backend=args.backend
+            elimination=tree, tracer=tracer,
+            batch_updates=args.batch_updates, backend=args.backend,
         ).factorize(a, args.tile_size)
     elif args.runtime == "threaded":
         from .runtime.threaded import ThreadedRuntime
 
         ThreadedRuntime(
-            num_workers=args.workers, tracer=tracer,
+            num_workers=args.workers, elimination=tree, tracer=tracer,
             batch_updates=args.batch_updates, backend=args.backend,
         ).factorize(a, args.tile_size)
     else:
@@ -535,10 +586,15 @@ def _cmd_trace(args) -> int:
         )
         MultiprocessRuntime(
             plan, tracer=tracer, batch_updates=args.batch_updates,
-            backend=args.backend,
+            elimination=tree, backend=args.backend,
         ).factorize(a, args.tile_size)
     trace = tracer.to_trace()
-    print(f"traced real run: {args.runtime} runtime, n={n}, b={args.tile_size}")
+    trace.meta["elimination"] = tree
+    trace.meta["runtime"] = args.runtime
+    print(
+        f"traced real run: {args.runtime} runtime, n={n}, b={args.tile_size}, "
+        f"tree={tree}"
+    )
     print(summarize_trace(trace).to_text())
     rates = metrics.kernel_rates()
     if rates:
@@ -550,19 +606,14 @@ def _cmd_trace(args) -> int:
                 f"p95 {s['p95']:8.2f}  p99 {s['p99']:8.2f}"
             )
     if args.out:
-        from .dag.tasks import TaskKind
         from .observability.analysis import infer_grid
 
-        elimination = "TT" if any(
-            r.task.kind in (TaskKind.TTQRT, TaskKind.TTMQR, TaskKind.TTMQR_BATCH)
-            for r in trace.tasks
-        ) else "TS"
         meta = provenance_meta(
             runtime=args.runtime,
             n=n,
             b=args.tile_size,
             grid=list(infer_grid(trace)),
-            elimination=elimination,
+            elimination=tree,
             batch_updates=args.batch_updates,
             workers=args.workers if args.runtime == "threaded" else None,
             seed=args.seed,
@@ -591,15 +642,18 @@ def _cmd_trace(args) -> int:
     if args.perf_out:
         path = record_traced_run(
             args.perf_out, args.runtime, n, args.tile_size, trace,
-            extra={"batch_updates": args.batch_updates},
+            extra={"batch_updates": args.batch_updates, "tree": tree},
         )
         print(f"perf trajectory appended to {path}")
     if args.diff is not None:
         from .core.executor import TiledQR
         from .devices.registry import paper_testbed
 
-        run = TiledQR(paper_testbed()).simulate(n, args.tile_size, fidelity="task")
+        run = TiledQR(paper_testbed(), elimination=tree).simulate(
+            n, args.tile_size, fidelity="task"
+        )
         sim_trace = run.report.meta["trace"]
+        sim_trace.meta["elimination"] = tree
         print()
         print(f"simulated on {run.plan.describe()}")
         # the simulator predicts the unfused DAG; expand batched records
@@ -680,6 +734,14 @@ def main(argv: list[str] | None = None) -> int:
         help="plan on measured kernel times from this profile store "
         "(see `tiledqr trace --profile-out`) instead of the static calibration",
     )
+    p_plan.add_argument(
+        "--tree",
+        choices=_tree_choices(),
+        default="auto",
+        help="within-panel elimination tree; 'auto' simulates every "
+        "registered tree against the plan and picks the fastest "
+        "(default: auto; see docs/PERFORMANCE.md)",
+    )
     p_plan.set_defaults(func=_cmd_plan)
 
     p_fact = sub.add_parser("factorize", help="numeric tiled QR of a random matrix")
@@ -723,6 +785,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SNAP.npz",
         help="finish an interrupted run from this partial snapshot "
         "(pass the original n and --seed so the result can be verified)",
+    )
+    p_fact.add_argument(
+        "--tree",
+        choices=_tree_choices(),
+        default=None,
+        help="within-panel elimination tree ('auto' lets the optimizer "
+        "pick by simulated makespan; default: the paper's flat/TS chain)",
     )
     p_fact.set_defaults(func=_cmd_factorize)
 
@@ -781,6 +850,12 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument(
         "--json", metavar="OUT.json", help="also write the report as JSON"
     )
+    p_chaos.add_argument(
+        "--tree",
+        choices=_tree_choices(),
+        default=None,
+        help="within-panel elimination tree for the run (default: flat/TS)",
+    )
     p_chaos.set_defaults(func=_cmd_chaos)
 
     p_gantt = sub.add_parser("gantt", help="ASCII Gantt of a simulated run")
@@ -788,6 +863,12 @@ def main(argv: list[str] | None = None) -> int:
     p_gantt.add_argument("--tile-size", type=int, default=16)
     p_gantt.add_argument("--width", type=int, default=100)
     p_gantt.add_argument("--out", help="also write a Chrome trace JSON here")
+    p_gantt.add_argument(
+        "--tree",
+        choices=_tree_choices(),
+        default=None,
+        help="within-panel elimination tree to simulate (default: flat/TS)",
+    )
     p_gantt.set_defaults(func=_cmd_gantt)
 
     p_trace = sub.add_parser(
@@ -851,6 +932,14 @@ def main(argv: list[str] | None = None) -> int:
         help="kernel backend to trace (see `tiledqr backends`); recorded "
         "runs tag their profile-store timings with it, which feeds the "
         "planner's backend selection",
+    )
+    p_trace.add_argument(
+        "--tree",
+        choices=_tree_choices(),
+        default=None,
+        help="within-panel elimination tree to record (default: flat/TS; "
+        "`auto` asks the planner to pick one; recorded in the trace's "
+        "provenance header)",
     )
     p_trace.set_defaults(func=_cmd_trace)
 

@@ -55,7 +55,11 @@ class TiledQR:
     topology:
         Link models; defaults to the paper's PCIe star.
     elimination:
-        DAG flavour, ``"TS"`` (paper) or ``"TT"``.
+        Default within-panel elimination tree — any registered name or
+        alias from :mod:`repro.dag.trees` (``"TS"``/``"flat"`` is the
+        paper's order).  ``factorize(tree=...)`` overrides per call,
+        with ``"auto"`` delegating to the optimizer's simulated tree
+        selection.
     element_size:
         Bytes per element for the communication model.
     """
@@ -147,6 +151,7 @@ class TiledQR:
         tracer=None,
         batch_updates: bool = False,
         backend=None,
+        tree: str | None = None,
     ) -> TiledQRRun:
         """Numerically factorize ``a`` under an optimized plan.
 
@@ -175,12 +180,28 @@ class TiledQR:
             or :class:`~repro.kernels.backends.KernelBackend` object
             (``None`` = the plan's selected backend for its main device,
             falling back to ``reference``).  See ``docs/KERNELS.md``.
+        tree:
+            Within-panel elimination tree (see :mod:`repro.dag.trees`):
+            a registered name/alias, or ``"auto"`` to let the optimizer
+            simulate the candidates against the plan and pick the
+            fastest (recorded as the audit's ``elimination_tree``
+            stage).  ``None`` keeps the instance's ``elimination``.
         """
         arr = np.asarray(a)
         if arr.ndim != 2:
             raise PlanError(f"expected a 2-D matrix, got ndim={arr.ndim}")
         n = max(arr.shape)
         p = plan if plan is not None else self.plan(n, tile_size)
+        elimination = self.elimination
+        if tree is not None:
+            g_rows = -(-arr.shape[0] // p.tile_size)
+            g_cols = -(-arr.shape[1] // p.tile_size)
+            audit = p.notes.get("audit") if isinstance(p.notes, dict) else None
+            elimination = self.optimizer.select_tree(
+                tree, g_rows, g_cols, p.tile_size, p, audit=audit
+            )
+            if isinstance(p.notes, dict):
+                p.notes["tree"] = elimination
         if coexecute:
             from ..dag import build_dag
             from ..sim.engine import DiscreteEventSimulator
@@ -189,7 +210,7 @@ class TiledQR:
             if arr.shape[0] < arr.shape[1]:
                 raise PlanError(f"QR requires m >= n, got shape {arr.shape}")
             tiled = TiledMatrix.from_dense(arr, p.tile_size)
-            dag = build_dag(tiled.grid_rows, tiled.grid_cols, self.elimination)
+            dag = build_dag(tiled.grid_rows, tiled.grid_cols, elimination)
             sim = DiscreteEventSimulator(self.system, self.topology, self.element_size)
             trace = sim.run(dag, p, tiles=tiled)
             fact = TiledQRFactorization(
@@ -203,7 +224,7 @@ class TiledQR:
             if isinstance(selected, dict):
                 backend = selected.get(p.main_device)
         fact = SerialRuntime(
-            self.elimination, tracer=tracer, batch_updates=batch_updates,
+            elimination, tracer=tracer, batch_updates=batch_updates,
             backend=backend,
         ).factorize(arr, p.tile_size)
         if simulate:

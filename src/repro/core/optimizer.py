@@ -67,6 +67,7 @@ class Optimizer:
         num_devices: int | None = None,
         panel_follows_column: bool = False,
         audit: DecisionAudit | None = None,
+        tree: str | None = None,
     ) -> DistributionPlan:
         """Produce the optimized plan for an ``n x n`` matrix.
 
@@ -88,6 +89,14 @@ class Optimizer:
             created when omitted.  Lands in ``plan.notes["audit"]`` —
             render it with
             :func:`repro.observability.decisions.explain_plan`.
+        tree:
+            Elimination-tree selection (see :mod:`repro.dag.trees`):
+            ``"auto"`` simulates every registered tree against this plan
+            and picks the fastest; a tree name or alias forces the
+            choice (still recording what ``auto`` would have picked).
+            ``None`` skips the stage.  The chosen canonical name lands
+            in ``plan.notes["tree"]`` and the comparison in the audit's
+            ``elimination_tree`` record.
 
         Returns
         -------
@@ -136,7 +145,7 @@ class Optimizer:
             " override" if main_device else "", p, len(self.system), p_opt,
             ratio, len(guide),
         )
-        return DistributionPlan(
+        plan = DistributionPlan(
             system=self.system,
             main_device=main,
             participants=participants,
@@ -152,3 +161,98 @@ class Optimizer:
                 "backends": backends,
             },
         )
+        if tree is not None:
+            plan.notes["tree"] = self.select_tree(
+                tree, grid_rows, grid_cols, tile_size, plan, audit=audit
+            )
+        return plan
+
+    def select_tree(
+        self,
+        tree: str,
+        grid_rows: int,
+        grid_cols: int,
+        tile_size: int,
+        plan: DistributionPlan,
+        audit: DecisionAudit | None = None,
+    ) -> str:
+        """Choose the within-panel elimination tree for a planned run.
+
+        Every registered tree (:mod:`repro.dag.trees`) is scored against
+        the plan: on grids the task-level simulator handles, by the
+        simulated makespan of that tree's DAG on the modelled system;
+        on larger grids, by the flop-weighted critical path (the same
+        weight model the runtimes' priority schedulers use, fed by this
+        optimizer's profile when it has measurements).  ``tree="auto"``
+        returns the argmin; an explicit name or alias forces the choice
+        but the comparison is still recorded, with what ``auto`` would
+        have picked in the record's notes.  The decision lands in the
+        audit as an ``elimination_tree`` (STAGE_TREE) record.
+        """
+        from ..dag import build_dag
+        from ..dag.analysis import bottom_level_ranks, task_weight_model
+        from ..dag.trees import AUTO, canonical_tree, tree_names
+        from ..observability.decisions import (
+            STAGE_TREE,
+            Candidate,
+            DecisionRecord,
+            margin_over_runner_up,
+        )
+        from .executor import TASK_LEVEL_GRID_LIMIT
+
+        forced = None if str(tree).lower() == AUTO else canonical_tree(tree)
+        simulate = max(grid_rows, grid_cols) <= TASK_LEVEL_GRID_LIMIT
+        weight = task_weight_model(tile_size, profile=self.profile)
+        scored: dict[str, float] = {}
+        metrics: dict[str, dict] = {}
+        for name in tree_names():
+            dag = build_dag(grid_rows, grid_cols, name, batch_updates=False)
+            cp = max(bottom_level_ranks(dag, weight).values(), default=0.0)
+            metrics[name] = {
+                "weighted_critical_path": cp,
+                "tasks": float(len(dag.tasks)),
+            }
+            if simulate:
+                from ..sim.engine import DiscreteEventSimulator
+
+                # panel_unit=False: the runtimes dispatch panel kernels
+                # on the shared worker/slot pool (no dedicated panel
+                # engine), and a capacity-1 panel engine would serialize
+                # every within-panel merge — making all TT-shaped trees
+                # simulate identically regardless of depth.
+                sim = DiscreteEventSimulator(
+                    self.system, self.topology, self.element_size,
+                    panel_unit=False,
+                )
+                makespan = sim.run(dag, plan).makespan
+                metrics[name]["simulated_makespan"] = makespan
+                scored[name] = makespan
+            else:
+                scored[name] = cp
+        best = min(scored, key=lambda n: scored[n])  # ties: registration order
+        chosen = forced if forced is not None else best
+        notes = {
+            "mode": "auto" if forced is None else "override",
+            "fidelity": "task-sim" if simulate else "critical-path",
+        }
+        if forced is not None:
+            notes["auto_choice"] = best
+        rec = DecisionRecord(
+            stage=STAGE_TREE,
+            chosen=chosen,
+            metric="simulated_makespan" if simulate else "weighted_critical_path",
+            margin=margin_over_runner_up(list(scored.values()), scored[best]),
+            inputs={"grid": f"{grid_rows}x{grid_cols}", "tile_size": tile_size},
+            candidates=[
+                Candidate(name=n, chosen=(n == chosen), metrics=metrics[n])
+                for n in tree_names()
+            ],
+            notes=notes,
+        )
+        if audit is not None:
+            audit.record(rec)
+        logger.debug(
+            "tree selection %dx%d b=%d: chose %s (%s, best=%s)",
+            grid_rows, grid_cols, tile_size, chosen, notes["fidelity"], best,
+        )
+        return chosen

@@ -84,6 +84,89 @@ def critical_path_length(
     return max(finish.values(), default=0.0)
 
 
+def bottom_level_ranks(
+    dag: TiledQRDag,
+    weight: Callable[[Task], float] | None = None,
+) -> dict[Task, float]:
+    """Per-task *bottom-level* rank: the weighted length of the longest
+    path from the task to any sink, inclusive of the task itself.
+
+    The classic list-scheduling priority: popping the highest-rank ready
+    task first always advances the remaining critical path, which is
+    what bounds makespan once kernel throughput is saturated.  Ranks are
+    monotone along every edge — ``rank(pred) > rank(succ)`` — because a
+    predecessor's longest tail passes through (or exceeds) each
+    successor's.
+
+    Parameters
+    ----------
+    dag:
+        The task DAG.
+    weight:
+        Per-task cost (seconds or flops — only relative magnitudes
+        matter); defaults to 1 per task.
+    """
+    w = weight if weight is not None else (lambda _t: 1.0)
+    ranks: dict[Task, float] = {}
+    for t in reversed(dag.tasks):  # reverse emission order = reverse topological
+        tail = max((ranks[s] for s in dag.succs[t]), default=0.0)
+        ranks[t] = w(t) + tail
+    return ranks
+
+
+def task_weight_model(
+    tile_size: int,
+    profile=None,
+    device: str | None = None,
+    backend: str | None = None,
+) -> Callable[[Task], float]:
+    """Per-task cost model for :func:`bottom_level_ranks`.
+
+    With a :class:`~repro.observability.profile.ProfileStore`, measured
+    mean per-call seconds price each kernel kind; kinds the store has
+    never seen are priced by their flop count converted at the store's
+    achieved flop rate (so mixed measured/unmeasured weights stay in one
+    unit).  Without a profile — or with an empty one — weights are plain
+    flop counts.  Batched kinds pool with their single kind in the store
+    and scale by column count.
+    """
+    from ..kernels import flops as fl
+
+    flop_of = {
+        "GEQRT": fl.flops_geqrt(tile_size),
+        "UNMQR": fl.flops_unmqr(tile_size),
+        "TSQRT": fl.flops_tsqrt(tile_size),
+        "TSMQR": fl.flops_tsmqr(tile_size),
+        "TTQRT": fl.flops_ttqrt(tile_size),
+        "TTMQR": fl.flops_ttmqr(tile_size),
+    }
+
+    seconds: dict[str, float] = {}
+    if profile is not None:
+        total_flops = 0.0
+        total_seconds = 0.0
+        for name in flop_of:
+            stats = profile.stats(
+                name, device=device, tile_size=tile_size, backend=backend
+            )
+            if stats is not None and stats.mean_seconds > 0.0:
+                seconds[name] = stats.mean_seconds
+                total_seconds += stats.mean_seconds
+                total_flops += flop_of[name]
+        if seconds and total_flops > 0.0:
+            rate = total_flops / total_seconds  # achieved flops/sec
+            for name, f in flop_of.items():
+                seconds.setdefault(name, f / rate)
+
+    per_call = seconds if seconds else flop_of
+
+    def weight(task: Task) -> float:
+        base = per_call[task.kind.single.name]
+        return base * task.ncols if task.is_batch else base
+
+    return weight
+
+
 def max_parallelism(dag: TiledQRDag) -> int:
     """Width of the DAG under greedy level scheduling.
 

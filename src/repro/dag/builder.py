@@ -4,15 +4,17 @@ Dependencies are derived, not hand-coded: tasks are emitted in the
 algorithm's canonical sequential order and every task declares which data
 objects (tiles, reflector factors) it reads and writes; read-after-write,
 write-after-write and write-after-read orderings then induce exactly the
-DAG of Fig. 3.  This makes the builder trivially correct for both
-elimination orders:
+DAG of Fig. 3.  This makes the builder trivially correct for *every*
+within-panel annihilation order: the elimination tree
+(:mod:`repro.dag.trees`) only decides which rows get their own GEQRT and
+the ordered ``(bot, top)`` merge list per panel — any valid order yields
+a correct DAG automatically.
 
-* ``"TS"`` — the paper's flat tree: the diagonal tile is triangulated and
-  every tile below it is eliminated against it in a sequential chain
-  (TSQRT), as in Fig. 2.
-* ``"TT"`` — binary-tree reduction (Bouwmeester et al. [6]): every tile in
-  the panel is first triangulated independently (GEQRT), then pairs merge
-  in log rounds (TTQRT).  Shorter critical path, more tasks.
+The registered trees are ``flat`` (the paper's sequential TS chain,
+alias ``"TS"``), ``flat-tt``, ``binary`` (log-round pairwise reduction,
+alias ``"TT"``), ``fibonacci`` and ``greedy`` — see
+:mod:`repro.dag.trees` for their shapes and arXiv:1104.4475 for the
+critical-path analysis.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from typing import Iterable, Iterator
 
 from ..errors import DAGError
 from .tasks import Step, Task, TaskKind
+from .trees import EliminationTree, resolve_tree
 
 # Data-object keys: ("t", i, j) a tile; ("Vg", i, k) GEQRT factors of tile
 # (i, k); ("Ve", i, k) elimination factors that zeroed tile (i, k).
@@ -106,7 +109,10 @@ class TiledQRDag:
     grid_rows, grid_cols:
         Tile-grid shape ``(p, q)``.
     elimination:
-        ``"TS"`` (flat tree, the paper's order) or ``"TT"`` (binary tree).
+        An elimination-tree name or alias (see :mod:`repro.dag.trees`):
+        ``"flat"``/``"TS"``, ``"flat-tt"``, ``"binary"``/``"TT"``,
+        ``"fibonacci"`` or ``"greedy"``.  Stored canonicalized in
+        :attr:`elimination`; the resolved tree object is :attr:`tree`.
     batch_updates:
         When True, all updates sharing one reflector factor across a tile
         row are emitted as a single coarsened ``UNMQR_BATCH`` /
@@ -125,11 +131,10 @@ class TiledQRDag:
     ):
         if grid_rows < 1 or grid_cols < 1:
             raise DAGError(f"grid must be at least 1x1, got {grid_rows}x{grid_cols}")
-        if elimination not in ("TS", "TT"):
-            raise DAGError(f"elimination must be 'TS' or 'TT', got {elimination!r}")
+        self.tree: EliminationTree = resolve_tree(elimination)
         self.grid_rows = grid_rows
         self.grid_cols = grid_cols
-        self.elimination = elimination
+        self.elimination = self.tree.name
         self.batch_updates = batch_updates
         self.tasks: list[Task] = []
         self.preds: dict[Task, frozenset[Task]] = {}
@@ -156,10 +161,10 @@ class TiledQRDag:
         p, q = self.grid_rows, self.grid_cols
         tracker = _AccessTracker()
         for k in range(min(p, q)):
-            if self.elimination == "TS":
-                self._build_panel_ts(tracker, k, p, q)
-            else:
+            if self.tree.uses_tt:
                 self._build_panel_tt(tracker, k, p, q)
+            else:
+                self._build_panel_ts(tracker, k, p, q)
 
     def _emit_updates(
         self,
@@ -184,23 +189,21 @@ class TiledQRDag:
     def _build_panel_ts(self, tracker: _AccessTracker, k: int, p: int, q: int) -> None:
         self._emit(tracker, Task(TaskKind.GEQRT, k, k, k, k))
         self._emit_updates(tracker, TaskKind.UNMQR, TaskKind.UNMQR_BATCH, k, k, k, q)
-        for i in range(k + 1, p):
-            self._emit(tracker, Task(TaskKind.TSQRT, k, i, k, k))
-            self._emit_updates(tracker, TaskKind.TSMQR, TaskKind.TSMQR_BATCH, k, i, k, q)
+        for bot, top in self.tree.pairs(k, p):
+            self._emit(tracker, Task(TaskKind.TSQRT, k, bot, top, k))
+            self._emit_updates(
+                tracker, TaskKind.TSMQR, TaskKind.TSMQR_BATCH, k, bot, top, q
+            )
 
     def _build_panel_tt(self, tracker: _AccessTracker, k: int, p: int, q: int) -> None:
-        for i in range(k, p):
+        for i in self.tree.geqrt_rows(k, p):
             self._emit(tracker, Task(TaskKind.GEQRT, k, i, i, k))
             self._emit_updates(tracker, TaskKind.UNMQR, TaskKind.UNMQR_BATCH, k, i, i, q)
-        dist = 1
-        while k + dist < p:
-            for top in range(k, p - dist, 2 * dist):
-                bot = top + dist
-                self._emit(tracker, Task(TaskKind.TTQRT, k, bot, top, k))
-                self._emit_updates(
-                    tracker, TaskKind.TTMQR, TaskKind.TTMQR_BATCH, k, bot, top, q
-                )
-            dist *= 2
+        for bot, top in self.tree.pairs(k, p):
+            self._emit(tracker, Task(TaskKind.TTQRT, k, bot, top, k))
+            self._emit_updates(
+                tracker, TaskKind.TTMQR, TaskKind.TTMQR_BATCH, k, bot, top, q
+            )
 
     # -- queries ----------------------------------------------------------
 

@@ -49,7 +49,10 @@ class SolveDag(TiledQRDag):
         self.grid_rows = grid_rows
         self.grid_cols = grid_rows + rhs_tiles  # for simulator owner lookups
         self.rhs_tiles = rhs_tiles
-        self.elimination = "TS"
+        from .trees import resolve_tree
+
+        self.tree = resolve_tree("flat")
+        self.elimination = self.tree.name
         self.tasks = []
         self.preds = {}
         self.succs = {}

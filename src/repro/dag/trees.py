@@ -1,0 +1,213 @@
+"""Pluggable within-panel elimination trees (arXiv:1104.4475).
+
+The tiled-QR panel reduction admits many annihilation orders: the
+builder derives dependencies from declared reads/writes, so *any* order
+that eliminates each sub-diagonal panel row exactly once against a
+still-live row above it yields a correct DAG.  This module is the
+registry of such orders — the elimination trees of "Tiled QR
+factorization algorithms" (Bouwmeester, Jacquelin, Langou, Robert;
+arXiv:1104.4475):
+
+``flat``
+    The paper's sequential TS chain (Fig. 2): GEQRT on the diagonal
+    tile, then every tile below merges into it one after another via
+    TSQRT.  Critical path O(p) per panel; fewest tasks.
+``flat-tt``
+    Same sequential chain, but every panel row is pre-triangulated by
+    its own GEQRT and the merges are TTQRT — the triangle-triangle
+    variant of FLAT.  Longer panel path than ``binary`` but the per-row
+    GEQRTs (and their trailing updates) are embarrassingly parallel.
+``binary``
+    Pairwise binary-tree reduction: GEQRT every row, then merge pairs
+    at doubling strides.  Critical path O(log p) rounds per panel.
+``fibonacci``
+    Round-based asymmetric tree: sub-diagonal rows are grouped bottom-up
+    into blocks of Fibonacci sizes (1, 1, 2, 3, 5, ...) and eliminated
+    block by block, each row merging into the nearest still-live row
+    above.  Sits between ``flat`` and ``binary``: bottom rows retire in
+    the earliest rounds (freeing their trailing updates sooner) while
+    rows near the diagonal stay live — the shape arXiv:1104.4475 shows
+    is optimal under weighted (non-unit) kernel costs.
+``greedy``
+    Per round, merge as many adjacent live pairs as possible, bottom
+    first.  Matches BINARY's O(log p) round count but annihilates the
+    *bottom-most* rows earliest, which pipelines best into the next
+    panel on tall grids (arXiv:1104.4475's GREEDY).
+
+``TS`` and ``TT`` remain accepted as aliases of ``flat`` and ``binary``
+(the seed's two orders); every consumer should canonicalize through
+:func:`canonical_tree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import DAGError
+
+#: One merge: row ``bot`` is annihilated against surviving row ``top``
+#: (``top < bot``; both live at that point of the order).
+Pair = tuple  # (bot, top)
+
+
+@dataclass(frozen=True)
+class EliminationTree:
+    """One within-panel annihilation order.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry name.
+    uses_tt:
+        ``True`` when every panel row is pre-triangulated by its own
+        GEQRT and merges are triangle-triangle (TTQRT); ``False`` for
+        the TS chain (single diagonal GEQRT, dense-bottom TSQRT merges).
+    description:
+        One-line summary for ``--tree`` help and audit records.
+    pair_fn:
+        ``(k, p) -> [(bot, top), ...]`` — the ordered merge list for
+        panel ``k`` over ``p`` tile rows.  Each sub-diagonal row appears
+        exactly once as ``bot``; every ``top`` is live (not yet
+        annihilated) and ``top < bot``.
+    """
+
+    name: str
+    uses_tt: bool
+    description: str
+    pair_fn: Callable[[int, int], list[Pair]] = field(repr=False)
+
+    def pairs(self, k: int, p: int) -> list[Pair]:
+        """Ordered ``(bot, top)`` merges of panel ``k`` on ``p`` rows."""
+        return self.pair_fn(k, p)
+
+    def geqrt_rows(self, k: int, p: int) -> list[int]:
+        """Panel rows that receive their own GEQRT."""
+        return list(range(k, p)) if self.uses_tt else [k]
+
+
+def _flat_pairs(k: int, p: int) -> list[Pair]:
+    return [(i, k) for i in range(k + 1, p)]
+
+
+def _binary_pairs(k: int, p: int) -> list[Pair]:
+    # Doubling-stride pairing; reproduces the seed's "TT" order exactly.
+    pairs: list[Pair] = []
+    dist = 1
+    while k + dist < p:
+        for top in range(k, p - dist, 2 * dist):
+            pairs.append((top + dist, top))
+        dist *= 2
+    return pairs
+
+
+def _fibonacci_pairs(k: int, p: int) -> list[Pair]:
+    rows = list(range(k + 1, p))
+    if not rows:
+        return []
+    # Bottom-up blocks of Fibonacci sizes; block r retires in round r.
+    blocks: list[list[int]] = []
+    fib_a, fib_b = 1, 1
+    hi = len(rows)
+    while hi > 0:
+        take = min(fib_a, hi)
+        blocks.append(rows[hi - take : hi])
+        hi -= take
+        fib_a, fib_b = fib_b, fib_a + fib_b
+    live = set(range(k, p))
+    pairs: list[Pair] = []
+    for block in blocks:
+        # Merges within a round target *distinct* live survivors where
+        # possible (they run in parallel); only when victims outnumber
+        # the survivors above them does a target absorb a second merge.
+        used: set[int] = set()
+        for bot in sorted(block, reverse=True):
+            free = [r for r in live if r < bot and r not in block and r not in used]
+            top = max(free) if free else max(r for r in live if r < bot)
+            used.add(top)
+            pairs.append((bot, top))
+            live.discard(bot)
+    return pairs
+
+
+def _greedy_pairs(k: int, p: int) -> list[Pair]:
+    live = list(range(k, p))
+    pairs: list[Pair] = []
+    while len(live) > 1:
+        # One round: pair adjacent live rows from the bottom up, killing
+        # floor(len/2) rows — as many simultaneous merges as possible.
+        survivors: list[int] = []
+        i = len(live) - 1
+        while i >= 1:
+            pairs.append((live[i], live[i - 1]))
+            survivors.append(live[i - 1])
+            i -= 2
+        if i == 0:
+            survivors.append(live[0])
+        live = sorted(survivors)
+    return pairs
+
+
+TREES: dict[str, EliminationTree] = {
+    t.name: t
+    for t in (
+        EliminationTree(
+            "flat", False,
+            "sequential TS chain (paper Fig. 2; alias 'TS')", _flat_pairs,
+        ),
+        EliminationTree(
+            "flat-tt", True,
+            "sequential chain over pre-triangulated rows", _flat_pairs,
+        ),
+        EliminationTree(
+            "binary", True,
+            "pairwise log-round reduction (alias 'TT')", _binary_pairs,
+        ),
+        EliminationTree(
+            "fibonacci", True,
+            "Fibonacci-block rounds, bottom rows first", _fibonacci_pairs,
+        ),
+        EliminationTree(
+            "greedy", True,
+            "max merges per round, bottom-most first", _greedy_pairs,
+        ),
+    )
+}
+
+#: Seed-era names (and their lowercase forms) mapped to canonical trees.
+ALIASES: dict[str, str] = {"ts": "flat", "tt": "binary"}
+
+#: ``--tree`` vocabulary: ``auto`` plus every canonical name.
+AUTO = "auto"
+
+
+def tree_names() -> tuple[str, ...]:
+    """Canonical tree names, registration order."""
+    return tuple(TREES)
+
+
+def canonical_tree(name: str) -> str:
+    """Map a tree/elimination name (or alias) to its canonical form.
+
+    Raises :class:`~repro.errors.DAGError` for unknown names; the
+    message enumerates the registry so it stays correct as trees are
+    added.
+    """
+    if isinstance(name, EliminationTree):
+        return name.name
+    key = str(name).lower()
+    key = ALIASES.get(key, key)
+    if key not in TREES:
+        allowed = ", ".join(repr(n) for n in TREES)
+        alias = ", ".join(f"{a.upper()!r}->{c!r}" for a, c in ALIASES.items())
+        raise DAGError(
+            f"elimination must be one of {allowed} (aliases: {alias}), "
+            f"got {name!r}"
+        )
+    return key
+
+
+def resolve_tree(name: str) -> EliminationTree:
+    """The :class:`EliminationTree` for a name or alias (see
+    :func:`canonical_tree`)."""
+    return TREES[canonical_tree(name)]

@@ -104,15 +104,23 @@ def flops_tiled_qr(p: int, q: int, b: int, elimination: str = "TS") -> float:
     b:
         Tile edge.
     elimination:
-        ``"TS"`` (flat tree) or ``"TT"`` (binary tree) — same tile-pair
-        count, different per-pair constants.
+        An elimination-tree name or alias (:mod:`repro.dag.trees`).
+        ``"flat"``/``"TS"`` prices TSQRT/TSMQR merges; every TT-style
+        tree (``"binary"``/``"TT"``, ``"flat-tt"``, ``"fibonacci"``,
+        ``"greedy"``) prices TTQRT/TTMQR — the merge count is the same
+        for all trees, only the per-pair constants differ.
     """
-    if elimination == "TS":
-        f_e, f_ue = flops_tsqrt(b), flops_tsmqr(b)
-    elif elimination == "TT":
+    from ..dag.trees import resolve_tree
+    from ..errors import DAGError
+
+    try:
+        tree = resolve_tree(elimination)
+    except DAGError as exc:
+        raise ValueError(str(exc)) from None
+    if tree.uses_tt:
         f_e, f_ue = flops_ttqrt(b), flops_ttmqr(b)
     else:
-        raise ValueError(f"unknown elimination kind {elimination!r}")
+        f_e, f_ue = flops_tsqrt(b), flops_tsmqr(b)
     total = 0.0
     for k in range(min(p, q)):
         rows = p - k - 1

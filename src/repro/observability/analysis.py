@@ -54,6 +54,7 @@ def expand_batched(trace: ExecutionTrace) -> ExecutionTrace:
         tasks=tasks,
         transfers=list(trace.transfers),
         annotations=list(trace.annotations),
+        meta=dict(trace.meta),
     )
 
 
@@ -96,17 +97,18 @@ def trace_critical_path(trace: ExecutionTrace) -> float:
     """Duration-weighted critical path of the factorization DAG.
 
     Rebuilds the task DAG implied by the trace (grid inferred from the
-    task coordinates, TT if any TT kernels appear) and weights each task
-    with its recorded duration — the schedule-independent lower bound on
-    makespan with unlimited devices.  Batched update records are
-    expanded onto the unfused DAG first (see :func:`expand_batched`);
+    task coordinates, elimination tree from the provenance meta when
+    recorded, else TT/binary if any TT kernels appear) and weights each
+    task with its recorded duration — the schedule-independent lower
+    bound on makespan with unlimited devices.  Batched update records
+    are expanded onto the unfused DAG first (see :func:`expand_batched`);
     tasks missing from the trace (a partial recording) weigh zero.
     """
     trace = expand_batched(trace)
     p, q = infer_grid(trace)
     if p == 0 or q == 0:
         return 0.0
-    elimination = (
+    elimination = trace.meta.get("elimination") or (
         "TT"
         if any(
             r.task.kind in (TaskKind.TTQRT, TaskKind.TTMQR, TaskKind.TTMQR_BATCH)
@@ -279,7 +281,25 @@ def diff_traces(real: ExecutionTrace, sim: ExecutionTrace) -> TraceDiff:
     multiset, i.e. that they describe the same factorization.  To compare
     a batched run against a per-tile one, pass both traces through
     :func:`expand_batched` first.
+
+    Traces whose recorded elimination trees differ describe *different*
+    factorizations — every per-kernel and makespan delta would be tree
+    shape, not model error — so when both metas name a tree and the
+    canonical names disagree, :class:`ObservabilityError` is raised
+    instead of a misleading diff.
     """
+    tree_a = real.meta.get("elimination")
+    tree_b = sim.meta.get("elimination")
+    if tree_a is not None and tree_b is not None:
+        from ..dag.trees import canonical_tree
+        from ..errors import ObservabilityError
+
+        if canonical_tree(tree_a) != canonical_tree(tree_b):
+            raise ObservabilityError(
+                f"cannot diff traces factored with different elimination "
+                f"trees ({tree_a!r} vs {tree_b!r}) — the task graphs are "
+                f"not comparable; re-record one side with a matching --tree"
+            )
     real_t, sim_t = kernel_times(real), kernel_times(sim)
     real_c, sim_c = kernel_counts(real), kernel_counts(sim)
     names = sorted(set(real_t) | set(sim_t))

@@ -28,6 +28,7 @@ STAGE_MAIN_DEVICE = "main_device"
 STAGE_DEVICE_COUNT = "device_count"
 STAGE_DISTRIBUTION = "distribution"
 STAGE_BACKEND = "kernel_backend"
+STAGE_TREE = "elimination_tree"
 
 
 @dataclass

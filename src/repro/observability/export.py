@@ -121,8 +121,15 @@ def _transfer_record_from_dict(d: dict) -> TransferRecord:
 
 
 def trace_lines(trace: ExecutionTrace, meta: dict | None = None) -> Iterable[str]:
-    """Yield the JSONL lines for ``trace`` (header first)."""
+    """Yield the JSONL lines for ``trace`` (header first).
+
+    The header folds in ``trace.meta`` (provenance carried on the trace
+    object, e.g. the elimination tree) and then the explicit ``meta``
+    argument, so ``load_jsonl(dump_jsonl(t))`` round-trips provenance.
+    """
     header = {"type": "meta", "schema": SCHEMA_VERSION}
+    if trace.meta:
+        header.update(trace.meta)
     if meta:
         header.update(meta)
     yield json.dumps(header)
@@ -166,6 +173,7 @@ def load_jsonl(source: str | Path | Iterable[str]) -> ExecutionTrace:
     tasks: list[TaskRecord] = []
     transfers: list[TransferRecord] = []
     annotations: list[AnnotationRecord] = []
+    meta: dict = {}
     for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -181,6 +189,9 @@ def load_jsonl(source: str | Path | Iterable[str]) -> ExecutionTrace:
                 raise ObservabilityError(
                     f"unsupported trace schema {schema!r} (expected {SCHEMA_VERSION})"
                 )
+            meta.update(
+                {k: v for k, v in d.items() if k not in ("type", "schema")}
+            )
         elif kind == "task":
             tasks.append(_task_record_from_dict(d))
         elif kind == "transfer":
@@ -189,4 +200,6 @@ def load_jsonl(source: str | Path | Iterable[str]) -> ExecutionTrace:
             annotations.append(_annotation_record_from_dict(d))
         else:
             raise ObservabilityError(f"trace line {lineno} has unknown type {kind!r}")
-    return ExecutionTrace(tasks=tasks, transfers=transfers, annotations=annotations)
+    return ExecutionTrace(
+        tasks=tasks, transfers=transfers, annotations=annotations, meta=meta
+    )

@@ -63,6 +63,7 @@ GATES: dict[str, GatedMetric] = {
     "batched_updates": GatedMetric("speedup", True, ("grid", "tile_size")),
     "backend_kernels": GatedMetric("speedup", True, ("backend", "kernel", "tile_size")),
     "traced_run": GatedMetric("makespan_seconds", False, ("runtime", "n", "tile_size")),
+    "elimination_trees": GatedMetric("speedup", True, ("tree", "grid_rows", "grid_cols", "tile_size")),
     # observability_overhead stays ungated here: its hard ≤3% gate lives
     # in benchmarks/bench_observability_overhead.py, and the fraction is
     # too close to zero for a relative-delta gate to be stable.

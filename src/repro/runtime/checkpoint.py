@@ -27,6 +27,7 @@ from pathlib import Path
 import numpy as np
 
 from ..dag.tasks import Task, TaskKind
+from ..dag.trees import canonical_tree
 from ..errors import ReproError
 from ..kernels.geqrt import GEQRTResult
 from ..kernels.tsqrt import TSQRTResult
@@ -77,7 +78,10 @@ _CODE_KIND = {v: k for k, v in _KIND_CODE.items()}
 _ALL_KIND_CODE = {kind: code for code, kind in enumerate(TaskKind)}
 _ALL_CODE_KIND = {v: k for k, v in _ALL_KIND_CODE.items()}
 
-_ELIM_CODE = {"TS": 0, "TT": 1}
+# Elimination-tree codes.  0/1 predate the tree registry (seed names
+# "TS"/"TT") and decode to their canonical trees so old snapshots keep
+# loading; new snapshots always encode the canonical name.
+_ELIM_CODE = {"flat": 0, "binary": 1, "flat-tt": 2, "fibonacci": 3, "greedy": 4}
 _CODE_ELIM = {v: k for k, v in _ELIM_CODE.items()}
 
 
@@ -237,9 +241,11 @@ class PartialState:
     frontier, partially updated trailing columns right of it);
     ``completed`` is the downward-closed set of finished tasks; ``log``
     the reflector factors produced so far, in application order.  The
-    DAG configuration (``elimination``, ``batch_updates``) is part of
-    the state: resuming under a different DAG would replay tasks whose
-    effects are already in the tiles.
+    DAG configuration (``elimination`` — a canonical tree name from
+    :mod:`repro.dag.trees` — and ``batch_updates``) is part of the
+    state: resuming under a different DAG would replay tasks whose
+    effects are already in the tiles, so runtimes compare canonical
+    tree names and raise :class:`CheckpointError` on mismatch.
     """
 
     tiled: TiledMatrix
@@ -271,7 +277,7 @@ def save_partial_factorization(
     arrays["meta"] = np.array(
         [_PARTIAL_FORMAT, shape[0], shape[1], tiled.tile_size,
          tiled.grid_rows, tiled.grid_cols, len(log), len(completed),
-         _ELIM_CODE[elimination], int(batch_updates)],
+         _ELIM_CODE[canonical_tree(elimination)], int(batch_updates)],
         dtype=np.int64,
     )
     if completed:

@@ -69,6 +69,7 @@ from ..kernels.workspace import Workspace
 from ..tiles import TiledMatrix
 from .factorization import TiledQRFactorization
 from ..dag.tasks import Task, TaskKind
+from ..dag.trees import canonical_tree, resolve_tree
 
 
 class _NullTimer:
@@ -127,14 +128,19 @@ class LoadColumns:
 
 @dataclass
 class FactorPanel:
-    """Run T + the elimination chain on panel ``k`` (worker owns col k).
+    """Run the panel reduction on panel ``k`` (worker owns col k).
 
-    Replies with ``(factors, column_tiles)``: the serialized factors
-    (one GEQRT + per-row TSQRT) and a copy of the finished column —
-    the manager's shadow R column for failover.
+    ``ops`` is the elimination tree's ordered op list — ``("G", row)``
+    for a GEQRT, ``("TS", bot, top)`` / ``("TT", bot, top)`` for a
+    merge — computed manager-side from :mod:`repro.dag.trees` so the
+    worker stays tree-agnostic.  Replies with ``(factors,
+    column_tiles)``: the serialized factors (keys ``(op_kind, k, row,
+    top)``) and a copy of the finished column — the manager's shadow R
+    column for failover.
     """
 
     k: int
+    ops: list
 
 
 @dataclass
@@ -366,30 +372,41 @@ def _worker_main(
                 k = msg.k
                 col = columns[k]
                 out = []
+                for op in msg.ops:
+                    if op[0] == "G":
+                        row = op[1]
 
-                def do_geqrt():
-                    with timed("GEQRT", k, k, k, k):
-                        fg = kern.geqrt(col[k])
-                    col[k] = fg.r.copy()
-                    return fg
+                        def do_geqrt(row=row):
+                            with timed("GEQRT", k, row, row, k):
+                                fg = kern.geqrt(col[row])
+                            col[row] = fg.r.copy()
+                            return fg
 
-                task = Task(TaskKind.GEQRT, k, k, k, k)
-                fg = run_kernel(task, [lambda: col[k]], do_geqrt)
-                out.append((("G", k, k), fg.v, fg.tf, fg.taus))
-                for i in range(k + 1, grid_rows):
+                        task = Task(TaskKind.GEQRT, k, row, row, k)
+                        fg = run_kernel(task, [lambda row=row: col[row]], do_geqrt)
+                        out.append((("G", k, row, row), fg.v, fg.tf, fg.taus))
+                    else:
+                        op_kind, bot, top = op
+                        tt = op_kind == "TT"
 
-                    def do_tsqrt(i=i):
-                        with timed("TSQRT", k, i, k, k):
-                            fe = kern.tsqrt(col[k], col[i])
-                        col[k] = fe.r.copy()
-                        col[i][...] = 0.0
-                        return fe
+                        def do_merge(bot=bot, top=top, tt=tt):
+                            with timed("TTQRT" if tt else "TSQRT", k, bot, top, k):
+                                fe = (kern.ttqrt if tt else kern.tsqrt)(
+                                    col[top], col[bot]
+                                )
+                            col[top] = fe.r.copy()
+                            col[bot][...] = 0.0
+                            return fe
 
-                    task = Task(TaskKind.TSQRT, k, i, k, k)
-                    fe = run_kernel(
-                        task, [lambda: col[k], lambda i=i: col[i]], do_tsqrt
-                    )
-                    out.append((("E", k, i), fe.v2, fe.tf, fe.taus))
+                        task = Task(
+                            TaskKind.TTQRT if tt else TaskKind.TSQRT, k, bot, top, k
+                        )
+                        fe = run_kernel(
+                            task,
+                            [lambda r=top: col[r], lambda r=bot: col[r]],
+                            do_merge,
+                        )
+                        out.append(((op_kind, k, bot, top), fe.v2, fe.tf, fe.taus))
                 reply("ok", (out, [t.copy() for t in col]))
             elif isinstance(msg, Update):
                 k = msg.k
@@ -399,10 +416,15 @@ def _worker_main(
                 if msg.cols is None:
                     targets = sorted(j for j in columns if j > k)
                 else:
-                    targets = sorted(j for j in msg.cols if j in columns and j > k)
-                runs = _contiguous_runs(targets)
+                    # Preserve the manager's order: columns arrive sorted
+                    # by critical-path rank (most critical first).
+                    targets = [j for j in msg.cols if j in columns and j > k]
+                runs = _contiguous_runs(sorted(targets))
+                if targets:
+                    order = {j: n for n, j in enumerate(targets)}
+                    runs.sort(key=lambda r: min(order[j] for j in range(r[0], r[1])))
                 for key, v, tf, taus in msg.factors:
-                    kind, kk, row = key
+                    kind, kk, row, top = key
                     if kind == "G":
                         f = GEQRTResult(r=np.empty(0), v=v, tf=tf, taus=taus)
                         if batch_updates:
@@ -440,46 +462,60 @@ def _worker_main(
                                     do_unmqr,
                                 )
                     else:
+                        tt = kind == "TT"
                         f = TSQRTResult(
                             r=np.empty((v.shape[1], v.shape[1])),
                             v2=v, tf=tf, taus=taus,
+                            kind="TT" if tt else "TS",
                         )
+                        pair_batch = kern.ttmqr_batch if tt else kern.tsmqr_batch
+                        pair_tile = kern.ttmqr if tt else kern.tsmqr
+                        batch_kind = (
+                            TaskKind.TTMQR_BATCH if tt else TaskKind.TSMQR_BATCH
+                        )
+                        tile_kind = TaskKind.TTMQR if tt else TaskKind.TSMQR
                         if batch_updates:
                             for j0, j1 in runs:
 
-                                def do_batch(j0=j0, j1=j1, f=f, kk=kk, row=row):
-                                    top = gather(j0, j1, kk)
-                                    bot = gather(j0, j1, row)
-                                    with timed("TSMQR_BATCH", kk, row, kk, j0, j1):
-                                        kern.tsmqr_batch(f, top, bot, workspace=workspace)
-                                    scatter(j0, j1, kk, top)
-                                    scatter(j0, j1, row, bot)
+                                def do_batch(
+                                    j0=j0, j1=j1, f=f, kk=kk, row=row, top=top,
+                                    fn=pair_batch, label=batch_kind.name,
+                                ):
+                                    tpan = gather(j0, j1, top)
+                                    bpan = gather(j0, j1, row)
+                                    with timed(label, kk, row, top, j0, j1):
+                                        fn(f, tpan, bpan, workspace=workspace)
+                                    scatter(j0, j1, top, tpan)
+                                    scatter(j0, j1, row, bpan)
 
-                                task = Task(TaskKind.TSMQR_BATCH, kk, row, kk, j0, j1)
+                                task = Task(batch_kind, kk, row, top, j0, j1)
                                 refs = [
                                     (lambda j=j, r=r: columns[j][r])
                                     for j in range(j0, j1)
-                                    for r in (kk, row)
+                                    for r in (top, row)
                                 ]
                                 run_kernel(task, refs, do_batch)
                         else:
                             for col_idx in targets:
 
-                                def do_tsmqr(col_idx=col_idx, f=f, kk=kk, row=row):
-                                    with timed("TSMQR", kk, row, kk, col_idx):
-                                        kern.tsmqr(
+                                def do_pair(
+                                    col_idx=col_idx, f=f, kk=kk, row=row, top=top,
+                                    fn=pair_tile, label=tile_kind.name,
+                                ):
+                                    with timed(label, kk, row, top, col_idx):
+                                        fn(
                                             f,
-                                            columns[col_idx][kk],
+                                            columns[col_idx][top],
                                             columns[col_idx][row],
                                             workspace=workspace,
                                         )
 
-                                task = Task(TaskKind.TSMQR, kk, row, kk, col_idx)
+                                task = Task(tile_kind, kk, row, top, col_idx)
                                 refs = [
-                                    lambda j=col_idx, r=kk: columns[j][r],
+                                    lambda j=col_idx, r=top: columns[j][r],
                                     lambda j=col_idx, r=row: columns[j][r],
                                 ]
-                                run_kernel(task, refs, do_tsmqr)
+                                run_kernel(task, refs, do_pair)
                 reply("ok", None)
             elif isinstance(msg, Collect):
                 reply("ok", columns)
@@ -504,6 +540,12 @@ class MultiprocessRuntime:
     ----------
     plan:
         Column/panel ownership (one worker is spawned per participant).
+    elimination:
+        Elimination-tree name or alias (see :mod:`repro.dag.trees`);
+        the manager computes each panel's op list from the tree and
+        ships it to the panel owner, so every registered tree runs
+        distributed.  Checkpoints record the canonical tree name and
+        resume only on a runtime configured with the same tree.
     tracer:
         Optional :class:`repro.observability.Tracer`.  Workers buffer
         per-kernel events locally (zero IPC on the hot path) and the
@@ -552,6 +594,7 @@ class MultiprocessRuntime:
         plan: DistributionPlan,
         tracer=None,
         batch_updates: bool = False,
+        elimination: str = "TS",
         retry_policy=None,
         chaos_plan=None,
         health_checks: bool = False,
@@ -563,6 +606,7 @@ class MultiprocessRuntime:
         self.plan = plan
         self.tracer = tracer
         self.batch_updates = batch_updates
+        self.elimination = canonical_tree(elimination)
         self.retry_policy = retry_policy
         self.chaos_plan = chaos_plan
         self.health_checks = health_checks
@@ -597,6 +641,27 @@ class MultiprocessRuntime:
             k0, log0 = 0, []
         b = tiled.tile_size
         p, q = tiled.grid_rows, tiled.grid_cols
+        tree = resolve_tree(self.elimination)
+
+        # Critical-path column priorities (see docs/PERFORMANCE.md):
+        # rank each trailing column of each panel by the highest
+        # bottom-level rank among its update tasks, so broadcasts hit
+        # the most critical columns — the upcoming panels — first.
+        from ..dag import build_dag
+        from ..dag.analysis import bottom_level_ranks, task_weight_model
+
+        ref_dag = build_dag(p, q, tree, batch_updates=False)
+        col_rank: dict[tuple[int, int], float] = {}
+        for t, r in bottom_level_ranks(ref_dag, task_weight_model(b)).items():
+            key = (t.k, t.col)
+            if r > col_rank.get(key, -1.0):
+                col_rank[key] = r
+
+        def panel_ops(k: int) -> list:
+            ops: list = [("G", i) for i in tree.geqrt_rows(k, p)]
+            merge = "TT" if tree.uses_tt else "TS"
+            ops += [(merge, bot, top) for bot, top in tree.pairs(k, p)]
+            return ops
 
         tracer = self.tracer if self.tracer is not None and self.tracer.enabled else None
         metrics = self.metrics
@@ -728,15 +793,18 @@ class MultiprocessRuntime:
             col = [t.copy() for t in base[j]]
             for kk in range(base_level[j] + 1, applied[j] + 1):
                 for key, v, tf, taus in panel_factors[kk]:
-                    kind, kp, row = key
+                    kind, kp, row, top = key
                     if kind == "G":
                         f = GEQRTResult(r=np.empty(0), v=v, tf=tf, taus=taus)
                         self.backend.unmqr(f, col[row])
                     else:
+                        tt = kind == "TT"
                         f = TSQRTResult(
-                            r=np.empty((v.shape[1], v.shape[1])), v2=v, tf=tf, taus=taus
+                            r=np.empty((v.shape[1], v.shape[1])),
+                            v2=v, tf=tf, taus=taus, kind="TT" if tt else "TS",
                         )
-                        self.backend.tsmqr(f, col[kp], col[row])
+                        fn = self.backend.ttmqr if tt else self.backend.tsmqr
+                        fn(f, col[top], col[row])
             return col
 
         def recover_column(j: int) -> list[np.ndarray]:
@@ -840,8 +908,9 @@ class MultiprocessRuntime:
                     )
                 col_home[k] = owner_p
             if not panel_done.get(k):
+                ops = panel_ops(k)
                 factors, r_col = ask(
-                    owner_p, FactorPanel(k=k), n_kernels=max(1, p - k)
+                    owner_p, FactorPanel(k=k, ops=ops), n_kernels=max(1, len(ops))
                 )
                 panel_factors[k] = factors
                 shadow_r[k] = r_col
@@ -849,15 +918,24 @@ class MultiprocessRuntime:
                 log.extend(_deserialize_log(factors, b))
             factors = panel_factors[k]
             bcast_bytes = float(sum(x.nbytes for f in factors for x in f[1:]))
+
+            def crit(j: int) -> float:
+                return col_rank.get((k, j), 0.0)
+
             # Broadcast to every device holding columns that have not yet
-            # absorbed this panel's update.
-            for dev in alive():
-                cols = [
-                    j for j in range(k + 1, q)
-                    if col_home[j] == dev and applied.get(j, -1) < k
-                ]
-                if not cols:
+            # absorbed this panel's update — devices and columns ordered
+            # by critical-path rank so the next panels' columns (and the
+            # devices holding them) update first.
+            pending: dict[str, list[int]] = {}
+            for j in range(k + 1, q):
+                dev = col_home[j]
+                if dev in dead or applied.get(j, -1) >= k:
                     continue
+                pending.setdefault(dev, []).append(j)
+            for dev, cols in sorted(
+                pending.items(), key=lambda item: -max(crit(j) for j in item[1])
+            ):
+                cols.sort(key=lambda j: (-crit(j), j))
                 xfer = (owner_p, bcast_bytes, f"bcast{k}") if dev != owner_p else None
                 ask(
                     dev,
@@ -892,11 +970,11 @@ class MultiprocessRuntime:
             for j, tiles in cols_by_j.items():
                 for i in range(p):
                     tiled.set_tile(i, j, tiles[i])
-            dag = build_dag(p, q, "TS", batch_updates=False)
+            dag = build_dag(p, q, self.elimination, batch_updates=False)
             completed = [t for t in dag.tasks if t.k <= k]
             save_partial_factorization(
                 self.checkpoint_path, tiled, completed, log, arr_shape,
-                elimination="TS", batch_updates=False,
+                elimination=self.elimination, batch_updates=False,
             )
             if metrics is not None:
                 metrics.counter("resilience.checkpoints").inc()
@@ -1013,15 +1091,17 @@ class MultiprocessRuntime:
         from ..dag import build_dag
         from .checkpoint import CheckpointError
 
-        if resume.elimination != "TS" or resume.batch_updates:
+        snap_tree = canonical_tree(resume.elimination)
+        if snap_tree != self.elimination or resume.batch_updates:
             raise CheckpointError(
-                "multiprocess resume requires a TS per-tile snapshot "
-                f"(got elimination={resume.elimination!r}, "
+                "multiprocess resume requires a per-tile snapshot of this "
+                f"runtime's elimination tree (snapshot tree={snap_tree!r}, "
+                f"runtime tree={self.elimination!r}, "
                 f"batch_updates={resume.batch_updates})"
             )
         tiled = resume.tiled
         p, q = tiled.grid_rows, tiled.grid_cols
-        dag = build_dag(p, q, "TS", batch_updates=False)
+        dag = build_dag(p, q, self.elimination, batch_updates=False)
         completed = set(resume.completed)
         dag.validate_completed(completed)
         done_panels = 0
@@ -1055,13 +1135,20 @@ def _deserialize_log(factors, b: int):
 
     out = []
     for key, v, tf, taus in factors:
-        kind, k, row = key
+        kind, k, row, top = key
         if kind == "G":
             task = Task(TaskKind.GEQRT, k, row, row, k)
             out.append((task, GEQRTResult(r=np.empty(0), v=v, tf=tf, taus=taus)))
         else:
-            task = Task(TaskKind.TSQRT, k, row, k, k)
+            tt = kind == "TT"
+            task = Task(TaskKind.TTQRT if tt else TaskKind.TSQRT, k, row, top, k)
             out.append(
-                (task, TSQRTResult(r=np.empty((b, b)), v2=v, tf=tf, taus=taus))
+                (
+                    task,
+                    TSQRTResult(
+                        r=np.empty((b, b)), v2=v, tf=tf, taus=taus,
+                        kind="TT" if tt else "TS",
+                    ),
+                )
             )
     return out

@@ -1,12 +1,28 @@
-"""Deterministic single-threaded execution of the tiled-QR DAG."""
+"""Deterministic single-threaded execution of the tiled-QR DAG.
+
+Tasks run one at a time in *critical-path priority order*: ready tasks
+are popped highest bottom-level rank first (see
+:func:`repro.dag.analysis.bottom_level_ranks`), with the DAG emission
+order as the deterministic tie-break.  Any topological order produces a
+bit-identical R (unordered tasks touch disjoint tile rows), so the
+priority order changes nothing numerically — but it makes the serial
+runtime execute the same schedule shape the parallel runtimes and the
+simulator prefer, and it keeps mid-run checkpoints frontier-shaped the
+way a parallel resume expects.
+"""
 
 from __future__ import annotations
+
+from heapq import heappop, heappush
 
 import numpy as np
 
 from ..config import DEFAULT_TILE_SIZE
 from ..dag import build_dag
-from ..errors import ShapeError
+from ..dag.analysis import bottom_level_ranks, task_weight_model
+from ..dag.tasks import Task
+from ..dag.trees import canonical_tree
+from ..errors import ShapeError, SimulationError
 from ..kernels.backends import resolve_backend
 from ..kernels.workspace import Workspace, drain_fallbacks
 from ..tiles import TiledMatrix
@@ -65,11 +81,17 @@ def check_resume_state(resume, dag, tiled, elimination: str, batch_updates: bool
     """
     from .checkpoint import CheckpointError
 
-    if resume.elimination != elimination or resume.batch_updates != batch_updates:
+    # Canonicalize both sides so legacy "TS"/"TT" snapshots resume under
+    # runtimes configured with the new tree names (and vice versa); a
+    # genuine tree mismatch — e.g. resuming a GREEDY run as BINARY —
+    # still fails loudly.
+    snap_tree = canonical_tree(resume.elimination)
+    run_tree = canonical_tree(elimination)
+    if snap_tree != run_tree or resume.batch_updates != batch_updates:
         raise CheckpointError(
-            f"snapshot was taken with elimination={resume.elimination!r} "
+            f"snapshot was taken with elimination tree {snap_tree!r} "
             f"batch_updates={resume.batch_updates}, but the runtime is "
-            f"configured for elimination={elimination!r} "
+            f"configured for tree {run_tree!r} "
             f"batch_updates={batch_updates}"
         )
     snap = resume.tiled
@@ -140,12 +162,14 @@ class _CheckpointWriter:
 
 
 class SerialRuntime:
-    """Reference executor: runs tasks in the DAG's topological order.
+    """Reference executor: one task at a time, highest-rank-ready first.
 
     Parameters
     ----------
     elimination:
-        ``"TS"`` (paper's flat tree, default) or ``"TT"`` (binary tree).
+        Elimination-tree name or alias (see :mod:`repro.dag.trees`):
+        ``"flat"``/``"TS"`` (paper default), ``"flat-tt"``,
+        ``"binary"``/``"TT"``, ``"fibonacci"`` or ``"greedy"``.
     progress:
         Optional callback ``(tasks_done, tasks_total, task)`` invoked
         after every kernel — hook for progress bars or cancellation
@@ -200,7 +224,7 @@ class SerialRuntime:
         checkpoint_path=None,
         backend=None,
     ):
-        self.elimination = elimination
+        self.elimination = canonical_tree(elimination)
         self.progress = progress
         self.tracer = tracer
         self.batch_updates = batch_updates
@@ -266,9 +290,21 @@ class SerialRuntime:
             self.metrics, tracer,
         )
         done = len(completed)
-        for task in dag.tasks:
-            if task in completed:
-                continue
+        # Critical-path priority dispatch: pop the ready task with the
+        # highest bottom-level rank (emission order breaks ties).
+        ranks = bottom_level_ranks(dag, task_weight_model(b))
+        position = {t: n for n, t in enumerate(dag.tasks)}
+        waiting = {
+            t: sum(1 for d in dag.preds[t] if d not in completed)
+            for t in dag.tasks
+            if t not in completed
+        }
+        heap: list[tuple[float, int, Task]] = []
+        for t in dag.tasks:
+            if t not in completed and waiting[t] == 0:
+                heappush(heap, (-ranks[t], position[t], t))
+        while heap:
+            _, _, task = heappop(heap)
             span = (
                 tracer.task_span(task, device="serial", tile_size=b)
                 if tracer is not None
@@ -291,11 +327,19 @@ class SerialRuntime:
             done += 1
             if produced is not None:
                 log.append((task, produced))
+            completed.add(task)
             completed_order.append(task)
+            for succ in dag.succs[task]:
+                if succ in waiting:
+                    waiting[succ] -= 1
+                    if waiting[succ] == 0:
+                        heappush(heap, (-ranks[succ], position[succ], succ))
             if ckpt.task_done():
                 ckpt.write(completed_order, log, device="serial")
             if self.progress is not None:
                 self.progress(done, total, task)
+        if done != total:
+            raise SimulationError(f"serial runtime finished {done}/{total} tasks")
         drain_fallbacks(self.metrics, workspace)
         return TiledQRFactorization(r=tiled, log=log, shape=shape)
 

@@ -12,6 +12,14 @@ by the DAG act on disjoint tile-row sets (otherwise they would conflict
 on a panel tile and be ordered), so their block reflectors commute and
 logging them in *completion* order still yields a valid ``Q``.
 
+Dispatch order: the ready set is a heap keyed by *bottom-level rank*
+(:func:`repro.dag.analysis.bottom_level_ranks`) — workers always pop
+the ready task with the longest weighted path to a sink, so the panel
+chain that bounds makespan is never starved by trailing updates.  FIFO
+dispatch made tall grids latency-bound: every ready update of panel
+``k`` drained before the panel ``k+1`` factorization task at the head
+of the critical path got a worker.
+
 With ``batch_updates=True`` the DAG carries coarsened row-panel update
 tasks.  To keep the update-phase parallelism the per-tile DAG had, a
 ready batch is *split into contiguous column chunks* — one per worker —
@@ -34,14 +42,17 @@ is a downward-closed frontier the resume path can trust.
 
 from __future__ import annotations
 
-import queue
+import itertools
 import threading
+from heapq import heappop, heappush
 
 import numpy as np
 
 from ..config import DEFAULT_TILE_SIZE
 from ..dag import build_dag
+from ..dag.analysis import bottom_level_ranks, task_weight_model
 from ..dag.tasks import Task
+from ..dag.trees import canonical_tree
 from ..errors import ShapeError, SimulationError
 from ..kernels.backends import resolve_backend
 from ..kernels.workspace import Workspace, drain_fallbacks
@@ -83,7 +94,9 @@ class ThreadedRuntime:
     num_workers:
         Worker thread count (the paper's "computing threads").
     elimination:
-        ``"TS"`` or ``"TT"`` DAG flavour.
+        Elimination-tree name or alias (``"flat"``/``"TS"``,
+        ``"flat-tt"``, ``"binary"``/``"TT"``, ``"fibonacci"``,
+        ``"greedy"`` — see :mod:`repro.dag.trees`).
     tracer:
         Optional :class:`repro.observability.Tracer`; each worker emits
         kernel spans under device id ``"worker-<i>"`` into its own
@@ -127,7 +140,7 @@ class ThreadedRuntime:
         if num_workers < 1:
             raise ValueError(f"need at least one worker, got {num_workers}")
         self.num_workers = num_workers
-        self.elimination = elimination
+        self.elimination = canonical_tree(elimination)
         self.tracer = tracer
         self.batch_updates = batch_updates
         self.retry_policy = retry_policy
@@ -170,7 +183,15 @@ class ThreadedRuntime:
             for t in dag.tasks
             if t not in completed_set
         }
-        ready: "queue.Queue[Task | None]" = queue.Queue()
+        # Heap-backed ready queue: entries are (-rank, emission position,
+        # sequence, task) so pops are highest-bottom-level-rank first
+        # with a fully deterministic tie-break (the sequence also keeps
+        # the heap from ever comparing Task objects).  Chunks of a split
+        # batch inherit their parent's priority.
+        ranks = bottom_level_ranks(dag, task_weight_model(tiled.tile_size))
+        position = {t: n for n, t in enumerate(dag.tasks)}
+        ready_heap: list[tuple[float, int, int, Task]] = []
+        seq = itertools.count()
 
         lock = threading.Lock()
         cond = threading.Condition(lock)
@@ -179,6 +200,7 @@ class ThreadedRuntime:
         errors: list[BaseException] = []
         all_done = threading.Event()
         cancel = threading.Event()
+        stop = [False]
         # Stop-the-world checkpoint state, all guarded by `cond`:
         inflight = [0]
         paused = [False]
@@ -192,17 +214,21 @@ class ThreadedRuntime:
         chunk_left: dict[Task, int] = {}
 
         def enqueue(task: Task) -> None:
-            """Queue a DAG task, splitting ready batches across workers."""
+            """Push a DAG task, splitting ready batches across workers.
+
+            Caller holds ``cond`` (or no worker is running yet); waiters
+            are woken by the caller's ``notify_all``.
+            """
+            pri, pos = -ranks[task], position[task]
             if task.is_batch and self.num_workers > 1:
                 chunks = split_batch(task, self.num_workers)
                 if len(chunks) > 1:
                     chunk_left[task] = len(chunks)
                     for c in chunks:
                         chunk_parent[c] = task
-                    for c in chunks:
-                        ready.put(c)
+                        heappush(ready_heap, (pri, pos, next(seq), c))
                     return
-            ready.put(task)
+            heappush(ready_heap, (pri, pos, next(seq), task))
 
         for t in dag.tasks:
             if t not in completed_set and remaining[t] == 0:
@@ -230,21 +256,30 @@ class ThreadedRuntime:
 
         workspaces = [Workspace() for _ in range(self.num_workers)]
 
+        def pop_task() -> Task | None:
+            """Highest-rank ready task; None when the run is over.
+
+            Blocks while the heap is empty or dispatch is paused for a
+            checkpoint; increments ``inflight`` atomically with the pop
+            so the pauser's quiescence wait is race-free.
+            """
+            with cond:
+                while True:
+                    if cancel.is_set() or stop[0]:
+                        return None
+                    if ready_heap and not paused[0]:
+                        _, _, _, task = heappop(ready_heap)
+                        inflight[0] += 1
+                        return task
+                    cond.wait()
+
         def worker(index: int) -> None:
             device = f"worker-{index}"
             workspace = workspaces[index]
             while True:
-                task = ready.get()
+                task = pop_task()
                 if task is None:
                     return
-                if cancel.is_set():
-                    continue  # cancelled: drop the task without starting it
-                with cond:
-                    while paused[0] and not cancel.is_set():
-                        cond.wait()
-                    if cancel.is_set():
-                        continue
-                    inflight[0] += 1
                 def run_one(t: Task):
                     if policy is not None:
                         return apply_task_resilient(
@@ -320,8 +355,9 @@ class ThreadedRuntime:
         for th in threads:
             th.start()
         all_done.wait()
-        for _ in threads:
-            ready.put(None)
+        with cond:
+            stop[0] = True
+            cond.notify_all()
         for th in threads:
             th.join()
         drain_fallbacks(self.metrics, *workspaces)

@@ -71,6 +71,9 @@ def ascii_gantt(
     if any_batch:
         legend += " U=UT batch X=UE batch"
     header = f"makespan: {span * 1e3:.3f} ms, {len(trace.tasks)} tasks, {len(trace.transfers)} transfers"
+    tree = trace.meta.get("elimination")
+    if tree:
+        header += f", tree={tree}"
     return "\n".join([header, *lines, legend])
 
 
@@ -117,4 +120,12 @@ def to_chrome_trace(trace: ExecutionTrace, time_unit: float = 1e6) -> str:
                 "args": {"bytes": t.num_bytes},
             }
         )
-    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, indent=1)
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if trace.meta:
+        # Provenance (elimination tree, runtime, grid, ...) lands in the
+        # Trace Event metadata block Perfetto shows under "Info".
+        doc["metadata"] = {
+            k: v for k, v in trace.meta.items()
+            if isinstance(v, (str, int, float, bool))
+        }
+    return json.dumps(doc, indent=1)

@@ -108,12 +108,18 @@ class ExecutionTrace:
     (:meth:`repro.sim.engine.DiscreteEventSimulator.run` with real
     tiles): the chronological reflector log, same contract as
     :attr:`repro.runtime.factorization.TiledQRFactorization.log`.
+
+    ``meta`` carries run provenance (elimination tree, runtime, grid,
+    ...) — populated from the JSONL header on load and by the CLI on
+    record; :func:`repro.observability.diff_traces` refuses to compare
+    traces whose recorded elimination trees differ.
     """
 
     tasks: list[TaskRecord] = field(default_factory=list)
     transfers: list[TransferRecord] = field(default_factory=list)
     numeric_log: list = field(default_factory=list)
     annotations: list[AnnotationRecord] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:

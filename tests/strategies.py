@@ -50,3 +50,25 @@ def random_tile(seed_or_rng, shape, dtype=np.float64) -> np.ndarray:
 def random_triangular(seed_or_rng, b, dtype=np.float64) -> np.ndarray:
     """An upper-triangular ``b x b`` tile, as TSQRT/TTQRT inputs expect."""
     return np.triu(random_tile(seed_or_rng, (b, b), dtype))
+
+
+def _all_tree_names() -> list:
+    from repro.dag.trees import tree_names
+
+    return list(tree_names())
+
+
+#: Every registered elimination tree, by canonical name.  Tests that
+#: must hold for *any* within-panel annihilation order parametrize (or
+#: draw) over this so a newly registered tree is covered automatically.
+ALL_TREES = _all_tree_names()
+
+#: Hypothesis strategy over canonical elimination-tree names.
+trees = st.sampled_from(ALL_TREES)
+
+#: Tile-grid shapes (p rows x q cols, p >= q) small enough for
+#: closure-style DAG properties yet tall enough that flat / binary /
+#: fibonacci / greedy panels genuinely differ.
+grids = st.tuples(
+    st.integers(min_value=1, max_value=7), st.integers(min_value=1, max_value=4)
+).map(lambda pq: (max(pq), min(pq)))
