@@ -21,6 +21,16 @@ Subcommands:
   error, ``--chrome`` exports Chrome Trace Event JSON, ``--profile-out``
   feeds a kernel profile store, ``--perf-out`` appends a perf
   trajectory point.
+* ``top <n>`` — run a live factorization with the in-run telemetry
+  pipeline on and render a refreshing dashboard: per-device progress,
+  EWMA kernel durations, critical-path ETA, straggler flags
+  (``--once`` prints a single final snapshot; ``--stream-out`` streams
+  the event bus to JSONL for ``watch --attach``).
+* ``watch --attach run.jsonl`` — follow a streamed live-telemetry file
+  (written by ``top --stream-out``, possibly by another process,
+  mid-run) and render the same dashboard from it.
+* ``metrics --from-trace run.jsonl`` — rebuild a metrics registry from
+  a saved trace and print it in Prometheus text exposition format.
 * ``perf`` — compare the newest ``BENCH_*.json`` points against their
   trajectory baselines (``--check`` gates CI).
 * ``backends`` — list the registered kernel backends; ``--check`` runs
@@ -428,6 +438,222 @@ def _cmd_chaos(args) -> int:
     if args.json:
         Path(args.json).write_text(json.dumps(report.to_dict(), indent=1))
         print(f"report JSON written to {args.json}")
+    return 0
+
+
+def _build_live_pipeline(args, n: int, tree: str, metrics):
+    """(bus, tracker, detector, sink) for a live-telemetry CLI run."""
+    from .dag import build_dag
+    from .dag.analysis import task_weight_model
+    from .observability import (
+        JsonlStreamSink,
+        ProgressTracker,
+        StragglerDetector,
+        TelemetryBus,
+        predicted_durations,
+        provenance_meta,
+    )
+
+    grid = -(-n // args.tile_size)
+    profile = None
+    if getattr(args, "profile", None):
+        from .errors import ObservabilityError
+        from .observability import ProfileStore
+
+        try:
+            profile = ProfileStore.load(args.profile)
+        except ObservabilityError as exc:
+            print(f"cannot use profile store {args.profile}: {exc}", file=sys.stderr)
+            profile = None
+    bus = TelemetryBus(heartbeat_interval=args.heartbeat)
+    dag = build_dag(grid, grid, tree)
+    weight = task_weight_model(args.tile_size, profile=profile)
+    tracker = ProgressTracker(dag, weight).attach(bus)
+    predicted = (
+        predicted_durations(profile, args.tile_size) if profile is not None else None
+    )
+    detector = StragglerDetector(
+        predicted=predicted, factor=args.straggler_factor, metrics=metrics
+    ).attach(bus)
+    sink = None
+    if args.stream_out:
+        sink = JsonlStreamSink(
+            args.stream_out,
+            meta=provenance_meta(
+                runtime=args.runtime, n=n, b=args.tile_size,
+                elimination=tree, seed=args.seed,
+            ),
+        ).attach(bus)
+    return bus, tracker, detector, sink
+
+
+def _cmd_top(args) -> int:
+    """Live dashboard over a real factorization run."""
+    import threading
+    from pathlib import Path
+
+    from .errors import ReproError, ResilienceError
+    from .observability import MetricsRegistry, render_dashboard
+    from .observability.live.dashboard import ANSI_REPAINT
+    from .resilience import ChaosEngine, FaultPlan, RetryPolicy
+
+    if args.n > 2048:
+        print("numeric factorization is NumPy-bound; use n <= 2048", file=sys.stderr)
+        return 2
+    if not _resolve_backend_arg(args.backend):
+        return 2
+    chaos_plan = None
+    if args.chaos:
+        try:
+            chaos_plan = FaultPlan.load(args.chaos)
+        except (ResilienceError, OSError) as exc:
+            print(f"cannot load fault plan {args.chaos}: {exc}", file=sys.stderr)
+            return 2
+    tree = _resolve_tree_cli(args.tree, args.n, args.tile_size)
+    metrics = MetricsRegistry()
+    bus, tracker, detector, sink = _build_live_pipeline(args, args.n, tree, metrics)
+    policy = None
+    if chaos_plan is not None or args.deadline is not None:
+        policy = RetryPolicy(max_attempts=3, backoff=0.0, deadline=args.deadline)
+
+    rng = np.random.default_rng(args.seed)
+    a = rng.standard_normal((args.n, args.n))
+    kwargs = dict(
+        elimination=tree, batch_updates=args.batch_updates,
+        retry_policy=policy, metrics=metrics, backend=args.backend, bus=bus,
+    )
+    if args.runtime == "multiprocess":
+        from .core.optimizer import Optimizer
+        from .devices.registry import paper_testbed
+        from .runtime.multiprocess import MultiprocessRuntime
+
+        dist = Optimizer(paper_testbed()).plan(
+            matrix_size=args.n, tile_size=args.tile_size, num_devices=args.devices
+        )
+        runtime = MultiprocessRuntime(dist, chaos_plan=chaos_plan, **kwargs)
+    elif args.runtime == "threaded":
+        from .runtime.threaded import ThreadedRuntime
+
+        chaos = (
+            ChaosEngine(chaos_plan, metrics=metrics, bus=bus)
+            if chaos_plan is not None else None
+        )
+        runtime = ThreadedRuntime(num_workers=args.workers, chaos=chaos, **kwargs)
+    else:
+        from .runtime.serial import SerialRuntime
+
+        chaos = (
+            ChaosEngine(chaos_plan, metrics=metrics, bus=bus)
+            if chaos_plan is not None else None
+        )
+        runtime = SerialRuntime(chaos=chaos, **kwargs)
+
+    outcome: dict = {}
+
+    def run() -> None:
+        try:
+            outcome["fact"] = runtime.factorize(a, args.tile_size)
+        except BaseException as exc:  # surfaced on the main thread
+            outcome["error"] = exc
+
+    worker = threading.Thread(target=run, name="tiledqr-top-run", daemon=True)
+    worker.start()
+    try:
+        while not args.once and worker.is_alive():
+            frame = render_dashboard(tracker.snapshot())
+            sys.stdout.write(ANSI_REPAINT + frame + "\n")
+            sys.stdout.flush()
+            worker.join(args.refresh)
+        worker.join()
+    except KeyboardInterrupt:
+        print("\ninterrupted; abandoning the in-flight run (daemon thread)")
+        return 130
+    finally:
+        if sink is not None:
+            sink.close()
+    print(render_dashboard(tracker.snapshot()))
+    print()
+    print(detector.report())
+    if sink is not None:
+        print(f"\nlive event stream written to {Path(args.stream_out)} "
+              f"({sink.written} event(s))")
+    if "error" in outcome:
+        exc = outcome["error"]
+        if isinstance(exc, ReproError):
+            print(f"factorization failed: {exc}", file=sys.stderr)
+            return 1
+        raise exc
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    """Follow a streamed live-telemetry JSONL file and render the dashboard."""
+    import time
+    from pathlib import Path
+
+    from .errors import ObservabilityError
+    from .observability import ProgressTracker, read_live_events, render_dashboard
+    from .observability.live.dashboard import ANSI_REPAINT
+
+    path = Path(args.attach)
+    deadline = time.monotonic() + args.wait
+    while not path.is_file():
+        if time.monotonic() >= deadline:
+            print(f"no live stream at {path}", file=sys.stderr)
+            return 2
+        time.sleep(0.1)
+    try:
+        while True:
+            try:
+                meta, events = read_live_events(path)
+            except ObservabilityError as exc:
+                print(f"cannot read {path}: {exc}", file=sys.stderr)
+                return 2
+            # Re-fold the whole stream each frame: the file is append-only
+            # and a fresh tracker keeps the fold trivially consistent.
+            tracker = ProgressTracker()
+            for ev in events:
+                tracker.feed(ev)
+            now = events[-1].t if events else None
+            frame = render_dashboard(tracker.snapshot(now=now))
+            if args.once:
+                print(frame)
+                return 0
+            sys.stdout.write(ANSI_REPAINT + frame + "\n")
+            sys.stdout.flush()
+            if tracker.finished:
+                return 0
+            time.sleep(args.refresh)
+    except KeyboardInterrupt:
+        print()
+        return 130
+
+
+def _cmd_metrics(args) -> int:
+    """Rebuild a metrics registry from a saved trace; print Prometheus text."""
+    from pathlib import Path
+
+    from .errors import ObservabilityError
+    from .observability import MetricsRegistry, load_jsonl
+
+    try:
+        trace = load_jsonl(Path(args.from_trace))
+    except (ObservabilityError, OSError) as exc:
+        print(f"cannot load {args.from_trace}: {exc}", file=sys.stderr)
+        return 2
+    b = trace.meta.get("b") or trace.meta.get("tile_size") or args.tile_size
+    registry = MetricsRegistry()
+    for rec in trace.tasks:
+        registry.observe_kernel(rec.task.kind, int(b), rec.duration, rec.task.ncols)
+    for ann in trace.annotations:
+        registry.counter(f"trace.annotation.{ann.kind}").inc()
+    text = registry.to_prometheus_text(prefix=args.prefix)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"prometheus exposition written to {args.out} "
+              f"(tile size {int(b)}, {len(trace.tasks)} task record(s))")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -942,6 +1168,144 @@ def main(argv: list[str] | None = None) -> int:
         "provenance header)",
     )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_top = sub.add_parser(
+        "top",
+        help="run a live factorization with in-run telemetry and render "
+        "a refreshing dashboard (progress, ETA, stragglers)",
+    )
+    p_top.add_argument("n", type=int)
+    p_top.add_argument(
+        "--runtime",
+        choices=["serial", "threaded", "multiprocess"],
+        default="threaded",
+        help="executor to run and watch (default: threaded)",
+    )
+    p_top.add_argument("--workers", type=int, default=4, help="threaded worker count")
+    p_top.add_argument(
+        "--devices",
+        type=int,
+        default=None,
+        help="multiprocess device count (default: let Alg. 3 choose)",
+    )
+    p_top.add_argument("--tile-size", type=int, default=16)
+    p_top.add_argument("--seed", type=int, default=0)
+    p_top.add_argument(
+        "--batch-updates",
+        action="store_true",
+        help="coarsen trailing updates into row-panel batches",
+    )
+    p_top.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="kernel backend (see `tiledqr backends`)",
+    )
+    p_top.add_argument(
+        "--refresh", type=float, default=0.5,
+        help="dashboard repaint interval in seconds (default: 0.5)",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="no live repaint: run to completion, print one final "
+        "snapshot (CI/artifact mode)",
+    )
+    p_top.add_argument(
+        "--stream-out",
+        metavar="OUT.jsonl",
+        help="stream every bus event to this JSONL file as it happens "
+        "(readable mid-run by `tiledqr watch --attach`)",
+    )
+    p_top.add_argument(
+        "--straggler-factor",
+        type=float,
+        default=2.0,
+        help="flag a task whose duration is >= FACTOR x prediction "
+        "(default: 2.0)",
+    )
+    p_top.add_argument(
+        "--chaos",
+        metavar="PLAN.json",
+        help="run under this fault-injection plan (see docs/RELIABILITY.md)",
+    )
+    p_top.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="per-task deadline seconds (hang classification; chaos runs)",
+    )
+    p_top.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="heartbeat interval: threaded runs start a monitor thread, "
+        "multiprocess runs slice their worker-reply waits and publish "
+        "heartbeat.missed on silent slices (default: 0.25)",
+    )
+    p_top.add_argument(
+        "--profile",
+        metavar="STORE.json",
+        help="predict per-kind durations from this profile store "
+        "(straggler detection + ETA weights; default: fleet EWMA + flops)",
+    )
+    p_top.add_argument(
+        "--tree",
+        choices=_tree_choices(),
+        default=None,
+        help="within-panel elimination tree (default: flat/TS)",
+    )
+    p_top.set_defaults(func=_cmd_top)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="follow a live-telemetry JSONL stream (from `top --stream-out`) "
+        "and render the dashboard",
+    )
+    p_watch.add_argument(
+        "--attach",
+        required=True,
+        metavar="RUN.jsonl",
+        help="live event stream to follow (append-only JSONL)",
+    )
+    p_watch.add_argument(
+        "--refresh", type=float, default=0.5,
+        help="re-read/repaint interval in seconds (default: 0.5)",
+    )
+    p_watch.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+    p_watch.add_argument(
+        "--wait",
+        type=float,
+        default=0.0,
+        help="seconds to wait for the stream file to appear (default: 0)",
+    )
+    p_watch.set_defaults(func=_cmd_watch)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="rebuild a metrics registry from a saved trace and print "
+        "Prometheus text exposition",
+    )
+    p_metrics.add_argument(
+        "--from-trace",
+        required=True,
+        metavar="RUN.jsonl",
+        help="trace JSONL (from `tiledqr trace --out`/`chaos --trace-out`)",
+    )
+    p_metrics.add_argument(
+        "--tile-size",
+        type=int,
+        default=16,
+        help="tile size fallback when the trace header lacks one",
+    )
+    p_metrics.add_argument(
+        "--prefix", default="tiledqr", help="metric name prefix (default: tiledqr)"
+    )
+    p_metrics.add_argument(
+        "--out", metavar="OUT.prom", help="write the exposition here instead of stdout"
+    )
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     p_back = sub.add_parser(
         "backends",

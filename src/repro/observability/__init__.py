@@ -46,6 +46,19 @@ from .perf import (
     load_trajectory,
     record_traced_run,
 )
+from .live import (
+    HeartbeatMonitor,
+    JsonlStreamSink,
+    LiveEvent,
+    ProgressSnapshot,
+    ProgressTracker,
+    StragglerDetector,
+    StragglerRecord,
+    TelemetryBus,
+    predicted_durations,
+    read_live_events,
+    render_dashboard,
+)
 from .profile import KernelEntry, KernelStats, ProfileStore, RunProfile
 from .tracer import NULL_TRACER, Tracer
 
@@ -89,4 +102,15 @@ __all__ = [
     "compare_trajectory",
     "compare_trajectories",
     "record_traced_run",
+    "TelemetryBus",
+    "LiveEvent",
+    "HeartbeatMonitor",
+    "ProgressTracker",
+    "ProgressSnapshot",
+    "StragglerDetector",
+    "StragglerRecord",
+    "JsonlStreamSink",
+    "read_live_events",
+    "render_dashboard",
+    "predicted_durations",
 ]

@@ -1,0 +1,43 @@
+"""In-run (live) telemetry: event bus, progress/straggler tracking, sinks.
+
+The post-hoc layers (tracer, metrics, JSONL export) only become visible
+after a run joins; this package streams telemetry *while* the
+factorization executes.  See ``docs/OBSERVABILITY.md`` ("Live
+telemetry") for the event schema and wiring examples.
+"""
+
+from .bus import DEFAULT_CAPACITY, NULL_BUS, LiveEvent, TelemetryBus, task_payload
+from .dashboard import ANSI_REPAINT, render_dashboard
+from .heartbeat import DEFAULT_MISS_FACTOR, HeartbeatMonitor
+from .progress import DeviceState, ProgressSnapshot, ProgressTracker
+from .sinks import LIVE_SCHEMA_VERSION, JsonlStreamSink, read_live_events
+from .straggler import (
+    DEFAULT_FACTOR,
+    DEFAULT_MIN_SECONDS,
+    StragglerDetector,
+    StragglerRecord,
+    predicted_durations,
+)
+
+__all__ = [
+    "ANSI_REPAINT",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_FACTOR",
+    "DEFAULT_MIN_SECONDS",
+    "DEFAULT_MISS_FACTOR",
+    "DeviceState",
+    "HeartbeatMonitor",
+    "JsonlStreamSink",
+    "LIVE_SCHEMA_VERSION",
+    "LiveEvent",
+    "NULL_BUS",
+    "ProgressSnapshot",
+    "ProgressTracker",
+    "StragglerDetector",
+    "StragglerRecord",
+    "TelemetryBus",
+    "predicted_durations",
+    "read_live_events",
+    "render_dashboard",
+    "task_payload",
+]

@@ -1,0 +1,102 @@
+"""Curses-free terminal dashboard for live telemetry.
+
+:func:`render_dashboard` turns a
+:class:`~repro.observability.live.progress.ProgressSnapshot` into a
+plain-text frame — per-device utilization bars, inflight kinds,
+retry/failover/heartbeat columns, per-kind EWMA durations, and the ETA
+header.  ``tiledqr top`` repaints it in place with ANSI
+cursor-home/clear codes (no curses, so it works over ssh, in CI logs
+with ``--once``, and piped to a file); ``tiledqr watch --attach`` renders
+the same frames from a streamed JSONL file.  The only key binding is
+the terminal's own interrupt (Ctrl-C) — the dashboard is a pure viewer
+and keeps no input state.
+"""
+
+from __future__ import annotations
+
+from .progress import ProgressSnapshot
+
+#: ANSI prelude that repaints in place: cursor home + clear-to-end.
+ANSI_REPAINT = "\x1b[H\x1b[J"
+
+
+def _fmt_seconds(s: float | None) -> str:
+    if s is None:
+        return "--"
+    if s >= 120.0:
+        return f"{s / 60.0:.1f}m"
+    if s >= 1.0:
+        return f"{s:.1f}s"
+    return f"{s * 1e3:.1f}ms"
+
+
+def _bar(fraction: float, width: int) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def render_dashboard(snapshot: ProgressSnapshot, width: int = 100) -> str:
+    """One dashboard frame as a newline-joined string."""
+    width = max(60, width)
+    lines: list[str] = []
+    progress = snapshot.progress
+    head = [
+        "tiledqr live",
+        f"elapsed {_fmt_seconds(snapshot.elapsed)}",
+    ]
+    if snapshot.total_units:
+        head.append(
+            f"units {snapshot.done_units}/{snapshot.total_units}"
+            + (f" ({progress:.0%})" if progress is not None else "")
+        )
+    else:
+        head.append(f"units {snapshot.done_units}")
+    if snapshot.ready_tasks is not None:
+        head.append(f"ready {snapshot.ready_tasks}")
+    head.append(f"inflight {snapshot.inflight_units}")
+    head.append(
+        "done"
+        if snapshot.finished
+        else f"ETA {_fmt_seconds(snapshot.eta_seconds)}"
+    )
+    lines.append(" | ".join(head))
+    if progress is not None:
+        lines.append(_bar(progress, width - 2))
+    bar_w = 20
+    lines.append(
+        f"{'device':16s} {'util':>5s} {'':{bar_w + 2}s} {'done':>6s} "
+        f"{'inflight':14s} {'rty':>3s} {'fo':>3s} {'hb':>4s}"
+    )
+    for dev in snapshot.devices:
+        util = (
+            dev["busy_seconds"] / snapshot.elapsed if snapshot.elapsed > 0.0 else 0.0
+        )
+        util = min(1.0, util)
+        if dev["dead"]:
+            hb = "DEAD"
+        elif dev["missed_heartbeats"]:
+            hb = "miss"
+        else:
+            hb = "ok"
+        kinds = ",".join(dev["inflight_kinds"])[:14]
+        lines.append(
+            f"{dev['device'][:16]:16s} {util:4.0%} {_bar(util, bar_w)} "
+            f"{dev['done_units']:6d} {kinds:14s} {dev['retries']:3d} "
+            f"{dev['failovers']:3d} {hb:>4s}"
+        )
+    if snapshot.kind_ewma_seconds:
+        ewma = " | ".join(
+            f"{kind} {_fmt_seconds(sec)}"
+            for kind, sec in snapshot.kind_ewma_seconds.items()
+        )
+        lines.append(f"kind ewma: {ewma}"[:width])
+    tallies = (
+        f"retries {snapshot.retries} | failovers {snapshot.failovers} | "
+        f"checkpoints {snapshot.checkpoints} | stragglers {snapshot.stragglers} | "
+        f"missed heartbeats {snapshot.missed_heartbeats}"
+    )
+    lines.append(tallies)
+    for note in snapshot.recent:
+        lines.append(f"  {note}"[:width])
+    return "\n".join(lines)

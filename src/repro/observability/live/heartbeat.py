@@ -1,0 +1,158 @@
+"""Liveness monitoring for in-process runtimes.
+
+The multiprocess manager gets heartbeats for free: every worker reply is
+proof of life, and the reply-deadline poll in ``ask()`` is sliced into
+heartbeat intervals so silence surfaces *before* the failover deadline.
+The serial and threaded runtimes have no pipe to poll, so
+:class:`HeartbeatMonitor` supplies the equivalent: a daemon thread that
+watches ``task.start``/``task.finish`` events on the bus and publishes
+
+* ``heartbeat`` — one tick per interval with the live inflight count;
+* ``heartbeat.missed`` — a device has held a task open for more than
+  ``miss_factor`` x the interval without finishing it (a chaos ``hang``
+  fault trips this long before the retry-policy deadline classifies the
+  task as timed out).
+
+``heartbeat.missed`` is throttled to one event per device per interval
+so a long hang cannot flood the ring.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .bus import LiveEvent, TelemetryBus
+
+#: An inflight task older than ``miss_factor * interval`` is a miss.
+DEFAULT_MISS_FACTOR = 2.0
+
+
+def _task_key(data: dict) -> tuple:
+    return (
+        data.get("kind"),
+        data.get("k"),
+        data.get("row"),
+        data.get("row2"),
+        data.get("col"),
+        data.get("col_end", -1),
+    )
+
+
+class HeartbeatMonitor:
+    """Watch bus traffic and flag devices that go quiet mid-task."""
+
+    def __init__(
+        self,
+        bus: TelemetryBus,
+        interval: float | None = None,
+        miss_factor: float = DEFAULT_MISS_FACTOR,
+    ):
+        resolved = interval if interval is not None else bus.heartbeat_interval
+        if resolved is None or resolved <= 0.0:
+            raise ValueError(
+                "HeartbeatMonitor needs a positive interval (set it here or "
+                "via TelemetryBus(heartbeat_interval=...))"
+            )
+        self.bus = bus
+        self.interval = float(resolved)
+        self.miss_factor = float(miss_factor)
+        self._lock = threading.Lock()
+        self._inflight: dict[str, dict[tuple, float]] = {}
+        self._last_seen: dict[str, float] = {}
+        self._last_missed: dict[str, float] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.misses = 0
+
+    # -- bus subscription -------------------------------------------------
+
+    def on_event(self, event: LiveEvent) -> None:
+        if event.type == "task.start":
+            with self._lock:
+                self._inflight.setdefault(event.device, {})[
+                    _task_key(event.data)
+                ] = event.t
+                self._last_seen[event.device] = event.t
+        elif event.type == "task.finish":
+            with self._lock:
+                self._inflight.get(event.device, {}).pop(_task_key(event.data), None)
+                self._last_seen[event.device] = event.t
+        elif not event.type.startswith("heartbeat"):
+            # Any other activity (retry, checkpoint, ...) is proof of life.
+            with self._lock:
+                self._last_seen[event.device] = event.t
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "HeartbeatMonitor":
+        if self._thread is not None:
+            return self
+        self.bus.subscribe(self.on_event)
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="tiledqr-heartbeat", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self.bus.unsubscribe(self.on_event)
+
+    def __enter__(self) -> "HeartbeatMonitor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- the tick ---------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.tick()
+
+    def tick(self, now: float | None = None) -> None:
+        """One liveness pass (exposed for deterministic tests)."""
+        t = self.bus.clock() if now is None else now
+        with self._lock:
+            inflight = {
+                dev: dict(tasks) for dev, tasks in self._inflight.items() if tasks
+            }
+        total = sum(len(tasks) for tasks in inflight.values())
+        self.bus.publish(
+            "heartbeat",
+            device="monitor",
+            data={"inflight": total, "devices": sorted(inflight)},
+            t=t,
+        )
+        limit = self.miss_factor * self.interval
+        for dev, tasks in inflight.items():
+            oldest_key, oldest_start = min(tasks.items(), key=lambda kv: kv[1])
+            age = t - oldest_start
+            if age < limit:
+                continue
+            with self._lock:
+                last = self._last_missed.get(dev, -1e30)
+                if t - last < self.interval:
+                    continue
+                self._last_missed[dev] = t
+            self.misses += 1
+            kind, k, row, row2, col, col_end = oldest_key
+            self.bus.publish(
+                "heartbeat.missed",
+                device=dev,
+                data={
+                    "silent_seconds": age,
+                    "kind": kind,
+                    "k": k,
+                    "row": row,
+                    "row2": row2,
+                    "col": col,
+                    "col_end": col_end,
+                },
+                t=t,
+            )

@@ -1,0 +1,364 @@
+"""Fold live bus events into per-device progress state and an ETA.
+
+:class:`ProgressTracker` is a bus subscriber that maintains, while a
+factorization runs:
+
+* per-device state — units done, busy seconds, inflight task kinds,
+  retries, failovers, missed heartbeats, last-seen timestamp;
+* per-kind EWMA durations (same ``alpha`` as the
+  :class:`~repro.observability.profile.ProfileStore`);
+* a critical-path-remaining ETA.
+
+**Units.**  Batched runtimes publish coarsened ``*_BATCH`` finishes
+while the planning DAG may be per-tile (and vice versa: the
+multiprocess runtime batches over each worker's *owned* columns, which
+never matches the planner's batch spans).  To make progress counting
+independent of batching, every task — planned or observed — is
+normalised to per-tile *units*: the group key ``(single-kind, k, row,
+row2)`` plus the set of covered tile columns.  A planned task is done
+when its units are covered, whichever batch shape covered them.
+
+**ETA.**  With a DAG, remaining work is priced by the same weight model
+the scheduler used (:func:`~repro.dag.analysis.task_weight_model`, i.e.
+ProfileStore seconds when a profile is given, flops otherwise) and the
+remaining critical path comes from
+:func:`~repro.dag.analysis.bottom_level_ranks`.  Model units are
+converted to wall seconds by the live calibration ratio *observed busy
+seconds / modelled weight of completed units*, so the ETA self-corrects
+as real durations drift from the plan::
+
+    eta = max(remaining_rank * scale,            # critical chain bound
+              remaining_weight * scale / devs)   # throughput bound
+
+Without a DAG (e.g. ``tiledqr watch --attach`` on a stream that only
+carries a ``run.start`` total), the ETA falls back to the observed
+unit-completion rate.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from .bus import LiveEvent, TelemetryBus
+
+#: EWMA smoothing for live per-kind durations (matches ProfileStore).
+EWMA_ALPHA = 0.3
+
+
+def _single_kind(kind: str | None) -> str:
+    k = str(kind or "?")
+    return k[: -len("_BATCH")] if k.endswith("_BATCH") else k
+
+
+def _event_units(data: dict) -> tuple[tuple, tuple[int, ...]]:
+    """Normalise a ``task.*`` payload to ``(group key, covered cols)``."""
+    key = (
+        _single_kind(data.get("kind")),
+        data.get("k"),
+        data.get("row"),
+        data.get("row2"),
+    )
+    col = int(data.get("col", 0))
+    col_end = int(data.get("col_end", -1))
+    cols = tuple(range(col, col_end)) if col_end > col else (col,)
+    return key, cols
+
+
+@dataclass
+class DeviceState:
+    """Live view of one device, folded from its bus events."""
+
+    device: str
+    done_units: int = 0
+    busy_seconds: float = 0.0
+    inflight: dict = field(default_factory=dict)  # (key, cols) -> (kind, start t)
+    retries: int = 0
+    faults: int = 0
+    failovers: int = 0
+    missed_heartbeats: int = 0
+    checkpoints: int = 0
+    last_seen: float = 0.0
+    dead: bool = False
+
+    @property
+    def inflight_kinds(self) -> list[str]:
+        return sorted({kind for kind, _start in self.inflight.values()})
+
+    def to_dict(self) -> dict:
+        return {
+            "device": self.device,
+            "done_units": self.done_units,
+            "busy_seconds": self.busy_seconds,
+            "inflight": len(self.inflight),
+            "inflight_kinds": self.inflight_kinds,
+            "retries": self.retries,
+            "faults": self.faults,
+            "failovers": self.failovers,
+            "missed_heartbeats": self.missed_heartbeats,
+            "checkpoints": self.checkpoints,
+            "last_seen": self.last_seen,
+            "dead": self.dead,
+        }
+
+
+@dataclass
+class ProgressSnapshot:
+    """Point-in-time rollup returned by :meth:`ProgressTracker.snapshot`."""
+
+    t: float
+    elapsed: float
+    total_units: int | None
+    done_units: int
+    ready_tasks: int | None
+    inflight_units: int
+    eta_seconds: float | None
+    calibration: float | None  # observed seconds per modelled weight unit
+    devices: list[dict]
+    kind_ewma_seconds: dict
+    retries: int
+    failovers: int
+    checkpoints: int
+    stragglers: int
+    missed_heartbeats: int
+    finished: bool
+    recent: list[str]
+    meta: dict
+
+    @property
+    def progress(self) -> float | None:
+        if not self.total_units:
+            return None
+        return min(1.0, self.done_units / self.total_units)
+
+    def to_dict(self) -> dict:
+        d = {k: v for k, v in self.__dict__.items()}
+        d["progress"] = self.progress
+        return d
+
+
+class ProgressTracker:
+    """Bus subscriber that folds events into live run state."""
+
+    def __init__(self, dag=None, weight=None, clock=None):
+        self.clock = clock if clock is not None else perf_counter
+        self._lock = threading.Lock()
+        self._devices: dict[str, DeviceState] = {}
+        self._covered: dict[tuple, set[int]] = {}
+        self._ewma: dict[str, float] = {}
+        self._recent: deque[str] = deque(maxlen=6)
+        self._meta: dict = {}
+        self.started_at: float | None = None
+        self.finished = False
+        self.done_units = 0
+        self.observed_busy = 0.0
+        self.stragglers = 0
+        self.checkpoints = 0
+        self.events_seen = 0
+        self.eta_history: list[tuple[float, float]] = []  # (t, eta) per snapshot
+        # -- planned-work model (optional) --------------------------------
+        self._plan_units: dict[tuple, dict[int, tuple[float, float]]] = {}
+        self._plan_tasks: list[tuple] = []  # (task, key, cols frozenset)
+        self._preds = None
+        self.total_units: int | None = None
+        if dag is not None:
+            from ...dag.analysis import bottom_level_ranks
+
+            ranks = bottom_level_ranks(dag, weight)
+            w = weight if weight is not None else (lambda _t: 1.0)
+            total = 0
+            for task in dag.tasks:
+                key = (task.kind.single.value, task.k, task.row, task.row2)
+                cols = (
+                    range(task.col, task.col_end) if task.is_batch else (task.col,)
+                )
+                unit_w = w(task) / task.ncols
+                slot = self._plan_units.setdefault(key, {})
+                for col in cols:
+                    slot[col] = (unit_w, ranks[task])
+                    total += 1
+                self._plan_tasks.append((task, key, frozenset(cols)))
+            self._preds = dag.preds
+            self.total_units = total
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, bus: TelemetryBus) -> "ProgressTracker":
+        bus.subscribe(self.on_event)
+        return self
+
+    def feed(self, event: LiveEvent) -> None:
+        self.on_event(event)
+
+    def _dev(self, name: str) -> DeviceState:
+        state = self._devices.get(name)
+        if state is None:
+            state = self._devices[name] = DeviceState(device=name)
+        return state
+
+    def on_event(self, event: LiveEvent) -> None:
+        with self._lock:
+            self.events_seen += 1
+            if self.started_at is None:
+                self.started_at = event.t
+            etype = event.type
+            if etype == "run.start":
+                self.started_at = event.t
+                self._meta = dict(event.data)
+                if self.total_units is None and "total_units" in event.data:
+                    self.total_units = int(event.data["total_units"])
+                return
+            if etype == "run.finish":
+                self.finished = True
+                return
+            if etype == "heartbeat":
+                # Monitor ticks are global; per-device heartbeats (one
+                # per multiprocess reply) refresh the device's liveness.
+                if event.device != "monitor":
+                    self._dev(event.device).last_seen = max(
+                        self._dev(event.device).last_seen, event.t
+                    )
+                return
+            dev = self._dev(event.device)
+            dev.last_seen = max(dev.last_seen, event.t)
+            if etype == "task.start":
+                key, cols = _event_units(event.data)
+                dev.inflight[(key, cols)] = (key[0], event.t)
+            elif etype == "task.finish":
+                key, cols = _event_units(event.data)
+                dev.inflight.pop((key, cols), None)
+                n = len(cols)
+                dev.done_units += n
+                self.done_units += n
+                duration = float(event.data.get("duration", 0.0))
+                dev.busy_seconds += duration
+                self.observed_busy += duration
+                covered = self._covered.setdefault(key, set())
+                covered.update(cols)
+                per_unit = duration / n if n else duration
+                prev = self._ewma.get(key[0])
+                self._ewma[key[0]] = (
+                    per_unit
+                    if prev is None
+                    else (1.0 - EWMA_ALPHA) * prev + EWMA_ALPHA * per_unit
+                )
+            elif etype == "retry":
+                dev.retries += 1
+                self._note(event, f"retry on {event.device}")
+            elif etype == "fault":
+                dev.faults += 1
+                self._note(event, f"fault {event.data.get('fault', '?')} on {event.device}")
+            elif etype == "failover":
+                dev.failovers += 1
+                if event.data.get("died"):
+                    dev.dead = True
+                self._note(event, f"failover: {event.data.get('detail', event.device)}")
+            elif etype == "checkpoint":
+                dev.checkpoints += 1
+                self.checkpoints += 1
+            elif etype == "heartbeat.missed":
+                dev.missed_heartbeats += 1
+                self._note(
+                    event,
+                    f"missed heartbeat: {event.device} silent "
+                    f"{event.data.get('silent_seconds', 0.0):.2f}s",
+                )
+            elif etype == "straggler":
+                self.stragglers += 1
+                self._note(
+                    event,
+                    f"straggler: {event.data.get('task', '?')} on {event.device} "
+                    f"x{event.data.get('ratio', 0.0):.2f}",
+                )
+            elif etype == "drift":
+                self._note(
+                    event,
+                    f"drift: {event.device} ewma ratio "
+                    f"x{event.data.get('ratio', 0.0):.2f}",
+                )
+
+    def _note(self, event: LiveEvent, text: str) -> None:
+        self._recent.append(f"[{event.seq}] {text}")
+
+    # -- rollup -----------------------------------------------------------
+
+    def _eta(self, elapsed: float) -> tuple[float | None, float | None]:
+        """(eta seconds, calibration) from the planned-work model."""
+        if self._plan_units:
+            modelled_done = 0.0
+            modelled_left = 0.0
+            cp_left = 0.0
+            for key, units in self._plan_units.items():
+                covered = self._covered.get(key, ())
+                for col, (unit_w, rank) in units.items():
+                    if col in covered:
+                        modelled_done += unit_w
+                    else:
+                        modelled_left += unit_w
+                        if rank > cp_left:
+                            cp_left = rank
+            if modelled_left == 0.0:
+                return 0.0, None
+            if modelled_done <= 0.0 or self.observed_busy <= 0.0:
+                return None, None
+            scale = self.observed_busy / modelled_done
+            active = max(
+                1, sum(1 for d in self._devices.values() if not d.dead and d.done_units)
+            )
+            return max(cp_left * scale, modelled_left * scale / active), scale
+        if self.total_units:
+            left = self.total_units - self.done_units
+            if left <= 0:
+                return 0.0, None
+            if self.done_units and elapsed > 0.0:
+                return left * elapsed / self.done_units, None
+        return None, None
+
+    def _ready_tasks(self) -> int | None:
+        if self._preds is None:
+            return None
+        done = set()
+        for task, key, cols in self._plan_tasks:
+            if cols <= self._covered.get(key, set()):
+                done.add(task)
+        ready = sum(
+            1
+            for task, _key, _cols in self._plan_tasks
+            if task not in done and all(p in done for p in self._preds[task])
+        )
+        inflight = sum(len(d.inflight) for d in self._devices.values())
+        return max(0, ready - inflight)
+
+    def snapshot(self, now: float | None = None) -> ProgressSnapshot:
+        with self._lock:
+            t = self.clock() if now is None else now
+            start = self.started_at if self.started_at is not None else t
+            elapsed = max(0.0, t - start)
+            eta, calibration = self._eta(elapsed)
+            if eta is not None:
+                self.eta_history.append((t, eta))
+            snap = ProgressSnapshot(
+                t=t,
+                elapsed=elapsed,
+                total_units=self.total_units,
+                done_units=self.done_units,
+                ready_tasks=self._ready_tasks(),
+                inflight_units=sum(len(d.inflight) for d in self._devices.values()),
+                eta_seconds=eta,
+                calibration=calibration,
+                devices=[d.to_dict() for _, d in sorted(self._devices.items())],
+                kind_ewma_seconds=dict(sorted(self._ewma.items())),
+                retries=sum(d.retries for d in self._devices.values()),
+                failovers=sum(d.failovers for d in self._devices.values()),
+                checkpoints=self.checkpoints,
+                stragglers=self.stragglers,
+                missed_heartbeats=sum(
+                    d.missed_heartbeats for d in self._devices.values()
+                ),
+                finished=self.finished,
+                recent=list(self._recent),
+                meta=dict(self._meta),
+            )
+        return snap

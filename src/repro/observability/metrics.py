@@ -271,3 +271,56 @@ class MetricsRegistry:
                 for name, hist in self._histograms.items()
                 if name.startswith("kernel.") and name.endswith(".gflops")
             }
+
+    def to_prometheus_text(self, prefix: str = "tiledqr") -> str:
+        """Prometheus text exposition (v0.0.4) of every instrument.
+
+        Dotted registry names flatten to legal metric names
+        (``kernel.GEQRT.seconds`` -> ``tiledqr_kernel_GEQRT_seconds``);
+        counters gain the conventional ``_total`` suffix and histograms
+        export as summaries (p50/p95/p99 quantiles plus ``_sum`` and
+        ``_count``).  Output is sorted by metric name so snapshots diff
+        cleanly; scrape endpoints and ``tiledqr metrics`` both serve
+        this string verbatim.
+        """
+        with self._lock:
+            counters = {n: c.value for n, c in self._counters.items()}
+            gauges = {n: g.value for n, g in self._gauges.items()}
+            histograms = {n: h.summary() for n, h in self._histograms.items()}
+        lines: list[str] = []
+        for name in sorted(counters):
+            metric = f"{prometheus_name(prefix, name)}_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_format_value(counters[name])}")
+        for name in sorted(gauges):
+            metric = prometheus_name(prefix, name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(gauges[name])}")
+        for name in sorted(histograms):
+            metric = prometheus_name(prefix, name)
+            s = histograms[name]
+            lines.append(f"# TYPE {metric} summary")
+            for q, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+                lines.append(f'{metric}{{quantile="{q}"}} {_format_value(s[key])}')
+            lines.append(f"{metric}_sum {_format_value(s['total'])}")
+            lines.append(f"{metric}_count {s['count']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def prometheus_name(prefix: str, name: str) -> str:
+    """Sanitize a dotted registry name into a Prometheus metric name."""
+    flat = f"{prefix}_{name}" if prefix else name
+    out = [
+        ch if (ch.isalnum() and ch.isascii()) or ch in "_:" else "_" for ch in flat
+    ]
+    if out and out[0].isdigit():
+        out.insert(0, "_")
+    return "".join(out)
+
+
+def _format_value(v: float) -> str:
+    """Render a sample value: integral floats without the trailing .0."""
+    f = float(v)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)

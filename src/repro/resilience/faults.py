@@ -203,11 +203,19 @@ class ChaosEngine:
     order, independent of wall clock.
     """
 
-    def __init__(self, plan: FaultPlan, metrics=None, tracer=None, device: str | None = None):
+    def __init__(
+        self,
+        plan: FaultPlan,
+        metrics=None,
+        tracer=None,
+        device: str | None = None,
+        bus=None,
+    ):
         self.plan = plan
         self.metrics = metrics
         self.tracer = tracer
         self.device = device
+        self.bus = bus
         self._fired = [0] * len(plan.specs)
         self._lock = threading.Lock()
         self.faults_injected = 0
@@ -236,6 +244,12 @@ class ChaosEngine:
         if self.tracer is not None:
             self.tracer.record_annotation(
                 "fault", f"{spec.kind.value}:{task.label()}", device or "local"
+            )
+        if self.bus is not None:
+            self.bus.publish(
+                "fault",
+                device or "local",
+                {"fault": spec.kind.value, "task": task.label()},
             )
 
     def fire_counts(self) -> list[int]:

@@ -145,6 +145,7 @@ def apply_task_resilient(
     metrics=None,
     tracer=None,
     device: str = "local",
+    bus=None,
 ) -> Factors | None:
     """Execute one task under retry/chaos/health semantics.
 
@@ -164,8 +165,10 @@ def apply_task_resilient(
     * an attempt exceeding ``policy.deadline`` wall-clock seconds is
       classified as a hang (:class:`~repro.errors.TaskTimeoutError`) and
       retried like any failure;
-    * retries are counted on ``metrics`` (``resilience.retries``) and
-      annotated on ``tracer``; exhausting the policy raises
+    * retries are counted on ``metrics`` (``resilience.retries``),
+      annotated on ``tracer``, and published as ``retry`` events on
+      ``bus`` (a :class:`repro.observability.TelemetryBus`, when live
+      telemetry is on); exhausting the policy raises
       :class:`~repro.errors.RetryExhaustedError` chained to the last
       failure.
     """
@@ -183,6 +186,17 @@ def apply_task_resilient(
                     "retry",
                     f"attempt {attempt}/{policy.max_attempts} of {task.label()}: {last_exc}",
                     device,
+                )
+            if bus is not None:
+                bus.publish(
+                    "retry",
+                    device,
+                    {
+                        "task": task.label(),
+                        "attempt": attempt,
+                        "max_attempts": policy.max_attempts,
+                        "error": str(last_exc),
+                    },
                 )
             pause = policy.backoff_seconds(attempt, key=task.sort_key())
             if pause > 0.0:

@@ -179,15 +179,18 @@ class Collect:
 
 @dataclass
 class CollectEvents:
-    """Return the worker's kernel-event buffer (traced runs only).
+    """Return any residual kernel events (traced/live runs only).
 
     Events are ``(kind, k, row, row2, col, col_end, start, end)``
-    tuples (``col_end`` is ``-1`` for per-tile kernels) stamped
-    with the worker's ``perf_counter``.  Under the fork start method
-    the clock is shared with the manager (CLOCK_MONOTONIC), so buffers
-    merge directly; under spawn ``perf_counter`` epochs differ per
-    process, so the manager rebases each buffer with the offset
-    measured by :class:`ClockSync` at worker startup.
+    tuples (``col_end`` is ``-1`` for per-tile kernels) stamped with
+    the worker's ``perf_counter``.  Workers piggyback the buffer on
+    every reply (see ``reply``), so this end-of-run sweep normally
+    returns an empty list — it exists as a backstop for events recorded
+    after the last message's reply was built.  Under the fork start
+    method the clock is shared with the manager (CLOCK_MONOTONIC), so
+    timestamps merge directly; under spawn ``perf_counter`` epochs
+    differ per process, so the manager rebases each buffer with the
+    offset measured by :class:`ClockSync` at worker startup.
     """
 
 
@@ -260,6 +263,15 @@ def _worker_main(
         delta = dict(stats)
         for key in stats:
             stats[key] = 0
+        if events:
+            # Piggyback buffered kernel events on every reply instead of
+            # holding them for the end-of-run CollectEvents: the manager
+            # folds them immediately, so a worker that later dies (kill,
+            # hang, crash) has already delivered everything up to its
+            # last reply — partial activity survives failover, and live
+            # telemetry sees kernels as each message completes.
+            delta["events"] = events[:]
+            events.clear()
         conn.send((status, payload, delta))
 
     # Per-column squared norms of the data this worker holds, maintained
@@ -298,14 +310,25 @@ def _worker_main(
             written = [ref() for ref in written_refs]
             snapshot = [w.copy() for w in written]
             try:
+                stall = 0.0
                 if chaos is not None:
                     fired_before = chaos.faults_injected
+                    inj0 = perf_counter()
                     chaos.before_task(task, device_id)
+                    stall = perf_counter() - inj0
                 out = fn()
                 written = [ref() for ref in written_refs]
                 if chaos is not None:
                     chaos.corrupt_outputs(task, written, device_id)
                     stats["faults_injected"] += chaos.faults_injected - fired_before
+                    if trace and stall > 0.0 and events:
+                        # Fold an injected delay/hang into the task's
+                        # timed slot: the threaded runtime times around
+                        # the injection point, so the trace (and live
+                        # straggler detection) must see the slow task
+                        # here too.
+                        *key, t0, t1 = events[-1]
+                        events[-1] = (*key, t0 - stall, t1)
                 if health:
                     check_task_outputs(task, written)
                     if task.kind in _FACTOR_KINDS and col_norm_sq:
@@ -581,6 +604,15 @@ class MultiprocessRuntime:
         failover replay uses the same backend, so reconstructed columns
         match the lost ones bit for bit when the backend is
         deterministic.
+    bus:
+        Optional :class:`repro.observability.TelemetryBus`.  Worker
+        kernel events ride each reply and are published (ClockSync-
+        rebased) as ``task.finish`` the moment the reply folds; every
+        reply also publishes a per-device ``heartbeat``, and with a
+        ``heartbeat_interval`` on the bus the manager slices its reply-
+        deadline poll so a silent worker raises ``heartbeat.missed``
+        events *before* the deadline failover fires.  Failovers,
+        checkpoints, and run start/finish publish too.
 
     Notes
     -----
@@ -602,6 +634,7 @@ class MultiprocessRuntime:
         checkpoint_every: int | None = None,
         checkpoint_path=None,
         backend=None,
+        bus=None,
     ):
         self.plan = plan
         self.tracer = tracer
@@ -614,6 +647,7 @@ class MultiprocessRuntime:
         self.checkpoint_every = checkpoint_every
         self.checkpoint_path = checkpoint_path
         self.backend = resolve_backend(backend)
+        self.bus = bus
 
     @property
     def resilient(self) -> bool:
@@ -665,6 +699,7 @@ class MultiprocessRuntime:
 
         tracer = self.tracer if self.tracer is not None and self.tracer.enabled else None
         metrics = self.metrics
+        bus = self.bus
         policy = self.retry_policy
         if policy is None and self.resilient:
             from ..resilience import DEFAULT_RETRY_POLICY
@@ -686,7 +721,8 @@ class MultiprocessRuntime:
             proc = ctx.Process(
                 target=_worker_main,
                 args=(
-                    child, p, q, tracer is not None, self.batch_updates,
+                    child, p, q, tracer is not None or bus is not None,
+                    self.batch_updates,
                     dev, self.chaos_plan, self.retry_policy, self.health_checks,
                     self.backend.name,
                 ),
@@ -712,8 +748,26 @@ class MultiprocessRuntime:
         def alive() -> list[str]:
             return [d for d in self.plan.participants if d not in dead]
 
-        def fold_stats(delta: dict) -> None:
-            if metrics is None or not delta:
+        def fold_events(dev: str, evts) -> None:
+            """Merge one worker's kernel-event batch (ClockSync-rebased)."""
+            off = clock_offset.get(dev, 0.0)
+            for kind, kk, row, row2, col, col_end, start, end in evts:
+                task = Task(TaskKind[kind], kk, row, row2, col, col_end)
+                if tracer is not None:
+                    tracer.record_task(
+                        task, device=dev, start=start + off, end=end + off,
+                        tile_size=b,
+                    )
+                if bus is not None:
+                    bus.task_finish(task, dev, start=start + off, end=end + off)
+
+        def fold_stats(dev: str, delta: dict) -> None:
+            if not delta:
+                return
+            evts = delta.pop("events", None)
+            if evts:
+                fold_events(dev, evts)
+            if metrics is None:
                 return
             for name, n in delta.items():
                 if not n:
@@ -730,7 +784,11 @@ class MultiprocessRuntime:
             In resilient mode every failure mode — EOF, error status,
             missed deadline — surfaces as :class:`_WorkerDied` so the
             panel transaction can fail over; otherwise failures raise
-            :class:`SimulationError` as before.
+            :class:`SimulationError` as before.  With a live bus whose
+            ``heartbeat_interval`` is set, the deadline wait is sliced
+            into heartbeat intervals: each silent slice publishes a
+            ``heartbeat.missed`` event, so a hung worker is visible well
+            before the deadline expires and the failover fires.
             """
             if dev in dead:
                 raise _WorkerDied(dev, "already declared dead")
@@ -746,7 +804,30 @@ class MultiprocessRuntime:
                     )
                 if policy is not None and policy.deadline is not None:
                     budget = policy.deadline * max(1, n_kernels) + 1.0
-                    if not conn.poll(budget):
+                    hb = bus.heartbeat_interval if bus is not None else None
+                    got = True
+                    if hb is not None and hb < budget:
+                        waited = 0.0
+                        got = False
+                        while waited < budget:
+                            step = min(hb, budget - waited)
+                            if conn.poll(step):
+                                got = True
+                                break
+                            waited += step
+                            if waited < budget:
+                                bus.publish(
+                                    "heartbeat.missed",
+                                    dev,
+                                    {
+                                        "silent_seconds": waited,
+                                        "budget": budget,
+                                        "message": type(msg).__name__,
+                                    },
+                                )
+                    else:
+                        got = conn.poll(budget)
+                    if not got:
                         if metrics is not None:
                             metrics.counter("resilience.timeouts").inc()
                         raise _WorkerDied(
@@ -758,7 +839,9 @@ class MultiprocessRuntime:
                 if resilient:
                     raise err from None
                 raise SimulationError(str(err)) from None
-            fold_stats(stats)
+            fold_stats(dev, stats)
+            if bus is not None:
+                bus.publish("heartbeat", dev, {"message": type(msg).__name__})
             if status != "ok":
                 if resilient:
                     raise _WorkerDied(dev, str(payload))
@@ -848,6 +931,18 @@ class MultiprocessRuntime:
                     f"{dev} died at panel {k} ({reason}); main={current_main}",
                     dev,
                 )
+            if bus is not None:
+                bus.publish(
+                    "failover",
+                    dev,
+                    {
+                        "died": True,
+                        "panel": k,
+                        "reason": reason,
+                        "main": current_main,
+                        "detail": f"{dev} died at panel {k} ({reason})",
+                    },
+                )
 
         def rehome_stranded(k: int) -> None:
             """Migrate every column stranded on a dead device to survivors.
@@ -892,6 +987,18 @@ class MultiprocessRuntime:
                     f"migrated column(s) {stranded} -> "
                     f"{{{', '.join(sorted(set(moved_to)))}}}",
                     "manager",
+                )
+            if bus is not None:
+                bus.publish(
+                    "failover",
+                    "manager",
+                    {
+                        "died": False,
+                        "panel": k,
+                        "columns": stranded,
+                        "to": sorted(set(moved_to)),
+                        "detail": f"migrated column(s) {stranded}",
+                    },
                 )
 
         def run_panel(k: int) -> None:
@@ -984,13 +1091,37 @@ class MultiprocessRuntime:
                     f"panel {k + 1}/{n_panels} -> {self.checkpoint_path}",
                     "manager",
                 )
+            if bus is not None:
+                bus.publish(
+                    "checkpoint",
+                    "manager",
+                    {
+                        "panel": k + 1,
+                        "panels": n_panels,
+                        "path": str(self.checkpoint_path),
+                    },
+                )
 
         try:
+            if bus is not None:
+                bus.publish(
+                    "run.start",
+                    "manager",
+                    {
+                        "runtime": "multiprocess",
+                        "total_tasks": len(ref_dag.tasks),
+                        "total_units": sum(t.ncols for t in ref_dag.tasks),
+                        "grid": [p, q],
+                        "tile_size": b,
+                        "devices": list(self.plan.participants),
+                        "panels": n_panels - k0,
+                    },
+                )
             for dev in self.plan.participants:
                 spawn(dev)
 
-            # --- clock handshake (traced spawn runs only) ----------------
-            if tracer is not None:
+            # --- clock handshake (traced or live-telemetry runs) ---------
+            if tracer is not None or bus is not None:
                 for dev in self.plan.participants:
                     if start_method == "fork":
                         clock_offset[dev] = 0.0  # shared CLOCK_MONOTONIC
@@ -1046,7 +1177,7 @@ class MultiprocessRuntime:
                     write_checkpoint(k)
                     since_ckpt = 0
 
-            # --- gather the R factor (and traced worker event buffers) ----
+            # --- gather the R factor (and any residual worker events) ----
             gathered: set[int] = set()
             for dev in list(alive()):
                 try:
@@ -1055,15 +1186,11 @@ class MultiprocessRuntime:
                         for i in range(p):
                             tiled.set_tile(i, j, tiles[i])
                         gathered.add(j)
-                    if tracer is not None:
-                        off = clock_offset.get(dev, 0.0)
-                        for kind, k, row, row2, col, col_end, start, end in ask(
-                            dev, CollectEvents()
-                        ):
-                            tracer.record_task(
-                                Task(TaskKind[kind], k, row, row2, col, col_end),
-                                device=dev, start=start + off, end=end + off, tile_size=b,
-                            )
+                    if tracer is not None or bus is not None:
+                        # Normally empty: events ride each reply's stats
+                        # delta and are folded there; this sweeps any
+                        # recorded after the last reply was built.
+                        fold_events(dev, ask(dev, CollectEvents()))
                     ask(dev, Shutdown())
                 except _WorkerDied as exc:
                     note_death(exc.device, n_panels, f"died at gather: {exc.reason}")
@@ -1084,6 +1211,13 @@ class MultiprocessRuntime:
                 if proc.is_alive():  # pragma: no cover - hygiene
                     proc.terminate()
 
+        if bus is not None:
+            bus.publish(
+                "run.finish",
+                "manager",
+                {"panels": n_panels - k0, "deaths": len(dead)},
+            )
+            bus.drain()  # subscribers have seen everything when we return
         return TiledQRFactorization(r=tiled, log=log, shape=arr_shape)
 
     def _resume_state(self, resume):

@@ -118,7 +118,9 @@ class _CheckpointWriter:
     quiescent points (the caller guarantees no task is in flight).
     """
 
-    def __init__(self, every, path, dag, tiled, shape, metrics=None, tracer=None):
+    def __init__(
+        self, every, path, dag, tiled, shape, metrics=None, tracer=None, bus=None
+    ):
         if every is not None and every < 1:
             raise ValueError(f"checkpoint_every must be >= 1, got {every}")
         self.every = every
@@ -128,6 +130,7 @@ class _CheckpointWriter:
         self.shape = shape
         self.metrics = metrics
         self.tracer = tracer
+        self.bus = bus
         self._since = 0
         self.enabled = every is not None and path is not None
 
@@ -158,6 +161,16 @@ class _CheckpointWriter:
                 "checkpoint",
                 f"{len(completed)}/{len(self.dag.tasks)} tasks -> {self.path}",
                 device,
+            )
+        if self.bus is not None:
+            self.bus.publish(
+                "checkpoint",
+                device,
+                {
+                    "completed": len(completed),
+                    "total": len(self.dag.tasks),
+                    "path": str(self.path),
+                },
             )
 
 
@@ -198,6 +211,12 @@ class SerialRuntime:
     metrics:
         Optional :class:`repro.observability.MetricsRegistry` receiving
         the ``resilience.*`` counters.
+    bus:
+        Optional :class:`repro.observability.TelemetryBus`; the run
+        publishes live ``run.start``/``task.start``/``task.finish``/
+        ``retry``/``checkpoint``/``run.finish`` events while executing
+        (see ``docs/OBSERVABILITY.md``, "Live telemetry").  ``None``
+        (the default) publishes nothing and costs nothing.
     checkpoint_every / checkpoint_path:
         When both are set, write an atomic partial snapshot (format 2,
         see :mod:`repro.runtime.checkpoint`) after every
@@ -223,6 +242,7 @@ class SerialRuntime:
         checkpoint_every: int | None = None,
         checkpoint_path=None,
         backend=None,
+        bus=None,
     ):
         self.elimination = canonical_tree(elimination)
         self.progress = progress
@@ -235,6 +255,7 @@ class SerialRuntime:
         self.checkpoint_every = checkpoint_every
         self.checkpoint_path = checkpoint_path
         self.backend = resolve_backend(backend)
+        self.bus = bus
 
     def factorize(
         self, a, tile_size: int = DEFAULT_TILE_SIZE, resume=None
@@ -285,9 +306,23 @@ class SerialRuntime:
         workspace = Workspace()
         policy = resolve_policy(self.retry_policy, self.chaos, self.health_checks)
         ref_norm = health_ref_norm(tiled) if self.health_checks else None
+        bus = self.bus
+        if bus is not None:
+            bus.publish(
+                "run.start",
+                "serial",
+                {
+                    "runtime": "serial",
+                    "total_tasks": total,
+                    "total_units": sum(t.ncols for t in dag.tasks),
+                    "grid": [tiled.grid_rows, tiled.grid_cols],
+                    "tile_size": b,
+                    "completed": len(completed),
+                },
+            )
         ckpt = _CheckpointWriter(
             self.checkpoint_every, self.checkpoint_path, dag, tiled, shape,
-            self.metrics, tracer,
+            self.metrics, tracer, bus,
         )
         done = len(completed)
         # Critical-path priority dispatch: pop the ready task with the
@@ -310,6 +345,9 @@ class SerialRuntime:
                 if tracer is not None
                 else None
             )
+            if bus is not None:
+                t0 = bus.clock()
+                bus.task_start(task, "serial", t=t0)
             if policy is not None:
                 with span if span is not None else _NULL_CTX:
                     produced = apply_task_resilient(
@@ -317,13 +355,15 @@ class SerialRuntime:
                         policy=policy, backend=self.backend, chaos=self.chaos,
                         health=self.health_checks, health_ref_norm=ref_norm,
                         metrics=self.metrics,
-                        tracer=tracer, device="serial",
+                        tracer=tracer, device="serial", bus=bus,
                     )
             else:
                 with span if span is not None else _NULL_CTX:
                     produced = apply_task(
                         task, tiled, factors, workspace, backend=self.backend
                     )
+            if bus is not None:
+                bus.task_finish(task, "serial", start=t0, end=bus.clock())
             done += 1
             if produced is not None:
                 log.append((task, produced))
@@ -341,6 +381,9 @@ class SerialRuntime:
         if done != total:
             raise SimulationError(f"serial runtime finished {done}/{total} tasks")
         drain_fallbacks(self.metrics, workspace)
+        if bus is not None:
+            bus.publish("run.finish", "serial", {"tasks": done})
+            bus.drain()  # subscribers have seen everything when we return
         return TiledQRFactorization(r=tiled, log=log, shape=shape)
 
 

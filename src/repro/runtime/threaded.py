@@ -109,6 +109,15 @@ class ThreadedRuntime:
     retry_policy, chaos, health_checks, metrics:
         Resilience controls, identical to
         :class:`~repro.runtime.serial.SerialRuntime`'s.
+    bus:
+        Optional :class:`repro.observability.TelemetryBus`.  Workers
+        publish ``task.start``/``task.finish`` (plus retries and
+        checkpoints) live, and when the bus carries a
+        ``heartbeat_interval`` a
+        :class:`~repro.observability.live.heartbeat.HeartbeatMonitor`
+        runs for the duration of the factorization — a kernel that
+        stalls (e.g. a chaos ``hang``) raises ``heartbeat.missed``
+        events well before the retry-policy deadline classifies it.
     checkpoint_every / checkpoint_path:
         Periodic quiescent-point snapshots (see module docstring).
     backend:
@@ -136,6 +145,7 @@ class ThreadedRuntime:
         checkpoint_every: int | None = None,
         checkpoint_path=None,
         backend=None,
+        bus=None,
     ):
         if num_workers < 1:
             raise ValueError(f"need at least one worker, got {num_workers}")
@@ -150,6 +160,7 @@ class ThreadedRuntime:
         self.checkpoint_every = checkpoint_every
         self.checkpoint_path = checkpoint_path
         self.backend = resolve_backend(backend)
+        self.bus = bus
 
     def factorize(
         self, a, tile_size: int = DEFAULT_TILE_SIZE, resume=None
@@ -238,9 +249,24 @@ class ThreadedRuntime:
         b = tiled.tile_size
         policy = resolve_policy(self.retry_policy, self.chaos, self.health_checks)
         ref_norm = health_ref_norm(tiled) if self.health_checks else None
+        bus = self.bus
+        if bus is not None:
+            bus.publish(
+                "run.start",
+                "manager",
+                {
+                    "runtime": "threaded",
+                    "total_tasks": total,
+                    "total_units": sum(t.ncols for t in dag.tasks),
+                    "grid": [tiled.grid_rows, tiled.grid_cols],
+                    "tile_size": b,
+                    "workers": self.num_workers,
+                    "completed": done_count[0],
+                },
+            )
         ckpt = _CheckpointWriter(
             self.checkpoint_every, self.checkpoint_path, dag, tiled, shape,
-            self.metrics, tracer,
+            self.metrics, tracer, bus,
         )
 
         def fail(exc: BaseException) -> None:
@@ -287,16 +313,21 @@ class ThreadedRuntime:
                             policy=policy, backend=self.backend, chaos=self.chaos,
                             health=self.health_checks, health_ref_norm=ref_norm,
                             metrics=self.metrics,
-                            tracer=tracer, device=device,
+                            tracer=tracer, device=device, bus=bus,
                         )
                     return apply_task(t, tiled, factors, workspace, backend=self.backend)
 
                 try:
+                    if bus is not None:
+                        t0 = bus.clock()
+                        bus.task_start(task, device, t=t0)
                     if tracer is not None:
                         with tracer.task_span(task, device=device, tile_size=b):
                             produced = run_one(task)
                     else:
                         produced = run_one(task)
+                    if bus is not None:
+                        bus.task_finish(task, device, start=t0, end=bus.clock())
                 except BaseException as exc:  # propagate to the caller
                     with cond:
                         inflight[0] -= 1
@@ -352,14 +383,23 @@ class ThreadedRuntime:
             )
             for i in range(self.num_workers)
         ]
-        for th in threads:
-            th.start()
-        all_done.wait()
-        with cond:
-            stop[0] = True
-            cond.notify_all()
-        for th in threads:
-            th.join()
+        monitor = None
+        if bus is not None and bus.heartbeat_interval:
+            from ..observability.live.heartbeat import HeartbeatMonitor
+
+            monitor = HeartbeatMonitor(bus).start()
+        try:
+            for th in threads:
+                th.start()
+            all_done.wait()
+            with cond:
+                stop[0] = True
+                cond.notify_all()
+            for th in threads:
+                th.join()
+        finally:
+            if monitor is not None:
+                monitor.stop()
         drain_fallbacks(self.metrics, *workspaces)
 
         if errors:
@@ -368,4 +408,7 @@ class ThreadedRuntime:
             raise SimulationError(
                 f"threaded runtime finished {done_count[0]}/{total} tasks"
             )
+        if bus is not None:
+            bus.publish("run.finish", "manager", {"tasks": done_count[0]})
+            bus.drain()  # subscribers have seen everything when we return
         return TiledQRFactorization(r=tiled, log=log, shape=shape)
