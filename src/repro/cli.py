@@ -36,7 +36,16 @@ Subcommands:
 * ``backends`` — list the registered kernel backends; ``--check`` runs
   the cross-backend conformance harness (every backend vs the reference
   oracle) and exits nonzero on any mismatch.
+* ``postmortem BUNDLE.zip`` — root-cause a failure bundle (written by
+  ``--bundle-out`` on ``factorize``/``chaos``/``top`` when a run dies):
+  classification, responsible FaultSpec when chaos seeded it, causal
+  timeline, stranded tasks, where to resume from.
 * ``list`` — list available experiments.
+
+Exit codes (documented in ``docs/API.md``): ``0`` success, ``2``
+configuration/usage, ``4`` numerical-health failure, ``5``
+infrastructure failure (worker death, hang, timeout, injected fault),
+``130`` interrupted, ``1`` any other failure.
 """
 
 from __future__ import annotations
@@ -45,6 +54,47 @@ import argparse
 import sys
 
 import numpy as np
+
+#: CLI exit codes, one per failure class so scripts and CI can branch on
+#: *why* a run died without parsing stderr.  2 follows the argparse
+#: usage-error convention, 130 the shell's SIGINT convention; 4 and 5
+#: split "the math went bad" from "the machinery went bad".
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_CONFIG = 2
+EXIT_NUMERICAL = 4
+EXIT_INFRASTRUCTURE = 5
+EXIT_INTERRUPTED = 130
+
+#: Failure class (see ``repro.observability.postmortem.classify_error``)
+#: -> process exit code.
+_CLASS_EXIT = {
+    "numerical": EXIT_NUMERICAL,
+    "worker_death": EXIT_INFRASTRUCTURE,
+    "hang": EXIT_INFRASTRUCTURE,
+    "timeout": EXIT_INFRASTRUCTURE,
+    "injected-fault": EXIT_INFRASTRUCTURE,
+    "config": EXIT_CONFIG,
+    "interrupted": EXIT_INTERRUPTED,
+}
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Exit code for a terminal error, per its failure classification."""
+    from .observability.postmortem import classify_error
+
+    return _CLASS_EXIT.get(classify_error(exc), EXIT_FAILURE)
+
+
+def _bundle_hint(path) -> None:
+    from pathlib import Path
+
+    if path and Path(path).is_file():
+        print(
+            f"failure bundle written to {path} "
+            f"(inspect with `tiledqr postmortem {path}`)",
+            file=sys.stderr,
+        )
 
 
 def _cmd_list(_args) -> int:
@@ -236,7 +286,7 @@ def _cmd_factorize(args) -> int:
     rng = np.random.default_rng(args.seed)
     a = rng.standard_normal((args.n, args.n))
 
-    if args.resume or args.checkpoint_every or args.checkpoint_out:
+    if args.resume or args.checkpoint_every or args.checkpoint_out or args.bundle_out:
         return _factorize_checkpointed(args, a)
 
     qr = TiledQR(paper_testbed())
@@ -259,8 +309,9 @@ def _cmd_factorize(args) -> int:
 
 
 def _factorize_checkpointed(args, a) -> int:
-    """`factorize` with --checkpoint-every/--checkpoint-out/--resume:
-    runs through the resilient runtimes instead of the TiledQR executor."""
+    """`factorize` with --checkpoint-every/--checkpoint-out/--resume/
+    --bundle-out: runs through the resilient runtimes instead of the
+    TiledQR executor."""
     from .errors import ReproError
     from .observability import MetricsRegistry
     from .runtime.checkpoint import (
@@ -277,7 +328,7 @@ def _factorize_checkpointed(args, a) -> int:
             "--checkpoint-every and --checkpoint-out must be given together",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_CONFIG
     metrics = MetricsRegistry()
     kwargs = dict(
         elimination=_resolve_tree_cli(args.tree, args.n, args.tile_size),
@@ -286,6 +337,7 @@ def _factorize_checkpointed(args, a) -> int:
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint_out,
         backend=args.backend,
+        bundle_out=args.bundle_out,
     )
 
     try:
@@ -316,9 +368,17 @@ def _factorize_checkpointed(args, a) -> int:
             else:
                 runtime = SerialRuntime(**kwargs)
             fact = runtime.factorize(a, args.tile_size)
-    except (CheckpointError, ReproError) as exc:
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        _bundle_hint(args.bundle_out)
+        return EXIT_INTERRUPTED
+    except CheckpointError as exc:
         print(f"factorization failed: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_CONFIG
+    except ReproError as exc:
+        print(f"factorization failed: {exc}", file=sys.stderr)
+        _bundle_hint(args.bundle_out)
+        return exit_code_for(exc)
     err = frobenius_relative_error(fact.apply_q(fact.r_dense()), a)
     print(f"numeric ({args.runtime} runtime): ||A - QR||/||A|| = {err:.3e}")
     ckpts = metrics.snapshot()["counters"].get("resilience.checkpoints", 0)
@@ -369,6 +429,13 @@ def _cmd_chaos(args) -> int:
         backoff=args.backoff,
         deadline=args.deadline,
     )
+    # --bundle-out: run with a live bus so the flight recorder inside the
+    # runtime's BundleCapture has retries/faults/failovers to record.
+    bus = None
+    if args.bundle_out:
+        from .observability import TelemetryBus
+
+        bus = TelemetryBus()
     t0 = perf_counter()
     try:
         if args.runtime == "multiprocess":
@@ -391,9 +458,11 @@ def _cmd_chaos(args) -> int:
                 chaos_plan=plan,
                 metrics=metrics,
                 health_checks=args.health_checks,
+                bus=bus,
+                bundle_out=args.bundle_out,
             ).factorize(a, args.tile_size)
         else:
-            chaos = ChaosEngine(plan, metrics=metrics, tracer=tracer)
+            chaos = ChaosEngine(plan, metrics=metrics, tracer=tracer, bus=bus)
             kwargs = dict(
                 elimination=tree,
                 tracer=tracer,
@@ -401,6 +470,8 @@ def _cmd_chaos(args) -> int:
                 chaos=chaos,
                 metrics=metrics,
                 health_checks=args.health_checks,
+                bus=bus,
+                bundle_out=args.bundle_out,
             )
             if args.runtime == "threaded":
                 from .runtime.threaded import ThreadedRuntime
@@ -412,9 +483,17 @@ def _cmd_chaos(args) -> int:
                 from .runtime.serial import SerialRuntime
 
                 fact = SerialRuntime(**kwargs).factorize(a, args.tile_size)
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        _bundle_hint(args.bundle_out)
+        return EXIT_INTERRUPTED
     except ReproError as exc:
         print(f"factorization did not survive the fault plan: {exc}", file=sys.stderr)
-        return 1
+        _bundle_hint(args.bundle_out)
+        return exit_code_for(exc)
+    finally:
+        if bus is not None:
+            bus.close()
     wall = perf_counter() - t0
 
     report = ResilienceReport(
@@ -512,6 +591,23 @@ def _cmd_top(args) -> int:
     tree = _resolve_tree_cli(args.tree, args.n, args.tile_size)
     metrics = MetricsRegistry()
     bus, tracker, detector, sink = _build_live_pipeline(args, args.n, tree, metrics)
+    capture = None
+    if args.bundle_out:
+        from .observability.postmortem import BundleCapture
+
+        # CLI-level capture (not the runtime's bundle_out knob) so the
+        # bundle embeds the dashboard's ProgressTracker snapshot too.
+        capture = BundleCapture(
+            args.bundle_out,
+            bus=bus,
+            metrics=metrics,
+            fault_plan=chaos_plan,
+            tracker=tracker,
+            meta={
+                "runtime": args.runtime, "n": args.n, "b": args.tile_size,
+                "elimination": tree, "seed": args.seed,
+            },
+        )
     policy = None
     if chaos_plan is not None or args.deadline is not None:
         policy = RetryPolicy(max_attempts=3, backoff=0.0, deadline=args.deadline)
@@ -565,12 +661,30 @@ def _cmd_top(args) -> int:
             sys.stdout.flush()
             worker.join(args.refresh)
         worker.join()
+        # The runtime only drains the bus on a clean finish; after a
+        # failure, flush undelivered events to the sink and recorder
+        # before the finally below closes them.
+        bus.drain()
+        if "error" in outcome and capture is not None:
+            capture.capture(outcome["error"])
     except KeyboardInterrupt:
+        # Orderly teardown even though the run thread is abandoned: write
+        # the interrupted-run bundle (drains the bus), stop the bus
+        # dispatcher, and flush the stream sink so every event the bus
+        # delivered is on disk.
         print("\ninterrupted; abandoning the in-flight run (daemon thread)")
-        return 130
+        if capture is not None:
+            capture.capture(KeyboardInterrupt("interrupted by user"))
+            _bundle_hint(args.bundle_out)
+        bus.close()
+        if sink is not None:
+            sink.flush()
+        return EXIT_INTERRUPTED
     finally:
         if sink is not None:
             sink.close()
+        if capture is not None:
+            capture.close()
     print(render_dashboard(tracker.snapshot()))
     print()
     print(detector.report())
@@ -579,10 +693,13 @@ def _cmd_top(args) -> int:
               f"({sink.written} event(s))")
     if "error" in outcome:
         exc = outcome["error"]
+        bus.close()
         if isinstance(exc, ReproError):
             print(f"factorization failed: {exc}", file=sys.stderr)
-            return 1
+            _bundle_hint(args.bundle_out)
+            return exit_code_for(exc)
         raise exc
+    bus.close()
     return 0
 
 
@@ -627,6 +744,25 @@ def _cmd_watch(args) -> int:
     except KeyboardInterrupt:
         print()
         return 130
+
+
+def _cmd_postmortem(args) -> int:
+    """Root-cause a failure bundle: classification, narrative, resume hint."""
+    import json
+
+    from .errors import ObservabilityError
+    from .observability.postmortem import analyze_bundle
+
+    try:
+        report = analyze_bundle(args.bundle)
+    except ObservabilityError as exc:
+        print(f"cannot analyze {args.bundle}: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1))
+    else:
+        print(report.to_text())
+    return EXIT_OK
 
 
 def _cmd_metrics(args) -> int:
@@ -1019,6 +1155,13 @@ def main(argv: list[str] | None = None) -> int:
         help="within-panel elimination tree ('auto' lets the optimizer "
         "pick by simulated makespan; default: the paper's flat/TS chain)",
     )
+    p_fact.add_argument(
+        "--bundle-out",
+        metavar="BUNDLE.zip",
+        help="on any terminal failure, write a failure bundle here "
+        "(flight-recorder tail, in-flight tasks, metrics, checkpoint "
+        "pointer) for `tiledqr postmortem`",
+    )
     p_fact.set_defaults(func=_cmd_factorize)
 
     p_chaos = sub.add_parser(
@@ -1081,6 +1224,13 @@ def main(argv: list[str] | None = None) -> int:
         choices=_tree_choices(),
         default=None,
         help="within-panel elimination tree for the run (default: flat/TS)",
+    )
+    p_chaos.add_argument(
+        "--bundle-out",
+        metavar="BUNDLE.zip",
+        help="on an unsurvived fault plan, write a failure bundle here "
+        "(includes the fault plan, so `tiledqr postmortem` names the "
+        "responsible FaultSpec)",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
 
@@ -1254,6 +1404,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="within-panel elimination tree (default: flat/TS)",
     )
+    p_top.add_argument(
+        "--bundle-out",
+        metavar="BUNDLE.zip",
+        help="on failure or Ctrl-C, write a failure bundle here "
+        "(includes the dashboard's progress snapshot) for "
+        "`tiledqr postmortem`",
+    )
     p_top.set_defaults(func=_cmd_top)
 
     p_watch = sub.add_parser(
@@ -1281,6 +1438,23 @@ def main(argv: list[str] | None = None) -> int:
         help="seconds to wait for the stream file to appear (default: 0)",
     )
     p_watch.set_defaults(func=_cmd_watch)
+
+    p_pm = sub.add_parser(
+        "postmortem",
+        help="root-cause a failure bundle: classification, responsible "
+        "FaultSpec, causal timeline, stranded tasks, resume hint",
+    )
+    p_pm.add_argument(
+        "bundle",
+        metavar="BUNDLE.zip",
+        help="failure bundle written by --bundle-out on factorize/chaos/top",
+    )
+    p_pm.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report as JSON on stdout (CI-friendly)",
+    )
+    p_pm.set_defaults(func=_cmd_postmortem)
 
     p_metrics = sub.add_parser(
         "metrics",

@@ -59,6 +59,16 @@ from .live import (
     read_live_events,
     render_dashboard,
 )
+from .postmortem import (
+    BUNDLE_SCHEMA_VERSION,
+    BundleCapture,
+    FailureBundle,
+    FlightRecorder,
+    PostmortemReport,
+    analyze_bundle,
+    classify_error,
+    write_failure_bundle,
+)
 from .profile import KernelEntry, KernelStats, ProfileStore, RunProfile
 from .tracer import NULL_TRACER, Tracer
 
@@ -113,4 +123,12 @@ __all__ = [
     "read_live_events",
     "render_dashboard",
     "predicted_durations",
+    "FlightRecorder",
+    "BundleCapture",
+    "FailureBundle",
+    "BUNDLE_SCHEMA_VERSION",
+    "write_failure_bundle",
+    "classify_error",
+    "analyze_bundle",
+    "PostmortemReport",
 ]

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import platform
+import subprocess
 from pathlib import Path
 from typing import Iterable
 
@@ -29,21 +30,50 @@ from ..sim.trace import AnnotationRecord, ExecutionTrace, TaskRecord, TransferRe
 
 SCHEMA_VERSION = 1
 
+# Resolved once per process: False = not yet asked, None = unavailable
+# (no git binary, not a checkout — e.g. an installed wheel).
+_GIT_SHA: str | None | bool = False
+
+
+def _git_sha() -> str | None:
+    """HEAD commit of the source checkout producing this run, if any."""
+    global _GIT_SHA
+    if _GIT_SHA is False:
+        try:
+            proc = subprocess.run(
+                ["git", "-C", str(Path(__file__).resolve().parent),
+                 "rev-parse", "HEAD"],
+                capture_output=True, text=True, timeout=5.0,
+            )
+            sha = proc.stdout.strip()
+            _GIT_SHA = sha if proc.returncode == 0 and sha else None
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA = None
+    return _GIT_SHA
+
 
 def provenance_meta(**extra) -> dict:
     """Standard provenance keys for a JSONL meta header.
 
-    Captures where the trace came from — host, platform, python — and
-    folds in whatever run parameters the caller knows (grid, tile size,
-    elimination mode, ``batch_updates``, decision audit, ...).  All keys
-    are additive on top of the schema-1 header, so readers that only
-    know ``{"type": "meta", "schema": 1}`` keep working.
+    Captures where the trace came from — host, platform, python, the
+    package version, and (when running from a checkout) the git SHA of
+    the code that produced the run — and folds in whatever run
+    parameters the caller knows (grid, tile size, elimination mode,
+    ``batch_updates``, decision audit, ...).  All keys are additive on
+    top of the schema-1 header, so readers that only know
+    ``{"type": "meta", "schema": 1}`` keep working.
     """
+    from .. import __version__
+
     meta = {
         "host": platform.node(),
         "platform": platform.platform(),
         "python": platform.python_version(),
+        "version": __version__,
     }
+    sha = _git_sha()
+    if sha is not None:
+        meta["git_sha"] = sha
     meta.update({k: v for k, v in extra.items() if v is not None})
     return meta
 

@@ -39,6 +39,7 @@ Event vocabulary (the ``type`` field):
 ``task.start``      a kernel slot opened on a device
 ``task.finish``     a kernel completed (start/end/duration, coords)
 ``retry``           a retry attempt is about to replay a task
+``task.error``      a kernel attempt failed (type, message, retryable)
 ``fault``           the chaos engine injected a fault
 ``failover``        a device died / columns migrated (multiprocess)
 ``checkpoint``      a mid-run snapshot was written

@@ -247,6 +247,12 @@ class ProgressTracker:
             elif etype == "retry":
                 dev.retries += 1
                 self._note(event, f"retry on {event.device}")
+            elif etype == "task.error":
+                self._note(
+                    event,
+                    f"{event.data.get('error', '?')} at "
+                    f"{event.data.get('task', '?')} on {event.device}",
+                )
             elif etype == "fault":
                 dev.faults += 1
                 self._note(event, f"fault {event.data.get('fault', '?')} on {event.device}")

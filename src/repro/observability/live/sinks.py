@@ -113,6 +113,14 @@ class JsonlStreamSink:
         bus.subscribe(self.on_event)
         return self
 
+    def flush(self) -> None:
+        """Force buffered lines to disk now (interrupt handlers call this
+        before abandoning a run, so the stream holds every event seen)."""
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                self._last_flush = perf_counter()
+
     def close(self) -> None:
         with self._lock:
             if not self._fh.closed:

@@ -1,0 +1,50 @@
+"""Postmortem forensics: flight recorder, failure bundles, root cause.
+
+When a factorization dies — retry exhaustion, all-workers-dead
+failover, a :class:`~repro.errors.NumericalHealthError`, checkpoint
+corruption, Ctrl-C — everything the live telemetry pipeline knew about
+the run is normally discarded with the process.  This package keeps it:
+
+* :class:`FlightRecorder` — a bounded ring subscriber on the
+  :class:`~repro.observability.live.bus.TelemetryBus` retaining the
+  last-N events plus every ``task.start`` without a matching finish
+  (the in-flight task table at the moment of death);
+* :func:`write_failure_bundle` / :class:`BundleCapture` — atomically
+  write a schema-versioned ``.zip`` bundle (events, in-flight tasks,
+  metrics snapshot, plan + decision audit, provenance, fault plan,
+  per-device progress, latest-checkpoint pointer) when a terminal
+  error escapes a runtime;
+* :func:`analyze_bundle` — fold the bundle's event timeline into a
+  causal narrative and classify the failure (``worker_death`` /
+  ``hang`` / ``numerical`` / ``timeout`` / ``config`` /
+  ``injected-fault`` / ``interrupted``), citing the responsible
+  :class:`~repro.resilience.FaultSpec` when chaos seeded it.
+
+Surfaced on the CLI as ``tiledqr postmortem BUNDLE [--json]`` and a
+``--bundle-out`` knob on ``factorize``/``top``/``chaos``.  See
+``docs/OBSERVABILITY.md``, "Postmortem forensics".
+"""
+
+from .analysis import PostmortemReport, analyze_bundle
+from .bundle import (
+    BUNDLE_SCHEMA_VERSION,
+    BundleCapture,
+    FailureBundle,
+    classify_error,
+    error_chain,
+    write_failure_bundle,
+)
+from .recorder import DEFAULT_RECORDER_CAPACITY, FlightRecorder
+
+__all__ = [
+    "FlightRecorder",
+    "DEFAULT_RECORDER_CAPACITY",
+    "BundleCapture",
+    "FailureBundle",
+    "BUNDLE_SCHEMA_VERSION",
+    "write_failure_bundle",
+    "classify_error",
+    "error_chain",
+    "analyze_bundle",
+    "PostmortemReport",
+]

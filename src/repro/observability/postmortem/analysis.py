@@ -1,0 +1,272 @@
+"""Automated root-cause analysis of failure bundles.
+
+:func:`analyze_bundle` folds a bundle's event timeline into a causal
+narrative — retries → heartbeat.missed → worker death → failover →
+stranded columns — and classifies the failure, citing the responsible
+:class:`~repro.resilience.FaultSpec` when the chaos engine seeded it.
+This is deterministic evidence-folding, not heuristics over free text:
+every narrative line points at a recorded event, and the classification
+is derived from the error chain in the manifest cross-checked against
+the fault plan and the ``fault`` events in the tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ...resilience.report import COUNTERS, counters_from_snapshot
+from ..live.bus import LiveEvent
+from .bundle import FailureBundle, classify_error  # noqa: F401  (re-export)
+
+#: Which injected fault kinds can manufacture which failure class.  The
+#: analyzer uses this to attribute a failure to the chaos plan: a
+#: worker_death with a KILL_WORKER spec in the plan is an injected
+#: fault, not an infrastructure surprise.
+_CLASS_FAULT_KINDS = {
+    "worker_death": ("kill_worker",),
+    "timeout": ("hang", "delay"),
+    "hang": ("hang", "delay"),
+    "numerical": ("corrupt_nan", "corrupt_inf"),
+    "injected-fault": ("exception",),
+}
+
+#: Injected fault kind -> the failure class it manufactures.
+_FAULT_KIND_CLASS = {
+    "kill_worker": "worker_death",
+    "hang": "hang",
+    "delay": "hang",
+    "corrupt_nan": "numerical",
+    "corrupt_inf": "numerical",
+    "exception": "injected-fault",
+}
+
+#: Cap on narrative length: the last ``_NARRATIVE_TAIL`` notable events
+#: are kept (earlier ones are summarized by a count).
+_NARRATIVE_TAIL = 48
+
+
+@dataclass
+class PostmortemReport:
+    """What :func:`analyze_bundle` concluded about a dead run."""
+
+    bundle: str
+    failure_class: str
+    injected: bool
+    fault_spec: dict | None
+    error: dict
+    summary: str
+    narrative: list[str] = field(default_factory=list)
+    stranded: list[dict] = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+    checkpoint: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "bundle": self.bundle,
+            "failure_class": self.failure_class,
+            "injected": self.injected,
+            "fault_spec": self.fault_spec,
+            "error": dict(self.error),
+            "summary": self.summary,
+            "narrative": list(self.narrative),
+            "stranded": list(self.stranded),
+            "counters": dict(self.counters),
+            "checkpoint": self.checkpoint,
+        }
+
+    def to_text(self) -> str:
+        lines = [f"postmortem: {self.bundle}"]
+        verdict = self.failure_class
+        if self.injected and not verdict.startswith("injected"):
+            verdict = f"injected {verdict}"
+        lines.append(f"  classification : {verdict}")
+        if self.fault_spec is not None:
+            lines.append(f"  root cause     : FaultSpec {self.fault_spec}")
+        if self.error.get("type"):
+            lines.append(
+                f"  terminal error : {self.error['type']}: {self.error.get('message')}"
+            )
+        lines.append(f"  summary        : {self.summary}")
+        if self.counters:
+            shown = ", ".join(
+                f"{name.split('.', 1)[1]}={int(v)}"
+                for name, v in self.counters.items()
+                if v
+            )
+            lines.append(f"  counters       : {shown or 'all zero'}")
+        if self.checkpoint:
+            where = self.checkpoint.get("path")
+            if self.checkpoint.get("exists"):
+                done = self.checkpoint.get("completed")
+                extra = f" ({done} task(s) completed)" if done is not None else ""
+                lines.append(f"  resume from    : {where}{extra}")
+            else:
+                lines.append(f"  checkpoint     : {where} (never written)")
+        if self.stranded:
+            lines.append(f"  stranded tasks : {len(self.stranded)} in flight at death")
+            for entry in self.stranded[:8]:
+                lines.append(
+                    f"    {entry.get('kind', '?')}[k={entry.get('k')}, "
+                    f"row={entry.get('row')}, col={entry.get('col')}] "
+                    f"on {entry.get('device')}"
+                )
+            if len(self.stranded) > 8:
+                lines.append(f"    ... and {len(self.stranded) - 8} more")
+        if self.narrative:
+            lines.append("  timeline:")
+            lines.extend(f"    {line}" for line in self.narrative)
+        return "\n".join(lines)
+
+
+def _narrate(events: list[LiveEvent]) -> list[str]:
+    """Causal timeline lines from the recorded event tail."""
+    if not events:
+        return []
+    t0 = events[0].t
+    lines: list[str] = []
+
+    def at(ev: LiveEvent) -> str:
+        return f"+{ev.t - t0:7.3f}s"
+
+    for ev in events:
+        d = ev.data
+        if ev.type == "run.start":
+            lines.append(
+                f"{at(ev)} run started: {d.get('runtime', '?')} runtime, "
+                f"grid {d.get('grid')}, {d.get('total_tasks')} task(s)"
+            )
+        elif ev.type == "fault":
+            lines.append(
+                f"{at(ev)} fault injected: {d.get('fault')} at {d.get('task')} "
+                f"on {ev.device}"
+            )
+        elif ev.type == "task.error":
+            lines.append(
+                f"{at(ev)} task {d.get('task')} failed on {ev.device} "
+                f"(attempt {d.get('attempt')}/{d.get('max_attempts')}): "
+                f"{d.get('error')}: {d.get('message')}"
+            )
+        elif ev.type == "retry":
+            lines.append(
+                f"{at(ev)} retry: attempt {d.get('attempt')}/"
+                f"{d.get('max_attempts')} of {d.get('task')} on {ev.device}"
+            )
+        elif ev.type == "heartbeat.missed":
+            lines.append(
+                f"{at(ev)} heartbeat missed: {ev.device} silent "
+                f"{d.get('silent_seconds', 0.0):.2f}s"
+            )
+        elif ev.type == "failover":
+            if d.get("died"):
+                lines.append(
+                    f"{at(ev)} worker death: {ev.device} "
+                    f"(panel {d.get('panel')}): {d.get('detail') or d.get('reason')}"
+                )
+            else:
+                lines.append(
+                    f"{at(ev)} failover: columns {d.get('columns')} "
+                    f"re-homed to {d.get('to')}"
+                )
+        elif ev.type == "checkpoint":
+            lines.append(
+                f"{at(ev)} checkpoint: {d.get('completed')}/{d.get('total')} "
+                f"task(s) -> {d.get('path')}"
+            )
+        elif ev.type == "straggler":
+            lines.append(
+                f"{at(ev)} straggler: {d.get('task')} on {ev.device} "
+                f"x{d.get('ratio', 0.0):.2f} predicted"
+            )
+        elif ev.type == "run.finish":
+            lines.append(f"{at(ev)} run finished ({d.get('tasks')} task(s))")
+    if len(lines) > _NARRATIVE_TAIL:
+        omitted = len(lines) - _NARRATIVE_TAIL
+        lines = [f"({omitted} earlier event(s) omitted)"] + lines[-_NARRATIVE_TAIL:]
+    return lines
+
+
+def _attribute_fault(bundle: FailureBundle, failure_class: str):
+    """``(failure_class, injected, spec_dict)`` after chaos attribution.
+
+    A failure is attributed to the chaos plan when a spec capable of
+    manufacturing the observed class exists in the plan (the fired
+    ``fault`` events in the tail confirm it when the recorder saw them;
+    a KILL_WORKER victim dies before it can publish, so plan membership
+    alone suffices there).  An injected HANG that surfaced as a task
+    timeout is upgraded from ``timeout`` to ``hang``.
+    """
+    fault_events = [e for e in bundle.events if e.type == "fault"]
+    plan = bundle.fault_plan
+    specs = list(plan.specs) if plan is not None else []
+
+    wanted = _CLASS_FAULT_KINDS.get(failure_class, ())
+    for spec in specs:
+        if spec.kind.value in wanted:
+            if failure_class == "timeout" and spec.kind.value == "hang":
+                failure_class = "hang"
+            return failure_class, True, spec.to_dict()
+
+    # No spec explains the class directly, but faults demonstrably fired:
+    # fall back to the last observed injection (e.g. an unclassifiable
+    # SimulationError downstream of an injected kill).
+    if fault_events and failure_class == "unknown":
+        kind = str(fault_events[-1].data.get("fault", ""))
+        mapped = _FAULT_KIND_CLASS.get(kind)
+        if mapped is not None:
+            for spec in specs:
+                if spec.kind.value == kind:
+                    return mapped, True, spec.to_dict()
+            return mapped, True, None
+    return failure_class, False, None
+
+
+def analyze_bundle(bundle: FailureBundle | str | Path) -> PostmortemReport:
+    """Root-cause a failure bundle into a :class:`PostmortemReport`."""
+    if not isinstance(bundle, FailureBundle):
+        bundle = FailureBundle.load(bundle)
+    manifest = bundle.manifest
+    error = dict(manifest.get("error") or {})
+    failure_class = str(manifest.get("failure_class") or "unknown")
+    failure_class, injected, spec = _attribute_fault(bundle, failure_class)
+
+    counters = counters_from_snapshot(bundle.metrics)
+    stranded = list(bundle.inflight)
+    dead = sorted(
+        name
+        for name, state in (bundle.progress.get("devices") or {}).items()
+        if state.get("dead")
+    )
+
+    bits = []
+    if injected:
+        bits.append(f"seeded {spec['kind'] if spec else 'chaos'} fault")
+    if dead:
+        bits.append(f"{len(dead)} worker(s) died ({', '.join(dead)})")
+    if counters.get("resilience.retries"):
+        bits.append(f"{int(counters['resilience.retries'])} retry(ies) spent")
+    if counters.get("resilience.failovers"):
+        bits.append(f"{int(counters['resilience.failovers'])} failover(s)")
+    if stranded:
+        bits.append(f"{len(stranded)} task(s) stranded in flight")
+    cause = " after ".join(filter(None, [
+        f"{error.get('type')}: {error.get('message')}" if error.get("type") else None,
+    ]))
+    summary = (
+        f"run died as {failure_class}"
+        + (f" ({cause})" if cause else "")
+        + (f" — {'; '.join(bits)}" if bits else "")
+    )
+
+    return PostmortemReport(
+        bundle=str(bundle.path),
+        failure_class=failure_class,
+        injected=injected,
+        fault_spec=spec,
+        error=error,
+        summary=summary,
+        narrative=_narrate(bundle.events),
+        stranded=stranded,
+        counters={name: counters.get(name, 0.0) for name in COUNTERS},
+        checkpoint=manifest.get("checkpoint"),
+    )

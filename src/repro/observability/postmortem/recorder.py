@@ -1,0 +1,152 @@
+"""Flight recorder: the telemetry a run keeps for its own autopsy.
+
+The :class:`~repro.observability.live.bus.TelemetryBus` ring is sized
+for live dashboards and is discarded with the bus; a failing run keeps
+nothing.  :class:`FlightRecorder` is a bus subscriber that retains, for
+the whole run, exactly what a postmortem needs:
+
+* the **tail** — the last ``capacity`` events, oldest first (the final
+  seconds before death, where the causal chain lives);
+* the **in-flight table** — every ``task.start`` without a matching
+  ``task.finish``, keyed by the same per-tile unit normalisation the
+  :class:`~repro.observability.live.progress.ProgressTracker` uses, so
+  batched and per-tile runtimes agree on what "the same task" means.
+  Stranded tasks on a dead worker stay in the table: that is the
+  evidence;
+* a **per-device fold** — starts/finishes/retries/errors/faults/
+  failovers/missed heartbeats/last-seen per device, cheap enough to
+  keep even when no :class:`ProgressTracker` is attached.
+
+``on_event`` does a dict update and a deque append under one lock — it
+runs on the bus dispatcher thread, off the kernel hot path, and adds
+nothing the ≤5% live-overhead budget can see.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from ..live.bus import LiveEvent, TelemetryBus
+from ..live.progress import _event_units
+
+#: Default tail length.  Sized to hold the full event stream of a small
+#: run and the last few panels of a big one — enough context to walk a
+#: failure back through retries, heartbeats, and failovers.
+DEFAULT_RECORDER_CAPACITY = 2048
+
+
+class FlightRecorder:
+    """Bounded ring subscriber retaining a run's forensic state.
+
+    Parameters
+    ----------
+    capacity:
+        Tail length: only the newest ``capacity`` events are retained
+        (the in-flight table is exact regardless — it is bounded by the
+        run's actual concurrency, not by event volume).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RECORDER_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"recorder capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._tail: deque[LiveEvent] = deque(maxlen=capacity)
+        self._inflight: dict[tuple, LiveEvent] = {}
+        self._devices: dict[str, dict] = {}
+        self._bus: TelemetryBus | None = None
+        self.events_seen = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, bus: TelemetryBus) -> "FlightRecorder":
+        bus.subscribe(self.on_event)
+        self._bus = bus
+        return self
+
+    def detach(self) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(self.on_event)
+            self._bus = None
+
+    # -- folding ----------------------------------------------------------
+
+    def _dev(self, name: str) -> dict:
+        state = self._devices.get(name)
+        if state is None:
+            state = self._devices[name] = {
+                "device": name,
+                "started": 0,
+                "finished": 0,
+                "retries": 0,
+                "task_errors": 0,
+                "faults": 0,
+                "failovers": 0,
+                "missed_heartbeats": 0,
+                "checkpoints": 0,
+                "last_seen": 0.0,
+                "dead": False,
+            }
+        return state
+
+    def on_event(self, event: LiveEvent) -> None:
+        with self._lock:
+            self.events_seen += 1
+            self._tail.append(event)
+            etype = event.type
+            if etype in ("run.start", "run.finish"):
+                return
+            dev = self._dev(event.device)
+            dev["last_seen"] = max(dev["last_seen"], event.t)
+            if etype == "task.start":
+                key = (event.device, *_event_units(event.data))
+                self._inflight[key] = event
+                dev["started"] += 1
+            elif etype == "task.finish":
+                self._inflight.pop((event.device, *_event_units(event.data)), None)
+                dev["finished"] += 1
+            elif etype == "retry":
+                dev["retries"] += 1
+            elif etype == "task.error":
+                dev["task_errors"] += 1
+            elif etype == "fault":
+                dev["faults"] += 1
+            elif etype == "failover":
+                dev["failovers"] += 1
+                if event.data.get("died"):
+                    dev["dead"] = True
+            elif etype == "heartbeat.missed":
+                dev["missed_heartbeats"] += 1
+            elif etype == "checkpoint":
+                dev["checkpoints"] += 1
+
+    # -- forensic views ---------------------------------------------------
+
+    def tail(self) -> list[LiveEvent]:
+        """The retained events, oldest first."""
+        with self._lock:
+            return list(self._tail)
+
+    def inflight(self) -> list[dict]:
+        """Started-but-unfinished tasks: the stranded-work table.
+
+        Each entry is the ``task.start`` payload plus the device and the
+        start timestamp, ordered by start time.
+        """
+        with self._lock:
+            entries = [
+                {"device": ev.device, "since": ev.t, "seq": ev.seq, **ev.data}
+                for ev in self._inflight.values()
+            ]
+        entries.sort(key=lambda e: (e["since"], e["seq"]))
+        return entries
+
+    def device_progress(self) -> dict[str, dict]:
+        """Per-device fold: counts and liveness, keyed by device name."""
+        with self._lock:
+            return {name: dict(state) for name, state in self._devices.items()}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tail)

@@ -26,7 +26,12 @@ full fault model.
 
 from .faults import ChaosEngine, FaultKind, FaultPlan, FaultSpec
 from .health import check_finite, check_task_outputs, panel_residual_probe
-from .report import COUNTERS, ResilienceReport, resilience_counters
+from .report import (
+    COUNTERS,
+    ResilienceReport,
+    counters_from_snapshot,
+    resilience_counters,
+)
 from .retry import DEFAULT_RETRY_POLICY, NO_RETRY, RETRYABLE, RetryPolicy
 
 __all__ = [
@@ -43,5 +48,6 @@ __all__ = [
     "panel_residual_probe",
     "ResilienceReport",
     "resilience_counters",
+    "counters_from_snapshot",
     "COUNTERS",
 ]

@@ -22,10 +22,16 @@ COUNTERS = (
 )
 
 
+def counters_from_snapshot(snapshot: dict) -> dict[str, float]:
+    """The ``resilience.*`` counters from a ``MetricsRegistry.snapshot()``
+    dict — the form failure bundles embed, where no live registry exists."""
+    counters = snapshot.get("counters", {}) if isinstance(snapshot, dict) else {}
+    return {name: counters.get(name, 0.0) for name in COUNTERS}
+
+
 def resilience_counters(metrics) -> dict[str, float]:
     """The ``resilience.*`` counter values in a metrics snapshot."""
-    snap = metrics.snapshot()["counters"]
-    return {name: snap.get(name, 0.0) for name in COUNTERS}
+    return counters_from_snapshot(metrics.snapshot())
 
 
 @dataclass

@@ -85,6 +85,17 @@ class RetryPolicy:
     def is_retryable(self, exc: BaseException) -> bool:
         return isinstance(exc, RETRYABLE)
 
+    def to_dict(self) -> dict:
+        """JSON view (failure bundles record the policy a dead run used)."""
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff": self.backoff,
+            "factor": self.factor,
+            "jitter": self.jitter,
+            "deadline": self.deadline,
+            "seed": self.seed,
+        }
+
     def backoff_seconds(self, attempt: int, key: tuple = ()) -> float:
         """Deterministic jittered backoff before ``attempt`` (2-based).
 

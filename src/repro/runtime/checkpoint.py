@@ -346,6 +346,35 @@ def load_partial_factorization(path) -> PartialState:
     )
 
 
+def checkpoint_info(path) -> dict:
+    """Lightweight metadata for a (possibly absent) checkpoint file.
+
+    Failure bundles embed this as the "where to resume from" pointer, so
+    it must never raise: an unreadable or half-written file reports
+    ``exists`` with an ``error`` note instead of failing the capture.
+    """
+    p = Path(path)
+    info: dict = {"path": str(p), "exists": p.is_file()}
+    if not info["exists"]:
+        return info
+    info["bytes"] = p.stat().st_size
+    try:
+        with np.load(p) as data:
+            meta = [int(v) for v in data["meta"]]
+    except Exception as exc:  # pragma: no cover - corrupt mid-write file
+        info["error"] = f"unreadable: {exc}"
+        return info
+    if meta and meta[0] in (_FORMAT, _PARTIAL_FORMAT):
+        info["format"] = meta[0]
+        info["shape"] = [meta[1], meta[2]]
+        info["tile_size"] = meta[3]
+        if meta[0] == _PARTIAL_FORMAT and len(meta) >= 8:
+            info["completed"] = meta[7]
+    else:
+        info["error"] = f"unknown checkpoint format {meta[:1]}"
+    return info
+
+
 def resume_factorization(path, runtime=None, **runtime_kwargs) -> TiledQRFactorization:
     """Finish an interrupted factorization from its last snapshot.
 

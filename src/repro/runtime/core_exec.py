@@ -168,9 +168,11 @@ def apply_task_resilient(
     * retries are counted on ``metrics`` (``resilience.retries``),
       annotated on ``tracer``, and published as ``retry`` events on
       ``bus`` (a :class:`repro.observability.TelemetryBus`, when live
-      telemetry is on); exhausting the policy raises
-      :class:`~repro.errors.RetryExhaustedError` chained to the last
-      failure.
+      telemetry is on); every failed attempt additionally publishes a
+      ``task.error`` event (task, attempt, error type/message,
+      retryability) — the flight recorder's raw material; exhausting
+      the policy raises :class:`~repro.errors.RetryExhaustedError`
+      chained to the last failure.
     """
     from ..resilience.health import check_task_outputs, panel_residual_probe
 
@@ -228,6 +230,19 @@ def apply_task_resilient(
             if isinstance(exc, TaskTimeoutError) and metrics is not None:
                 metrics.counter("resilience.timeouts").inc()
             retryable = policy.is_retryable(exc)
+            if bus is not None:
+                bus.publish(
+                    "task.error",
+                    device,
+                    {
+                        "task": task.label(),
+                        "attempt": attempt,
+                        "max_attempts": policy.max_attempts,
+                        "error": type(exc).__name__,
+                        "message": str(exc),
+                        "retryable": retryable,
+                    },
+                )
             if retryable and attempt < policy.max_attempts:
                 # Roll back this attempt: written tiles and any factor
                 # entry the failed kernel may have inserted.

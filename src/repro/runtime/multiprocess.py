@@ -613,6 +613,11 @@ class MultiprocessRuntime:
         deadline poll so a silent worker raises ``heartbeat.missed``
         events *before* the deadline failover fires.  Failovers,
         checkpoints, and run start/finish publish too.
+    bundle_out:
+        Optional failure-bundle path, identical to
+        :class:`~repro.runtime.serial.SerialRuntime`'s; the bundle
+        additionally embeds the distribution plan and its decision
+        audit.
 
     Notes
     -----
@@ -635,6 +640,7 @@ class MultiprocessRuntime:
         checkpoint_path=None,
         backend=None,
         bus=None,
+        bundle_out=None,
     ):
         self.plan = plan
         self.tracer = tracer
@@ -648,6 +654,7 @@ class MultiprocessRuntime:
         self.checkpoint_path = checkpoint_path
         self.backend = resolve_backend(backend)
         self.bus = bus
+        self.bundle_out = bundle_out
 
     @property
     def resilient(self) -> bool:
@@ -658,6 +665,30 @@ class MultiprocessRuntime:
         )
 
     def factorize(
+        self, a: np.ndarray, tile_size: int | None = None, resume=None
+    ) -> TiledQRFactorization:
+        if self.bundle_out is None:
+            return self._factorize(a, tile_size, resume)
+        from .serial import run_with_bundle_capture
+
+        meta = {
+            "runtime": "multiprocess",
+            "elimination": self.elimination,
+            "batch_updates": self.batch_updates,
+            "backend": self.backend.name,
+            "participants": list(self.plan.participants),
+        }
+        if self.retry_policy is not None:
+            meta["retry_policy"] = self.retry_policy.to_dict()
+        return run_with_bundle_capture(
+            self,
+            lambda: self._factorize(a, tile_size, resume),
+            fault_plan=self.chaos_plan,
+            plan=self.plan,
+            meta=meta,
+        )
+
+    def _factorize(
         self, a: np.ndarray, tile_size: int | None = None, resume=None
     ) -> TiledQRFactorization:
         if resume is not None:

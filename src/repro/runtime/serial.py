@@ -54,6 +54,40 @@ def resolve_policy(retry_policy, chaos, health_checks):
     return None
 
 
+def run_with_bundle_capture(runtime, call, *, fault_plan=None, plan=None, meta=None):
+    """Arm failure-bundle capture around one ``_factorize`` call.
+
+    Shared by the three runtimes when ``bundle_out`` is set: attaches a
+    :class:`~repro.observability.postmortem.FlightRecorder` to the
+    runtime's bus (substituting a private bus when it runs without one,
+    so there are task events to record), runs ``call()``, and writes an
+    atomic failure bundle to ``runtime.bundle_out`` if a terminal error
+    escapes — then restores the bus and re-raises.  A clean run writes
+    nothing.
+    """
+    from ..observability.postmortem import BundleCapture
+
+    capture = BundleCapture(
+        runtime.bundle_out,
+        bus=runtime.bus,
+        metrics=runtime.metrics,
+        plan=plan,
+        fault_plan=fault_plan,
+        checkpoint_path=runtime.checkpoint_path,
+        meta=meta,
+    )
+    prev = runtime.bus
+    runtime.bus = capture.bus
+    try:
+        return call()
+    except BaseException as exc:
+        capture.capture(exc)
+        raise
+    finally:
+        runtime.bus = prev
+        capture.close()
+
+
 def coerce_input(a, tile_size: int, batch_updates: bool):
     """Shared dense/tiled input handling: returns ``(tiled, shape)``."""
     if isinstance(a, TiledMatrix):
@@ -222,6 +256,12 @@ class SerialRuntime:
         see :mod:`repro.runtime.checkpoint`) after every
         ``checkpoint_every`` completed tasks.  ``resume_factorization``
         finishes such a run.
+    bundle_out:
+        Optional path: when a terminal error escapes ``factorize``, an
+        atomic failure bundle (flight-recorder tail, in-flight tasks,
+        metrics, fault plan, checkpoint pointer) is written there before
+        the exception propagates — feed it to ``tiledqr postmortem``.
+        See :mod:`repro.observability.postmortem`.
     backend:
         Kernel backend executing the tile kernels — a registered name,
         a :class:`~repro.kernels.backends.KernelBackend` object, or
@@ -243,6 +283,7 @@ class SerialRuntime:
         checkpoint_path=None,
         backend=None,
         bus=None,
+        bundle_out=None,
     ):
         self.elimination = canonical_tree(elimination)
         self.progress = progress
@@ -256,6 +297,7 @@ class SerialRuntime:
         self.checkpoint_path = checkpoint_path
         self.backend = resolve_backend(backend)
         self.bus = bus
+        self.bundle_out = bundle_out
 
     def factorize(
         self, a, tile_size: int = DEFAULT_TILE_SIZE, resume=None
@@ -279,6 +321,25 @@ class SerialRuntime:
         -------
         TiledQRFactorization
         """
+        if self.bundle_out is None:
+            return self._factorize(a, tile_size, resume)
+        meta = {
+            "runtime": "serial",
+            "elimination": self.elimination,
+            "batch_updates": self.batch_updates,
+            "backend": self.backend.name,
+            "tile_size": tile_size,
+        }
+        if self.retry_policy is not None:
+            meta["retry_policy"] = self.retry_policy.to_dict()
+        return run_with_bundle_capture(
+            self,
+            lambda: self._factorize(a, tile_size, resume),
+            fault_plan=self.chaos.plan if self.chaos is not None else None,
+            meta=meta,
+        )
+
+    def _factorize(self, a, tile_size: int, resume=None) -> TiledQRFactorization:
         tiled, shape = coerce_input(a, tile_size, self.batch_updates)
         dag = build_dag(
             tiled.grid_rows, tiled.grid_cols, self.elimination, self.batch_updates

@@ -65,6 +65,7 @@ from .serial import (
     coerce_input,
     health_ref_norm,
     resolve_policy,
+    run_with_bundle_capture,
 )
 
 
@@ -120,6 +121,9 @@ class ThreadedRuntime:
         events well before the retry-policy deadline classifies it.
     checkpoint_every / checkpoint_path:
         Periodic quiescent-point snapshots (see module docstring).
+    bundle_out:
+        Optional failure-bundle path, identical to
+        :class:`~repro.runtime.serial.SerialRuntime`'s.
     backend:
         Kernel backend (name, object, or ``None`` for ``reference``),
         shared by every worker — backend objects must therefore be
@@ -146,6 +150,7 @@ class ThreadedRuntime:
         checkpoint_path=None,
         backend=None,
         bus=None,
+        bundle_out=None,
     ):
         if num_workers < 1:
             raise ValueError(f"need at least one worker, got {num_workers}")
@@ -161,11 +166,32 @@ class ThreadedRuntime:
         self.checkpoint_path = checkpoint_path
         self.backend = resolve_backend(backend)
         self.bus = bus
+        self.bundle_out = bundle_out
 
     def factorize(
         self, a, tile_size: int = DEFAULT_TILE_SIZE, resume=None
     ) -> TiledQRFactorization:
         """Factorize ``a``; same contract as :meth:`SerialRuntime.factorize`."""
+        if self.bundle_out is None:
+            return self._factorize(a, tile_size, resume)
+        meta = {
+            "runtime": "threaded",
+            "workers": self.num_workers,
+            "elimination": self.elimination,
+            "batch_updates": self.batch_updates,
+            "backend": self.backend.name,
+            "tile_size": tile_size,
+        }
+        if self.retry_policy is not None:
+            meta["retry_policy"] = self.retry_policy.to_dict()
+        return run_with_bundle_capture(
+            self,
+            lambda: self._factorize(a, tile_size, resume),
+            fault_plan=self.chaos.plan if self.chaos is not None else None,
+            meta=meta,
+        )
+
+    def _factorize(self, a, tile_size: int, resume=None) -> TiledQRFactorization:
         tiled, shape = coerce_input(a, tile_size, self.batch_updates)
 
         dag = build_dag(

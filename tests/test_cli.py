@@ -248,3 +248,89 @@ class TestPerfCLI:
         capsys.readouterr()
         assert main(["perf", str(p)]) == 0
         assert "traced_run" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """Each failure class maps to its own documented exit code.
+
+    The contract lives in docs/API.md: 0 ok, 1 unclassified failure,
+    2 configuration, 4 numerical, 5 infrastructure (worker death /
+    hang / timeout / injected fault), 130 interrupted.
+    """
+
+    def _plan(self, tmp_path, specs, seed=0):
+        from repro.resilience import FaultPlan
+
+        path = tmp_path / "plan.json"
+        FaultPlan(specs, seed=seed).save(path)
+        return str(path)
+
+    def test_exit_code_constants(self):
+        from repro.cli import (
+            EXIT_CONFIG,
+            EXIT_FAILURE,
+            EXIT_INFRASTRUCTURE,
+            EXIT_INTERRUPTED,
+            EXIT_NUMERICAL,
+            EXIT_OK,
+        )
+
+        codes = [EXIT_OK, EXIT_FAILURE, EXIT_CONFIG, EXIT_NUMERICAL,
+                 EXIT_INFRASTRUCTURE, EXIT_INTERRUPTED]
+        assert codes == [0, 1, 2, 4, 5, 130]
+        assert len(set(codes)) == len(codes)
+
+    def test_config_errors_exit_2(self, capsys):
+        assert main(["factorize", "99999"]) == 2
+        assert main(["chaos", "64", "--plan", "/no/such/plan.json"]) == 2
+        capsys.readouterr()
+
+    def test_injected_fault_exits_5(self, tmp_path, capsys):
+        from repro.resilience import FaultKind, FaultSpec
+
+        plan = self._plan(
+            tmp_path,
+            [FaultSpec(FaultKind.EXCEPTION, task_kind="GEQRT", times=99)],
+        )
+        code = main([
+            "chaos", "64", "--plan", plan,
+            "--runtime", "serial", "--max-attempts", "2",
+        ])
+        capsys.readouterr()
+        assert code == 5
+
+    def test_numerical_fault_exits_4(self, tmp_path, capsys):
+        from repro.resilience import FaultKind, FaultSpec
+
+        plan = self._plan(
+            tmp_path,
+            [FaultSpec(FaultKind.CORRUPT_NAN, task_kind="GEQRT", times=99)],
+        )
+        code = main([
+            "chaos", "64", "--plan", plan,
+            "--runtime", "serial", "--max-attempts", "2", "--health-checks",
+        ])
+        capsys.readouterr()
+        assert code == 4
+
+    def test_postmortem_exit_codes(self, tmp_path, capsys):
+        from repro.resilience import FaultKind, FaultSpec
+
+        plan = self._plan(
+            tmp_path,
+            [FaultSpec(FaultKind.EXCEPTION, task_kind="GEQRT", times=99)],
+        )
+        bundle = tmp_path / "fail.zip"
+        assert main([
+            "chaos", "64", "--plan", plan,
+            "--runtime", "serial", "--max-attempts", "2",
+            "--bundle-out", str(bundle),
+        ]) == 5
+        assert bundle.is_file()
+        assert main(["postmortem", str(bundle)]) == 0
+        out = capsys.readouterr().out
+        assert "injected-fault" in out
+        junk = tmp_path / "junk.zip"
+        junk.write_text("not a bundle")
+        assert main(["postmortem", str(junk)]) == 2
+        capsys.readouterr()

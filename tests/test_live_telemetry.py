@@ -201,6 +201,69 @@ class TestSink:
         with pytest.raises(ObservabilityError, match="schema"):
             read_live_events(path)
 
+    def test_concurrent_reader_sees_monotonic_prefixes(self, tmp_path):
+        """A reader polling the stream while the sink is mid-write (the
+        `tiledqr watch --attach` scenario) only ever observes clean,
+        growing prefixes — never a parse error, never a shrink."""
+        import threading
+
+        path = tmp_path / "live.jsonl"
+        bus = TelemetryBus()
+        sink = JsonlStreamSink(path, flush_seconds=0.0).attach(bus)
+        stop = threading.Event()
+        seen_counts: list[int] = []
+        reader_errors: list[BaseException] = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    _meta, events = read_live_events(path)
+                except BaseException as exc:  # any raise fails the test
+                    reader_errors.append(exc)
+                    return
+                seen_counts.append(len(events))
+
+        t = threading.Thread(target=reader)
+        t.start()
+        for i in range(300):
+            bus.publish("heartbeat", f"dev{i % 3}", {"tick": i})
+        bus.drain()
+        sink.flush()
+        stop.set()
+        t.join()
+        sink.close()
+        bus.close()
+        assert not reader_errors
+        assert seen_counts == sorted(seen_counts)  # prefixes only grow
+        _meta, events = read_live_events(path)
+        assert len(events) == 300  # final read sees everything
+
+    def test_torn_write_interleaved_with_reader(self, tmp_path):
+        """A raw writer that leaves the final line torn between reads:
+        each poll parses every complete line and skips the torn tail;
+        completing the line later surfaces the event."""
+        path = tmp_path / "live.jsonl"
+        with open(path, "w") as fh:
+            fh.write(
+                json.dumps({"type": "live.meta", "schema": LIVE_SCHEMA_VERSION}) + "\n"
+            )
+            fh.flush()
+            line = json.dumps(
+                {"type": "heartbeat", "seq": 1, "t": 0.0, "device": "d", "data": {}}
+            )
+            fh.write(line + "\n")
+            half = json.dumps(
+                {"type": "heartbeat", "seq": 2, "t": 1.0, "device": "d", "data": {}}
+            )
+            fh.write(half[: len(half) // 2])
+            fh.flush()
+            _meta, events = read_live_events(path)  # reader races the torn tail
+            assert [e.seq for e in events] == [1]
+            fh.write(half[len(half) // 2 :] + "\n")
+            fh.flush()
+            _meta, events = read_live_events(path)
+            assert [e.seq for e in events] == [1, 2]
+
 
 # ---------------------------------------------------------------------------
 # ProgressTracker
